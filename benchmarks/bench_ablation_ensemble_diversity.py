@@ -1,0 +1,52 @@
+"""Ablation (DESIGN.md §6.2) — ensemble diversity source for EU separation.
+
+The paper (§VIII) argues architecture+hyperparameter diversity (AutoDEUQ)
+sharpens the epistemic signal versus seed-only ensembles.  We measure the
+EU contrast between truly-novel (OoD) and in-distribution test jobs for
+both diversity modes.
+"""
+
+import numpy as np
+
+from repro.ml.ensemble import DeepEnsemble
+from repro.viz import format_table
+
+from conftest import record
+
+
+def test_ablation_ensemble_diversity(benchmark, theta):
+    ds = theta.dataset
+    train, val, test = theta.splits
+    fit_idx = np.concatenate([train, val])
+    truth = ds.meta["is_ood"][test]
+    if truth.sum() < 3:
+        import pytest
+
+        pytest.skip("too few OoD jobs in the test split at this scale")
+
+    def run():
+        out = {}
+        for mode in ("seed", "arch"):
+            ens = DeepEnsemble(n_members=4, diversity=mode, epochs=18, random_state=0)
+            ens.fit(theta.X_app[fit_idx], ds.y[fit_idx])
+            eu = ens.decompose(theta.X_app[test]).epistemic_std
+            contrast = float(np.median(eu[truth]) / max(np.median(eu[~truth]), 1e-9))
+            out[mode] = contrast
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        "ablation_ensemble_diversity",
+        format_table(
+            ["diversity", "EU contrast (OoD / in-dist medians)"],
+            [[k, f"{v:.2f}x"] for k, v in res.items()],
+            title="Ablation — ensemble diversity source (Theta)",
+        ),
+    )
+    # Both modes must separate truly novel jobs from in-distribution ones.
+    # At simulated scale the seed-only ensemble often already saturates the
+    # EU signal (members share one architecture, so any disagreement is
+    # novelty); architecture diversity adds in-distribution disagreement
+    # too, so we do not assert arch > seed — only that each mode works.
+    assert res["arch"] > 1.3
+    assert res["seed"] > 1.3

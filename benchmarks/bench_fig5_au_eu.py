@@ -1,0 +1,73 @@
+"""Fig. 5 + §VIII — aleatory/epistemic uncertainty distributions and OoD.
+
+Paper: on both systems the test-set AU dominates EU, every job has AU above
+a floor (~0.05), half of the total error sits below EU ≈ 0.04, and tagging
+the high-EU tail (threshold 0.24 on Theta) removes 0.7 % of jobs carrying
+2.4 % of the error — 3x the average (Cori: 2.1 %).  We regenerate the
+distribution statistics and the OoD attribution for both platforms.
+"""
+
+import numpy as np
+
+from repro.taxonomy import ood_attribution
+from repro.viz import format_table
+
+from conftest import OOD_QUANTILE, record
+
+
+def _panel(art, ensemble, label):
+    _, _, test = art.splits
+    ds = art.dataset
+    decomp = ensemble.decompose(art.X_app[test])
+    ood = ood_attribution(decomp, ds.y[test], pred_dex=art.tuned.predict(art.X_app[test]),
+                          quantile=OOD_QUANTILE)
+    au, eu = decomp.aleatory_std, decomp.epistemic_std
+    abs_err = np.abs(ds.y[test] - decomp.mean)
+    order = np.argsort(eu)
+    cum = np.cumsum(abs_err[order]) / abs_err.sum()
+    eu_at_half_error = eu[order][np.searchsorted(cum, 0.5)]
+    truth = ds.meta["is_ood"][test]
+    tagged_truth_rate = float(truth[ood.is_ood].mean()) if ood.is_ood.any() else 0.0
+    return {
+        "au_median": float(np.median(au)),
+        "eu_median": float(np.median(eu)),
+        "au_floor_p5": float(np.percentile(au, 5)),
+        "eu_at_half_error": float(eu_at_half_error),
+        "ood_fraction": ood.ood_fraction,
+        "ood_error_share": ood.error_share,
+        "ood_enrichment": ood.enrichment,
+        "tagged_truth_rate": tagged_truth_rate,
+        "label": label,
+    }
+
+
+def test_fig5_au_eu_and_ood(benchmark, theta, cori, theta_ensemble, cori_ensemble):
+    panels = benchmark.pedantic(
+        lambda: [_panel(theta, theta_ensemble, "theta"), _panel(cori, cori_ensemble, "cori")],
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for p in panels:
+        rows += [
+            [f"{p['label']} median AU (dex)", "AU >> EU", f"{p['au_median']:.3f}"],
+            [f"{p['label']} median EU (dex)", "small in-dist", f"{p['eu_median']:.3f}"],
+            [f"{p['label']} AU floor (p5)", "~0.05", f"{p['au_floor_p5']:.3f}"],
+            [f"{p['label']} EU at 50% cum err", "~0.04", f"{p['eu_at_half_error']:.3f}"],
+            [f"{p['label']} OoD job fraction", "0.7% (Theta)", f"{p['ood_fraction'] * 100:.2f}%"],
+            [f"{p['label']} OoD error share", "2.4% / 2.1%", f"{p['ood_error_share'] * 100:.2f}%"],
+            [f"{p['label']} OoD enrichment", "~3x", f"{p['ood_enrichment']:.1f}x"],
+            [f"{p['label']} tagged truly-novel rate", "-", f"{p['tagged_truth_rate'] * 100:.0f}%"],
+        ]
+    record(
+        "fig5_au_eu",
+        format_table(["quantity", "paper", "measured"], rows,
+                     title="Fig 5 + §VIII — uncertainty decomposition and OoD attribution"),
+    )
+
+    for p in panels:
+        assert p["au_median"] > p["eu_median"], f"{p['label']}: AU must dominate EU in-distribution"
+        assert p["ood_error_share"] > p["ood_fraction"], "tagged jobs must be error-enriched"
+        assert p["ood_enrichment"] > 1.1
+    # the strong (~3x) enrichment of §VIII shows on the quieter platform;
+    # Cori's heavier ambient error tail dilutes the relative enrichment
+    assert panels[0]["ood_enrichment"] > 2.0

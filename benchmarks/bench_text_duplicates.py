@@ -1,0 +1,39 @@
+"""§VI.A text numbers — the duplicate census and application bound.
+
+Paper: Theta — 19010 duplicates (23.5 % of the dataset) over 3509 sets,
+bound 10.01 %; Cori — 504920 duplicates (54 %) over 77390 sets, bound
+14.15 %.  Absolute counts scale with dataset size; the fractions, mean set
+size, and bounds are the scale-free anchors we reproduce.
+"""
+
+from repro.taxonomy import application_bound
+from repro.viz import format_table
+
+from conftest import record
+
+
+def test_text_duplicate_census(benchmark, theta, cori):
+    def census():
+        return (
+            application_bound(theta.dataset.frames["posix"], theta.dataset.y, dups=theta.dups),
+            application_bound(cori.dataset.frames["posix"], cori.dataset.y, dups=cori.dups),
+        )
+
+    b_theta, b_cori = benchmark.pedantic(census, rounds=1, iterations=1)
+
+    rows = [
+        ["Theta duplicate fraction", "23.5%", f"{b_theta.duplicate_fraction * 100:.1f}%"],
+        ["Theta sets", "3509 (of 100K jobs)", f"{b_theta.n_sets} (of {len(theta.dataset)} jobs)"],
+        ["Theta mean set size", "5.4", f"{b_theta.n_duplicates / b_theta.n_sets:.1f}"],
+        ["Theta app bound", "10.01%", f"{b_theta.median_abs_pct:.2f}%"],
+        ["Cori duplicate fraction", "54%", f"{b_cori.duplicate_fraction * 100:.1f}%"],
+        ["Cori sets", "77390 (of 1.1M jobs)", f"{b_cori.n_sets} (of {len(cori.dataset)} jobs)"],
+        ["Cori mean set size", "6.5", f"{b_cori.n_duplicates / b_cori.n_sets:.1f}"],
+        ["Cori app bound", "14.15%", f"{b_cori.median_abs_pct:.2f}%"],
+    ]
+    record("text_duplicates", format_table(["quantity", "paper", "measured"], rows,
+                                           title="§VI.A — duplicate census"))
+
+    assert 0.18 <= b_theta.duplicate_fraction <= 0.33
+    assert 0.45 <= b_cori.duplicate_fraction <= 0.65
+    assert b_cori.median_abs_pct > b_theta.median_abs_pct

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Fig. 1b as a tool: which applications suffer most from contention?
+
+Compares per-application throughput spread across near-concurrent duplicate
+runs (shared weather, different neighbours) and relates it to the simulated
+platform's ground-truth sensitivity — the paper's observation that "some
+applications are more sensitive to contention than others".
+
+Run:  python examples/contention_study.py
+"""
+
+import numpy as np
+
+from repro import build_dataset, preset
+from repro.data import concurrent_subsets, find_duplicate_sets
+from repro.ml.metrics import dex_to_pct
+from repro.simulator.applications import FAMILIES, family_index
+from repro.taxonomy.tdist import pooled_residuals
+from repro.viz import format_table
+
+
+def main() -> None:
+    dataset = build_dataset(preset("theta", n_jobs=10000))
+    dups = find_duplicate_sets(dataset.frames["posix"])
+    subsets = concurrent_subsets(dups, dataset.start_time, window=3600.0)
+    print(f"{len(subsets)} near-concurrent duplicate sets "
+          f"({sum(len(s) for s in subsets)} jobs)")
+
+    rows = []
+    for name, family in FAMILIES.items():
+        fid = family_index(name)
+        members = [s[dataset.meta["family_id"][s] == fid] for s in subsets]
+        members = [m for m in members if m.size >= 2]
+        resid = pooled_residuals(dataset.y, members)
+        if resid.size < 8:
+            continue
+        rows.append(
+            [name, f"±{dex_to_pct(np.percentile(np.abs(resid), 75)):.1f}%",
+             f"{family.sensitivity_base:.2f}", int(resid.size)]
+        )
+    rows.sort(key=lambda r: -float(r[1][1:-1]))
+    print(format_table(
+        ["application", "concurrent dup spread (p75)", "true sensitivity", "samples"],
+        rows, title="\nContention sensitivity by application:",
+    ))
+    print("\nReading: spread should track the (normally unobservable) sensitivity "
+          "column — the simulator lets us check the paper's interpretation.")
+
+
+if __name__ == "__main__":
+    main()

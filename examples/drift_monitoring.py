@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Deployment-time monitoring: drift, novelty, and when to retrain.
+
+The paper's Fig. 1d shows model error spiking once evaluation leaves the
+training time span; ref [5] (Madireddy et al.) treats this as a concept-
+drift problem.  This example assembles a monitoring stack a production
+deployment would run, from parts of this library:
+
+* PSI feature drift  — population-level shift of the incoming job stream;
+* ensemble EU        — per-job novelty (the §VIII litmus test);
+* kNN distance       — a model-free second opinion on novelty;
+* rolling error      — the ground truth a site only sees in hindsight.
+
+Run:  python examples/drift_monitoring.py
+"""
+
+import numpy as np
+
+from repro import build_dataset, feature_matrix, preset
+from repro.data import temporal_split
+from repro.ml import GradientBoostingRegressor, knn_novelty, median_abs_pct_error
+from repro.ml.ensemble import DeepEnsemble
+from repro.stats import DriftMonitor
+from repro.viz import format_table
+
+
+def main() -> None:
+    dataset = build_dataset(preset("theta", n_jobs=6000))
+    X, names = feature_matrix(dataset, "posix")
+    y = dataset.y
+
+    # deploy at 70 % of the span: everything after is "production traffic"
+    train, future = temporal_split(dataset.start_time, cutoff_frac=0.7)
+    model = GradientBoostingRegressor(n_estimators=300, max_depth=8).fit(X[train], y[train])
+    ensemble = DeepEnsemble(n_members=4, diversity="arch", epochs=30, random_state=0)
+    ensemble.fit(X[train], y[train])
+    monitor = DriftMonitor().fit(np.log10(1.0 + np.abs(X[train])), names=names)
+
+    # score production traffic in monthly windows
+    t = dataset.start_time[future]
+    edges = np.linspace(t.min(), t.max() + 1.0, 7)
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        idx = future[(t >= lo) & (t < hi)]
+        if idx.size < 30:
+            continue
+        err = median_abs_pct_error(y[idx], model.predict(X[idx]))
+        psi = monitor.score(np.log10(1.0 + np.abs(X[idx])))
+        eu = ensemble.decompose(X[idx]).epistemic_std
+        novelty = knn_novelty(X[train], X[idx], k=10)
+        rows.append([
+            f"{(lo - dataset.start_time.min()) / 86400:.0f}d",
+            idx.size,
+            f"{err:.1f}%",
+            psi.n_drifted,
+            f"{np.median(eu):.3f}",
+            f"{(eu > np.quantile(eu, 0.99)).sum()}",
+            f"{np.median(novelty):.1f}",
+        ])
+    print(format_table(
+        ["window", "jobs", "model err", "drifted feats", "median EU", "EU alerts", "kNN dist"],
+        rows,
+        title="Production monitoring windows (post-deployment)"))
+
+    print("\nreading the table:")
+    print("  * 'model err' is only measurable after the fact (needs ground truth);")
+    print("  * PSI + EU + kNN are computable the moment a job arrives —")
+    print("    they are the leading indicators a site can act on;")
+    print("  * windows where EU alerts cluster are §VIII's novel applications;")
+    print("    persistent PSI drift says the whole workload moved — retrain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a platform, train a model, run one litmus test.
+
+Generates a small ALCF-Theta-like dataset, trains the default-configuration
+gradient boosting model on the Darshan POSIX features, and compares its
+test error with the duplicate-job lower bound (§VI.A of the paper).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TaxonomyPipeline, build_dataset, feature_matrix, preset
+from repro.data import find_duplicate_sets, train_val_test_split
+from repro.ml import GradientBoostingRegressor, median_abs_pct_error
+from repro.taxonomy import application_bound
+
+
+def main() -> None:
+    # 1. simulate a platform and render its telemetry
+    config = preset("theta", n_jobs=4000)
+    dataset = build_dataset(config)
+    print(f"simulated {len(dataset)} jobs; telemetry sources: {dataset.sources}")
+
+    # 2. train an I/O throughput model on application (POSIX) features
+    X, names = feature_matrix(dataset, "posix")
+    train, val, test = train_val_test_split(len(dataset), rng=0)
+    model = GradientBoostingRegressor(n_estimators=300, max_depth=8, learning_rate=0.07)
+    model.fit(X[train], dataset.y[train])
+    err = median_abs_pct_error(dataset.y[test], model.predict(X[test]))
+    print(f"model test error: {err:.2f}% median absolute")
+
+    # 3. the duplicate-job litmus test: how good could ANY model get?
+    dups = find_duplicate_sets(dataset.frames["posix"])
+    bound = application_bound(dataset.frames["posix"], dataset.y, dups=dups)
+    print(
+        f"duplicate bound:  {bound.median_abs_pct:.2f}% "
+        f"({bound.n_duplicates} duplicates in {bound.n_sets} sets, "
+        f"{bound.duplicate_fraction * 100:.1f}% of the dataset)"
+    )
+    gap = err - bound.median_abs_pct
+    print(f"=> application-modeling error (removable by tuning): {max(gap, 0):.2f} points")
+
+    # 4. top features the model actually uses
+    imp = model.feature_importances()
+    top = sorted(zip(imp, names), reverse=True)[:5]
+    print("top features:", ", ".join(f"{n} ({v * 100:.1f}%)" for v, n in top))
+
+
+if __name__ == "__main__":
+    main()

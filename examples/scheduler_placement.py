@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Why contention is idiosyncratic: a scheduler + striping walkthrough.
+
+The paper's §IX attributes a large error share to contention that "cannot
+be predicted or modeled without knowledge of all jobs running on the
+system".  This example makes that concrete with the scheduler substrate:
+
+1. schedule the same job trace on a dragonfly machine under three
+   placement policies (FCFS + EASY backfill);
+2. stripe every running job over Lustre OSTs;
+3. measure, for pairs of *identical* jobs submitted together, how
+   differently their OST neighbourhoods are loaded.
+
+The punchline mirrors the paper: even with a deterministic scheduler and
+full knowledge of the queue, stripe placement makes twin jobs see different
+neighbour traffic — the unobservable ζl component.
+
+Run:  python examples/scheduler_placement.py
+"""
+
+import numpy as np
+
+from repro.scheduler import (
+    BatchScheduler,
+    Dragonfly,
+    OstStriper,
+    PlacementPolicy,
+    ost_overlap_matrix,
+)
+from repro.viz import format_table
+
+
+def make_trace(n_jobs: int, rng: np.random.Generator, n_nodes: int):
+    """A bursty trace with duplicate pairs submitted back-to-back."""
+    submit = np.sort(rng.uniform(0.0, 12 * 3600.0, n_jobs))
+    nodes = np.minimum(rng.geometric(0.03, n_jobs), n_nodes // 3)
+    wall = rng.lognormal(7.3, 0.9, n_jobs)
+    # make the last 20 % of jobs exact twins of earlier ones, submitted
+    # one second after their sibling (the Δt=0 duplicate structure of §IX)
+    n_twin = n_jobs // 5
+    twin_of = rng.integers(0, n_jobs - n_twin, n_twin)
+    submit[-n_twin:] = submit[twin_of] + 1.0
+    nodes[-n_twin:] = nodes[twin_of]
+    wall[-n_twin:] = wall[twin_of]
+    order = np.argsort(submit)
+    return submit[order], nodes[order], wall[order]
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    topo = Dragonfly(n_groups=8, routers_per_group=12, nodes_per_router=4)
+    print(f"machine: dragonfly, {topo.n_groups} groups, {topo.n_nodes} nodes, "
+          f"diameter {topo.diameter()} hops")
+
+    submit, nodes, wall = make_trace(300, rng, topo.n_nodes)
+
+    rows = []
+    for policy in ("contiguous", "cluster", "random"):
+        sched = BatchScheduler(PlacementPolicy(topo, policy, seed=1))
+        jobs, stats = sched.run(submit, nodes, wall)
+        locality = np.array([j.locality for j in jobs])
+        rows.append([
+            policy,
+            f"{stats.mean_wait:.0f}s",
+            f"{stats.backfill_share:.0%}",
+            f"{np.mean(locality):.2f}",
+            f"{np.std(locality):.2f}",
+        ])
+    print(format_table(
+        ["placement", "mean wait", "backfilled", "mean hops", "hop spread"],
+        rows,
+        title="\nScheduling the same trace under three placement policies"))
+
+    # --- OST striping: twin jobs, different neighbourhoods -------------- #
+    striper = OstStriper(n_ost=56, policy="roundrobin")
+    concurrent = [striper.assign(8) for _ in range(12)]  # a busy instant
+    twins = [striper.assign(8), striper.assign(8)]       # identical twin jobs
+    M = ost_overlap_matrix(concurrent + twins, 56)
+    twin_a, twin_b = len(concurrent), len(concurrent) + 1
+    neigh_a = M[twin_a, :len(concurrent)].sum()
+    neigh_b = M[twin_b, :len(concurrent)].sum()
+    print("\nOST neighbourhoods of two identical jobs submitted together:")
+    print(f"  twin A total stripe overlap with running jobs: {neigh_a:.2f}")
+    print(f"  twin B total stripe overlap with running jobs: {neigh_b:.2f}")
+    print("  -> same code, same inputs, same instant, different contention —")
+    print("     the ζl term no log can predict (paper §IX), and the reason the")
+    print("     simulator models placement luck as an irreducible random factor.")
+
+
+if __name__ == "__main__":
+    main()

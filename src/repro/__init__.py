@@ -1,0 +1,41 @@
+"""repro — reproduction of *A Taxonomy of Error Sources in HPC I/O Machine
+Learning Models* (SC 2022).
+
+Quickstart::
+
+    from repro import preset, build_dataset, TaxonomyPipeline
+    from repro.taxonomy.report import render_breakdown
+
+    dataset = build_dataset(preset("theta", n_jobs=4000))
+    report = TaxonomyPipeline().run(dataset)
+    print(render_breakdown(report.breakdown))
+
+Layers (bottom-up): :mod:`repro.scheduler` (batch system: topologies,
+EASY backfill, placement, OST striping), :mod:`repro.simulator` (the
+data-generating process), :mod:`repro.telemetry` (Darshan/MPI-IO/Cobalt/LMT
+views + darshan-parser text round-trip), :mod:`repro.data` (datasets,
+splits, duplicates), :mod:`repro.ml` (from-scratch GBM/forest/linear/kNN/
+NN/ensembles/NAS/explainability), :mod:`repro.cluster` (workload
+clustering), :mod:`repro.stats` (bootstrap/weighted/drift), and
+:mod:`repro.taxonomy` (the litmus tests and framework).  ``repro.cli``
+exposes all of it as the ``repro`` command.
+"""
+
+from repro.config import SimulationConfig, cori_config, preset, theta_config
+from repro.data import Dataset, build_dataset, feature_matrix
+from repro.simulator import simulate
+from repro.taxonomy import TaxonomyPipeline
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "SimulationConfig",
+    "preset",
+    "theta_config",
+    "cori_config",
+    "simulate",
+    "Dataset",
+    "build_dataset",
+    "feature_matrix",
+    "TaxonomyPipeline",
+]

@@ -1,0 +1,31 @@
+"""Workload clustering — the paper's other automation track (§II).
+
+The related-work section splits ML-for-I/O into (1) clustering job logs to
+understand workload structure (Gauge [8], Taxonomist [9], Isakov et al.
+[2]) and (2) throughput modeling.  This subpackage provides track (1) over
+the same telemetry frames the models consume:
+
+* :mod:`repro.cluster.kmeans`   — k-means with k-means++ seeding
+* :mod:`repro.cluster.dbscan`   — density clustering (finds the duplicate
+  clumps and leaves novel jobs unassigned — a third OoD lens)
+* :mod:`repro.cluster.agglomerative` — average-linkage hierarchy over a
+  subsample, Gauge's dendrogram view
+* :mod:`repro.cluster.metrics`  — silhouette / Davies-Bouldin validation
+* :mod:`repro.cluster.workload` — end-to-end job-log clustering reports
+"""
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.dbscan import DBSCAN
+from repro.cluster.kmeans import KMeans
+from repro.cluster.metrics import davies_bouldin_index, silhouette_score
+from repro.cluster.workload import ClusterReport, cluster_workload
+
+__all__ = [
+    "KMeans",
+    "DBSCAN",
+    "AgglomerativeClustering",
+    "silhouette_score",
+    "davies_bouldin_index",
+    "ClusterReport",
+    "cluster_workload",
+]

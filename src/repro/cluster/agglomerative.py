@@ -1,0 +1,95 @@
+"""Agglomerative (average-linkage) clustering over a subsample.
+
+Gauge [8] — the paper authors' interactive clustering tool — presents HPC
+jobs as a dendrogram cut at an adjustable height.  This is the same
+construction: hierarchical merging with average linkage, implemented with
+the Lance-Williams update on a dense distance matrix.  O(n³) worst case,
+so ``fit`` enforces a sample cap; Gauge itself clusters subsamples too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+
+__all__ = ["AgglomerativeClustering"]
+
+
+class AgglomerativeClustering(BaseEstimator):
+    """Bottom-up average-linkage hierarchy.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of flat clusters to cut the dendrogram into.
+    max_samples:
+        Hard cap on input size (the dense matrix is O(n²) memory).
+
+    Attributes
+    ----------
+    labels_:
+        Flat cluster assignment per row.
+    merge_heights_:
+        Linkage distance of each of the n−1 merges, in merge order — the
+        dendrogram's height profile (long flat stretches followed by jumps
+        betray strong cluster structure).
+    """
+
+    def __init__(self, n_clusters: int = 8, max_samples: int = 2000):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = int(n_clusters)
+        self.max_samples = int(max_samples)
+        self.labels_: np.ndarray | None = None
+        self.merge_heights_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "AgglomerativeClustering":
+        X = np.asarray(X, dtype=float)
+        n = X.shape[0]
+        if n > self.max_samples:
+            raise ValueError(
+                f"{n} samples exceeds max_samples={self.max_samples}; "
+                "subsample first (dense O(n²) distance matrix)"
+            )
+        if n < self.n_clusters:
+            raise ValueError("fewer samples than clusters")
+
+        sq = (X**2).sum(axis=1)
+        D = np.sqrt(np.maximum(sq[:, None] - 2.0 * (X @ X.T) + sq[None, :], 0.0))
+        np.fill_diagonal(D, np.inf)
+
+        # each row is a live cluster; `size` tracks member counts,
+        # `members` maps live cluster -> original row indices
+        size = np.ones(n)
+        alive = np.ones(n, dtype=bool)
+        members: list[list[int]] = [[i] for i in range(n)]
+        heights: list[float] = []
+
+        for _merge in range(n - self.n_clusters):
+            # closest live pair
+            flat = np.argmin(D)
+            i, j = divmod(int(flat), n)
+            heights.append(float(D[i, j]))
+            # Lance-Williams average-linkage update into row/col i
+            ni, nj = size[i], size[j]
+            new_row = (ni * D[i] + nj * D[j]) / (ni + nj)
+            D[i] = new_row
+            D[:, i] = new_row
+            D[i, i] = np.inf
+            D[j] = np.inf
+            D[:, j] = np.inf
+            size[i] = ni + nj
+            alive[j] = False
+            members[i].extend(members[j])
+            members[j] = []
+
+        labels = np.empty(n, dtype=np.int64)
+        for cid, rows in enumerate([m for m, a in zip(members, alive) if a]):
+            labels[rows] = cid
+        self.labels_ = labels
+        self.merge_heights_ = np.asarray(heights)
+        return self
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).labels_

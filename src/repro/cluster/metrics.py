@@ -1,0 +1,81 @@
+"""Internal cluster-validation indices (no ground truth required)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import generator_from
+
+__all__ = ["silhouette_score", "davies_bouldin_index"]
+
+
+def _sq_dists(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    sq = (A**2).sum(axis=1)[:, None] - 2.0 * (A @ B.T) + (B**2).sum(axis=1)[None, :]
+    return np.maximum(sq, 0.0)
+
+
+def silhouette_score(
+    X: np.ndarray,
+    labels: np.ndarray,
+    sample: int = 1500,
+    random_state: int = 0,
+) -> float:
+    """Mean silhouette over (a sample of) the clustered points.
+
+    ``s = (b − a) / max(a, b)`` with ``a`` the mean distance to own-cluster
+    points and ``b`` the smallest mean distance to another cluster.  Noise
+    points (label −1, from DBSCAN) are excluded.  Returns 0.0 when fewer
+    than two clusters survive — the score is undefined there, and 0 is the
+    "no structure" fixed point.
+    """
+    X = np.asarray(X, dtype=float)
+    labels = np.asarray(labels)
+    keep = labels >= 0
+    X, labels = X[keep], labels[keep]
+    uniq = np.unique(labels)
+    if uniq.size < 2 or X.shape[0] < 3:
+        return 0.0
+
+    rng = generator_from(random_state)
+    idx = np.arange(X.shape[0])
+    if idx.size > sample:
+        idx = rng.choice(idx, sample, replace=False)
+
+    D = np.sqrt(_sq_dists(X[idx], X))
+    scores = np.empty(idx.size)
+    for row, i in enumerate(idx):
+        own = labels == labels[i]
+        own_count = own.sum()
+        if own_count <= 1:
+            scores[row] = 0.0  # singleton clusters contribute 0 by convention
+            continue
+        a = (D[row, own].sum() - 0.0) / (own_count - 1)  # excludes self (distance 0)
+        b = np.inf
+        for c in uniq:
+            if c == labels[i]:
+                continue
+            other = labels == c
+            b = min(b, float(D[row, other].mean()))
+        scores[row] = (b - a) / max(a, b, 1e-12)
+    return float(scores.mean())
+
+
+def davies_bouldin_index(X: np.ndarray, labels: np.ndarray) -> float:
+    """Davies-Bouldin index (lower is better); noise points excluded."""
+    X = np.asarray(X, dtype=float)
+    labels = np.asarray(labels)
+    keep = labels >= 0
+    X, labels = X[keep], labels[keep]
+    uniq = np.unique(labels)
+    if uniq.size < 2:
+        return 0.0
+
+    centroids = np.stack([X[labels == c].mean(axis=0) for c in uniq])
+    spreads = np.array(
+        [np.sqrt(((X[labels == c] - centroids[k]) ** 2).sum(axis=1)).mean()
+         for k, c in enumerate(uniq)]
+    )
+    D = np.sqrt(_sq_dists(centroids, centroids))
+    np.fill_diagonal(D, np.inf)
+    ratios = (spreads[:, None] + spreads[None, :]) / D
+    return float(np.max(ratios, axis=1).mean())

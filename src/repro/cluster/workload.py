@@ -1,0 +1,131 @@
+"""End-to-end workload clustering reports (the Gauge [8] use case).
+
+``cluster_workload`` takes a :class:`~repro.data.dataset.Dataset`, embeds
+the chosen telemetry frame (signed-log + z-score, the same preprocessing
+the models see), clusters it, and summarizes each cluster the way an I/O
+expert would triage it: how many jobs, which application families, what
+I/O volume and throughput, and — when a fitted model is supplied — the
+model's median error *per cluster*, which localizes where a model
+underperforms (the "scaling I/O expert effort" motivation of §II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.data.dataset import Dataset
+from repro.data.features import feature_matrix
+from repro.data.preprocessing import Standardizer
+from repro.ml.metrics import median_abs_pct_error
+from repro.simulator.applications import family_names
+
+__all__ = ["ClusterSummary", "ClusterReport", "cluster_workload"]
+
+
+@dataclass
+class ClusterSummary:
+    """Expert-triage view of one job cluster."""
+
+    cluster_id: int
+    n_jobs: int
+    job_share: float
+    dominant_family: str
+    family_purity: float            # share of jobs from the dominant family
+    median_gib: float
+    median_throughput_mibps: float
+    duplicate_share: float          # jobs whose variant repeats inside the cluster
+    model_error_pct: float | None   # median |error| of the supplied model, if any
+
+
+@dataclass
+class ClusterReport:
+    """All clusters of one dataset plus global diagnostics."""
+
+    dataset: str
+    feature_set: str
+    n_clusters: int
+    labels: np.ndarray
+    summaries: list[ClusterSummary] = field(default_factory=list)
+
+    def worst_modeled(self, k: int = 3) -> list[ClusterSummary]:
+        """Clusters with the highest model error (requires a model)."""
+        scored = [s for s in self.summaries if s.model_error_pct is not None]
+        return sorted(scored, key=lambda s: -s.model_error_pct)[:k]
+
+    def largest(self, k: int = 3) -> list[ClusterSummary]:
+        return sorted(self.summaries, key=lambda s: -s.n_jobs)[:k]
+
+
+def cluster_workload(
+    dataset: Dataset,
+    feature_set: str = "posix",
+    n_clusters: int = 12,
+    model=None,
+    model_X: np.ndarray | None = None,
+    random_state: int = 0,
+) -> ClusterReport:
+    """Cluster a job log and summarize each cluster.
+
+    Parameters
+    ----------
+    dataset:
+        The telemetry dataset to cluster.
+    feature_set:
+        Which frame(s) to embed (see :data:`repro.data.features.FEATURE_SETS`).
+    n_clusters:
+        k for the k-means backbone.
+    model, model_X:
+        Optional fitted estimator and its design matrix (row-aligned with
+        the dataset); enables the per-cluster error column.
+    """
+    X, _ = feature_matrix(dataset, feature_set)
+    Z = Standardizer().fit_transform(X)
+    km = KMeans(n_clusters=n_clusters, random_state=random_state).fit(Z)
+    labels = km.labels_
+
+    names = family_names()
+    fam = dataset.meta["family_id"]
+    var = dataset.meta["variant_id"]
+    gib = dataset.meta["total_bytes"] / 1024.0**3
+    pred = None
+    if model is not None:
+        if model_X is None:
+            raise ValueError("model_X is required when a model is supplied")
+        pred = np.asarray(model.predict(model_X), dtype=float)
+
+    summaries: list[ClusterSummary] = []
+    n = len(dataset)
+    for cid in range(n_clusters):
+        rows = np.flatnonzero(labels == cid)
+        if rows.size == 0:
+            continue
+        fam_counts = np.bincount(fam[rows], minlength=len(names))
+        dom = int(fam_counts.argmax())
+        _, var_counts = np.unique(var[rows], return_counts=True)
+        dup_share = float(var_counts[var_counts >= 2].sum() / rows.size)
+        err = None
+        if pred is not None:
+            err = median_abs_pct_error(dataset.y[rows], pred[rows])
+        summaries.append(
+            ClusterSummary(
+                cluster_id=cid,
+                n_jobs=int(rows.size),
+                job_share=float(rows.size / n),
+                dominant_family=names[dom],
+                family_purity=float(fam_counts[dom] / rows.size),
+                median_gib=float(np.median(gib[rows])),
+                median_throughput_mibps=float(np.median(10.0 ** dataset.y[rows])),
+                duplicate_share=dup_share,
+                model_error_pct=err,
+            )
+        )
+    return ClusterReport(
+        dataset=dataset.name,
+        feature_set=feature_set,
+        n_clusters=n_clusters,
+        labels=labels,
+        summaries=summaries,
+    )

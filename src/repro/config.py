@@ -1,0 +1,238 @@
+"""Configuration dataclasses and platform presets.
+
+Two leadership-class platforms are modelled after the paper's testbeds:
+
+* ``theta``  — ALCF Theta:  Lustre ``theta-fs0``-like store, Darshan + Cobalt
+  logs, 2017-2020 span, ~100K jobs >1 GiB in the paper.
+* ``cori``   — NERSC Cori:  Lustre ``cscratch``-like store, Darshan + LMT
+  logs, 2018-2019 span, ~1.1M jobs >1 GiB in the paper.
+
+The *calibration* fields (noise/contention/weather amplitudes, duplicate
+intensities) are chosen so the litmus-test statistics land near the paper's
+reported values; see DESIGN.md §5 for the mapping.  All magnitudes are in
+"dex" (decimal exponent): 0.0241 dex ≈ ±5.71 % relative throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "PlatformConfig",
+    "WeatherConfig",
+    "WorkloadConfig",
+    "SimulationConfig",
+    "theta_config",
+    "cori_config",
+    "preset",
+    "PRESETS",
+]
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Static description of the storage platform plus noise/contention scales."""
+
+    name: str = "theta"
+    # --- storage hardware -------------------------------------------------
+    n_oss: int = 56                 # object storage servers
+    n_ost: int = 56                 # object storage targets
+    n_mds: int = 1                  # metadata servers
+    peak_write_mibps: float = 160_000.0   # aggregate peak write bandwidth (MiB/s)
+    peak_read_mibps: float = 200_000.0    # aggregate peak read bandwidth (MiB/s)
+    per_proc_mibps: float = 450.0   # single-process streaming ceiling (MiB/s)
+    latency_bytes: float = 262_144.0      # transfer size at 50 % efficiency
+    metadata_cost: float = 9e-4     # seconds per metadata op (effective)
+    shared_write_penalty: float = 0.055   # N-1 shared-file lock contention strength
+    random_access_penalty: float = 0.45   # max slowdown fraction for fully random I/O
+    stripe_width: int = 8           # default stripe count for shared files
+    cores_per_node: int = 64
+    # --- stochastic components (dex = log10 units) ------------------------
+    noise_sigma: float = 0.0170     # fn: inherent noise std
+    noise_heavy_tail_frac: float = 0.02   # fraction of 4x-sigma outliers
+    contention_scale: float = 0.028  # ζl: dex of slowdown per unit (load × sensitivity)
+    # Placement luck dominates contention: a job's slowdown depends on the
+    # load of the specific OSTs/neighbours it lands on, which system-wide
+    # server aggregates (LMT) barely resolve — the paper's finding that
+    # LMT-enriched models only recover the *global* (time-predictable)
+    # component (§VII.B).  A large lognormal σ keeps ζl mostly idiosyncratic.
+    placement_sigma: float = 1.00   # idiosyncratic (unpredictable) placement lognormal σ
+    # --- telemetry available on the platform ------------------------------
+    has_cobalt: bool = True
+    has_lmt: bool = False
+
+
+@dataclass(frozen=True)
+class WeatherConfig:
+    """Global system state ζg(t): I/O climate (slow) + weather (transient)."""
+
+    epoch_count: int = 4            # software/hardware reconfiguration epochs
+    epoch_sigma: float = 0.030      # dex offset std between epochs
+    degradations_per_year: float = 9.0
+    degradation_depth_min: float = 0.05   # dex
+    degradation_depth_max: float = 0.38   # dex
+    degradation_hours_min: float = 6.0
+    degradation_hours_max: float = 340.0
+    seasonal_amplitude: float = 0.010     # dex, annual cycle
+    aging_slope: float = -0.008     # dex per year, slow performance decay
+    fullness_start: float = 0.38    # filesystem fullness fraction at t=0
+    fullness_slope: float = 0.16    # fullness increase per year (sawtooth w/ purges)
+    fullness_purge_period_days: float = 120.0
+    fullness_penalty: float = 0.11  # dex slowdown at 100 % full vs empty
+    ou_sigma: float = 0.035         # dex, slow Ornstein-Uhlenbeck "weather" wander
+    ou_tau_days: float = 21.0       # OU relaxation time
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Job population: arrival process, duplicate structure, OoD injection."""
+
+    n_jobs: int = 8_000
+    span_years: float = 3.0
+    start_epoch: float = 1.4832e9   # 2017-01-01 UTC, cosmetic only
+    # application mix: family name -> relative weight (see applications.py)
+    family_weights: dict[str, float] = field(
+        default_factory=lambda: {
+            "ior": 0.05,
+            "hacc": 0.14,
+            "qb": 0.10,
+            "pwx": 0.16,
+            "writer": 0.13,
+            "montage": 0.12,
+            "enzo": 0.14,
+            "cosmoflow": 0.16,
+        }
+    )
+    # duplicate structure -------------------------------------------------
+    duplicate_fraction: float = 0.26      # target fraction of jobs in sets >= 2
+    campaign_sigma_days: float = 110.0     # temporal spread of a variant's reruns
+    batch_prob: float = 0.34              # P(rerun set submitted as a Δt=0 batch)
+    batch_geom_p: float = 0.62            # batch size ~ 2 + Geom(p) ⇒ ~70 % of size 2
+    # sequential chains: back-to-back reruns (parameter sweeps resubmitted as
+    # each job finishes) — these populate the minutes-to-hours Δt decades of
+    # Fig. 1c/6 that batches (Δt=0) and campaigns (days-months) both skip
+    seq_prob: float = 0.24                # P(rerun set is a sequential chain)
+    seq_gap_log_mean: float = 6.6         # ln-seconds; e^6.6 ≈ 12 min median gap
+    seq_gap_log_sigma: float = 1.7        # spans ~30 s to ~4 h
+    set_size_log_mean: float = 1.25       # lognormal duplicate-set size
+    set_size_log_sigma: float = 0.85
+    benchmark_period_days: float = 2.0    # IOR-like health-check cadence
+    # out-of-distribution injection ---------------------------------------
+    ood_fraction: float = 0.035           # fraction of post-cutoff jobs that are novel
+    deployment_cutoff: float = 0.80       # fraction of span after which OoD apps appear
+    # job shape ------------------------------------------------------------
+    compute_time_factor: float = 2.8      # runtime = io_time * (1 + Exp(factor))
+    min_bytes_gib: float = 1.0            # paper keeps jobs with >1 GiB of I/O
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to generate one platform's dataset."""
+
+    platform: PlatformConfig = field(default_factory=PlatformConfig)
+    weather: WeatherConfig = field(default_factory=WeatherConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    seed: int = 2022
+
+    def with_jobs(self, n_jobs: int) -> "SimulationConfig":
+        """Return a copy scaled to ``n_jobs`` (bench-size control)."""
+        return replace(self, workload=replace(self.workload, n_jobs=int(n_jobs)))
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        return replace(self, seed=int(seed))
+
+
+def theta_config(n_jobs: int = 8_000, seed: int = 2022) -> SimulationConfig:
+    """ALCF Theta-like preset (Darshan + Cobalt, no LMT)."""
+    platform = PlatformConfig(
+        name="theta",
+        n_oss=56,
+        n_ost=56,
+        peak_write_mibps=160_000.0,
+        peak_read_mibps=210_000.0,
+        noise_sigma=0.0195,
+        contention_scale=0.026,
+        placement_sigma=1.00,
+        has_cobalt=True,
+        has_lmt=False,
+    )
+    weather = WeatherConfig(
+        degradations_per_year=14.0,
+        ou_sigma=0.068,
+        epoch_sigma=0.030,
+    )
+    workload = WorkloadConfig(
+        n_jobs=n_jobs,
+        span_years=3.0,
+        start_epoch=1.4832e9,       # 2017-01-01
+        duplicate_fraction=0.26,
+        ood_fraction=0.035,
+    )
+    return SimulationConfig(platform=platform, weather=weather, workload=workload, seed=seed)
+
+
+def cori_config(n_jobs: int = 16_000, seed: int = 2022) -> SimulationConfig:
+    """NERSC Cori-like preset (Darshan + LMT, no Cobalt).
+
+    Cori is noisier than Theta in the paper (σ₀ ±7.21 % vs ±5.71 %; all-time
+    duplicate bound 14.15 % vs 10.01 %) and has a much higher duplicate
+    fraction (54 % vs 23.5 %).
+    """
+    platform = PlatformConfig(
+        name="cori",
+        n_oss=248,
+        n_ost=248,
+        peak_write_mibps=700_000.0,
+        peak_read_mibps=740_000.0,
+        per_proc_mibps=500.0,
+        cores_per_node=32,
+        noise_sigma=0.0235,
+        contention_scale=0.028,
+        placement_sigma=1.05,
+        has_cobalt=False,
+        has_lmt=True,
+    )
+    weather = WeatherConfig(
+        degradations_per_year=18.0,
+        degradation_depth_max=0.45,
+        ou_sigma=0.088,
+        epoch_sigma=0.040,
+        fullness_penalty=0.13,
+    )
+    workload = WorkloadConfig(
+        n_jobs=n_jobs,
+        span_years=2.0,
+        start_epoch=1.5148e9,       # 2018-01-01
+        duplicate_fraction=0.56,
+        set_size_log_mean=1.45,
+        set_size_log_sigma=0.95,
+        ood_fraction=0.030,
+        family_weights={
+            "ior": 0.06,
+            "hacc": 0.11,
+            "qb": 0.12,
+            "pwx": 0.15,
+            "writer": 0.12,
+            "montage": 0.13,
+            "enzo": 0.13,
+            "cosmoflow": 0.18,
+        },
+    )
+    return SimulationConfig(platform=platform, weather=weather, workload=workload, seed=seed)
+
+
+PRESETS = {"theta": theta_config, "cori": cori_config}
+
+
+def preset(name: str, n_jobs: int | None = None, seed: int = 2022) -> SimulationConfig:
+    """Look up a platform preset by name (``"theta"`` or ``"cori"``)."""
+    try:
+        factory = PRESETS[name.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown platform preset {name!r}; choose from {sorted(PRESETS)}") from exc
+    if n_jobs is None:
+        return factory(seed=seed)
+    return factory(n_jobs=n_jobs, seed=seed)

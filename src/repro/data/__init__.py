@@ -1,0 +1,23 @@
+"""Dataset plumbing: from simulated platforms to ML-ready matrices."""
+
+from repro.data.dataset import Dataset, build_dataset
+from repro.data.duplicates import DuplicateSets, concurrent_subsets, duplicate_pairs, find_duplicate_sets
+from repro.data.features import FEATURE_SETS, feature_matrix
+from repro.data.preprocessing import Standardizer, signed_log1p
+from repro.data.splits import random_split, temporal_split, train_val_test_split
+
+__all__ = [
+    "Dataset",
+    "build_dataset",
+    "DuplicateSets",
+    "find_duplicate_sets",
+    "concurrent_subsets",
+    "duplicate_pairs",
+    "FEATURE_SETS",
+    "feature_matrix",
+    "Standardizer",
+    "signed_log1p",
+    "random_split",
+    "temporal_split",
+    "train_val_test_split",
+]

@@ -1,0 +1,162 @@
+"""The :class:`Dataset` container and its construction from a simulation.
+
+A dataset bundles, per job:
+
+* telemetry frames (``posix``, ``mpiio``, ``cobalt``, ``lmt`` — whichever
+  the platform collects),
+* the prediction target ``y`` = log10 I/O throughput in MiB/s (Eq. 6 works
+  in log space),
+* metadata used by litmus tests and ground-truth validation (start/end
+  times, duplicate-set ground truth via ``variant_id``, OoD flags, and the
+  true Eq. 3 components).
+
+Only the telemetry frames and ``start_time`` may be fed to models; metadata
+columns are for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import SimulationConfig
+from repro.rng import RngFactory
+from repro.simulator.engine import SimulationResult, simulate
+from repro.simulator.job import LATENT_COLUMNS
+from repro.telemetry import (
+    COBALT_FEATURES,
+    LMT_FEATURES,
+    MPIIO_FEATURES,
+    POSIX_FEATURES,
+    cobalt_features,
+    lmt_features,
+    mpiio_features,
+    posix_features,
+)
+
+__all__ = ["Dataset", "build_dataset"]
+
+_FRAME_NAMES = {
+    "posix": POSIX_FEATURES,
+    "mpiio": MPIIO_FEATURES,
+    "cobalt": COBALT_FEATURES,
+    "lmt": LMT_FEATURES,
+}
+
+
+@dataclass
+class Dataset:
+    """ML-ready view of one simulated platform."""
+
+    name: str
+    frames: dict[str, np.ndarray]
+    y: np.ndarray                       # log10 MiB/s
+    start_time: np.ndarray              # unix seconds
+    end_time: np.ndarray
+    meta: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = self.y.shape[0]
+        for key, frame in self.frames.items():
+            if frame.shape != (n, len(_FRAME_NAMES[key])):
+                raise ValueError(
+                    f"frame {key!r} has shape {frame.shape}, expected ({n}, {len(_FRAME_NAMES[key])})"
+                )
+
+    def __len__(self) -> int:
+        return int(self.y.shape[0])
+
+    @property
+    def sources(self) -> list[str]:
+        return sorted(self.frames)
+
+    def feature_names(self, source: str) -> list[str]:
+        return list(_FRAME_NAMES[source])
+
+    def subset(self, index: np.ndarray) -> "Dataset":
+        """Row subset preserving frames and metadata."""
+        return Dataset(
+            name=self.name,
+            frames={k: v[index] for k, v in self.frames.items()},
+            y=self.y[index],
+            start_time=self.start_time[index],
+            end_time=self.end_time[index],
+            meta={k: v[index] for k, v in self.meta.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        """Persist to a compressed ``.npz`` archive."""
+        payload: dict[str, np.ndarray] = {
+            "y": self.y,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+        }
+        for k, v in self.frames.items():
+            payload[f"frame_{k}"] = v
+        for k, v in self.meta.items():
+            payload[f"meta_{k}"] = v
+        np.savez_compressed(path, name=np.array(self.name), **payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Dataset":
+        with np.load(path, allow_pickle=False) as z:
+            frames = {k[6:]: z[k] for k in z.files if k.startswith("frame_")}
+            meta = {k[5:]: z[k] for k in z.files if k.startswith("meta_")}
+            return cls(
+                name=str(z["name"]),
+                frames=frames,
+                y=z["y"],
+                start_time=z["start_time"],
+                end_time=z["end_time"],
+                meta=meta,
+            )
+
+
+def build_dataset(config: SimulationConfig, sim: SimulationResult | None = None) -> Dataset:
+    """Simulate (unless given) and render all telemetry the platform collects."""
+    if sim is None:
+        sim = simulate(config)
+    jobs = sim.jobs
+    rngs = RngFactory(config.seed)
+
+    latent = {k: getattr(jobs, k) for k in LATENT_COLUMNS}
+    frames: dict[str, np.ndarray] = {
+        "posix": posix_features(latent),
+        "mpiio": mpiio_features(latent),
+    }
+    if config.platform.has_cobalt:
+        frames["cobalt"] = cobalt_features(jobs, rngs.get("cobalt"))
+    if config.platform.has_lmt:
+        frames["lmt"] = lmt_features(
+            jobs,
+            sim.weather,
+            sim.timeline,
+            sim.background,
+            sim.platform,
+            config.workload.start_epoch,
+            rngs.get("lmt"),
+        )
+
+    meta = {
+        "variant_id": jobs.variant_id,
+        "family_id": jobs.family_id,
+        "is_ood": jobs.is_ood,
+        "fa_dex": jobs.fa_dex,
+        "fg_dex": jobs.fg_dex,
+        "fl_dex": jobs.fl_dex,
+        "fn_dex": jobs.fn_dex,
+        "io_time": jobs.io_time,
+        "load_other": jobs.load_other,
+        "total_bytes": jobs.total_bytes,
+    }
+    return Dataset(
+        name=config.platform.name,
+        frames=frames,
+        y=jobs.log_throughput,
+        start_time=jobs.start_time,
+        end_time=jobs.end_time,
+        meta=meta,
+    )

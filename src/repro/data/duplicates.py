@@ -1,0 +1,137 @@
+"""Duplicate-job discovery (paper §VI.A) and Δt pairing utilities (§IX).
+
+Duplicates are found *from the observable features alone* — jobs whose
+POSIX (application-side) feature rows are bit-identical — never from the
+simulator's ground-truth variant ids.  This keeps the litmus tests honest:
+they see exactly what a practitioner analyzing production Darshan logs sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DuplicateSets", "find_duplicate_sets", "concurrent_subsets", "duplicate_pairs"]
+
+
+@dataclass
+class DuplicateSets:
+    """Partition of jobs into duplicate sets of size >= 2.
+
+    ``set_id[j]`` is the set index of job ``j`` or ``-1`` for singletons;
+    ``sets`` lists member-index arrays, one per set.
+    """
+
+    set_id: np.ndarray
+    sets: list[np.ndarray]
+
+    @property
+    def n_sets(self) -> int:
+        return len(self.sets)
+
+    @property
+    def n_duplicates(self) -> int:
+        return int(sum(s.size for s in self.sets))
+
+    def fraction_of(self, n_jobs: int) -> float:
+        """Share of the dataset that belongs to a duplicate set."""
+        return self.n_duplicates / max(1, n_jobs)
+
+    def set_sizes(self) -> np.ndarray:
+        return np.array([s.size for s in self.sets], dtype=np.int64)
+
+
+def _row_groups(X: np.ndarray) -> np.ndarray:
+    """Group id per row such that identical rows share an id."""
+    X = np.ascontiguousarray(X)
+    _, inverse = np.unique(X, axis=0, return_inverse=True)
+    return inverse.reshape(-1)
+
+
+def find_duplicate_sets(features: np.ndarray) -> DuplicateSets:
+    """Group jobs whose feature rows are exactly identical.
+
+    Exact float equality is intentional: Darshan counters are integers and
+    deterministic per rerun; any realized (noisy) quantity in the feature
+    set — e.g. Cobalt end timestamps — correctly destroys duplicate
+    structure, reproducing §VI.C.
+    """
+    inverse = _row_groups(np.asarray(features))
+    order = np.argsort(inverse, kind="stable")
+    sorted_ids = inverse[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    groups = np.split(order, boundaries)
+
+    set_id = np.full(inverse.shape[0], -1, dtype=np.int64)
+    sets: list[np.ndarray] = []
+    for g in groups:
+        if g.size >= 2:
+            set_id[g] = len(sets)
+            sets.append(np.sort(g))
+    return DuplicateSets(set_id=set_id, sets=sets)
+
+
+def concurrent_subsets(
+    dups: DuplicateSets, start_time: np.ndarray, window: float = 1.0
+) -> list[np.ndarray]:
+    """Δt = 0 subsets: duplicate-set members started within ``window`` seconds.
+
+    The paper's §IX litmus test observes duplicates "ran at the same time";
+    batched submissions land within the same second.  Returns subsets of
+    size >= 2 only.
+    """
+    t = np.asarray(start_time, dtype=float)
+    out: list[np.ndarray] = []
+    for members in dups.sets:
+        bucket = np.floor(t[members] / window).astype(np.int64)
+        order = np.argsort(bucket, kind="stable")
+        sorted_b = bucket[order]
+        boundaries = np.flatnonzero(np.diff(sorted_b)) + 1
+        for g in np.split(members[order], boundaries):
+            if g.size >= 2:
+                out.append(np.sort(g))
+    return out
+
+
+def duplicate_pairs(
+    dups: DuplicateSets,
+    start_time: np.ndarray,
+    values: np.ndarray,
+    max_pairs_per_set: int = 2_000,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All (Δt, Δvalue, weight) pairs within duplicate sets (Fig. 1c / Fig. 6).
+
+    Weights are ``1 / n_pairs(set)`` so large sets (periodic benchmarks with
+    hundreds of members) are not over-represented — the paper applies the
+    same reweighting.  Sets whose pair count exceeds ``max_pairs_per_set``
+    are subsampled.
+    """
+    t = np.asarray(start_time, dtype=float)
+    v = np.asarray(values, dtype=float)
+    gen = rng if rng is not None else np.random.default_rng(0)
+
+    dt_parts: list[np.ndarray] = []
+    dv_parts: list[np.ndarray] = []
+    w_parts: list[np.ndarray] = []
+    for members in dups.sets:
+        m = members.size
+        n_pairs = m * (m - 1) // 2
+        if n_pairs <= max_pairs_per_set:
+            ii, jj = np.triu_indices(m, k=1)
+            a, b = members[ii], members[jj]
+        else:
+            a = members[gen.integers(0, m, max_pairs_per_set)]
+            b = members[gen.integers(0, m, max_pairs_per_set)]
+            keep = a != b
+            a, b = a[keep], b[keep]
+        if a.size == 0:
+            continue
+        dt_parts.append(np.abs(t[a] - t[b]))
+        dv_parts.append(v[a] - v[b])
+        w_parts.append(np.full(a.size, 1.0 / a.size))
+    if not dt_parts:
+        empty = np.empty(0)
+        return empty, empty.copy(), empty.copy()
+    return np.concatenate(dt_parts), np.concatenate(dv_parts), np.concatenate(w_parts)

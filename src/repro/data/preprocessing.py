@@ -1,0 +1,57 @@
+"""Feature preprocessing.
+
+Darshan counters span 12+ orders of magnitude (bytes vs flag fields), so the
+standard treatment — also used by the paper's prior work [2] — is a signed
+``log1p`` compression followed by per-column standardization.  Tree/GBM
+models are invariant to these monotone maps; neural networks require them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["signed_log1p", "Standardizer"]
+
+
+def signed_log1p(X: np.ndarray) -> np.ndarray:
+    """``sign(x) * log10(1 + |x|)`` elementwise; safe for all magnitudes."""
+    X = np.asarray(X, dtype=float)
+    return np.sign(X) * np.log10(1.0 + np.abs(X))
+
+
+class Standardizer:
+    """Per-column z-scoring with optional signed-log compression.
+
+    Constant columns are left centred but unscaled (scale forced to 1) so
+    they never produce NaNs.
+    """
+
+    def __init__(self, log_compress: bool = True):
+        self.log_compress = bool(log_compress)
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def _pre(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        return signed_log1p(X) if self.log_compress else X
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        Z = self._pre(X)
+        self.mean_ = Z.mean(axis=0)
+        scale = Z.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Standardizer.transform called before fit")
+        Z = self._pre(X)
+        if Z.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"feature count mismatch: fitted {self.mean_.shape[0]}, got {Z.shape[1]}"
+            )
+        return (Z - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

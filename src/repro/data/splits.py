@@ -1,0 +1,69 @@
+"""Train/validation/test splitting.
+
+Two regimes from the paper:
+
+* **random** splits — estimate in-distribution behaviour (Fig. 1a, Fig. 4,
+  Fig. 5);
+* **temporal** splits — train on everything before a deployment cutoff and
+  evaluate after it, exposing generalization/OoD error (Fig. 1d, §VIII).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import generator_from
+
+__all__ = ["random_split", "temporal_split", "train_val_test_split"]
+
+
+def random_split(
+    n: int, test_frac: float = 0.2, rng: int | np.random.Generator = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffled (train, test) index arrays."""
+    if not 0.0 < test_frac < 1.0:
+        raise ValueError("test_frac must be in (0, 1)")
+    gen = generator_from(rng)
+    perm = gen.permutation(n)
+    n_test = max(1, int(round(test_frac * n)))
+    return np.sort(perm[n_test:]), np.sort(perm[:n_test])
+
+
+def train_val_test_split(
+    n: int,
+    val_frac: float = 0.15,
+    test_frac: float = 0.2,
+    rng: int | np.random.Generator = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled (train, val, test) index arrays."""
+    if val_frac <= 0.0 or test_frac <= 0.0 or val_frac + test_frac >= 1.0:
+        raise ValueError("val_frac and test_frac must be positive and sum below 1")
+    gen = generator_from(rng)
+    perm = gen.permutation(n)
+    n_test = max(1, int(round(test_frac * n)))
+    n_val = max(1, int(round(val_frac * n)))
+    test = perm[:n_test]
+    val = perm[n_test : n_test + n_val]
+    train = perm[n_test + n_val :]
+    return np.sort(train), np.sort(val), np.sort(test)
+
+
+def temporal_split(
+    start_time: np.ndarray, cutoff: float | None = None, cutoff_frac: float = 0.8
+) -> tuple[np.ndarray, np.ndarray]:
+    """(train, deploy) indices split at a wall-clock cutoff.
+
+    ``cutoff`` is an absolute timestamp; when omitted it is placed at the
+    ``cutoff_frac`` quantile of the observed span (not of job count), which
+    matches "trained on data from January 2018 to July 2019, evaluated
+    after" (§VIII).
+    """
+    t = np.asarray(start_time, dtype=float)
+    if cutoff is None:
+        lo, hi = float(t.min()), float(t.max())
+        cutoff = lo + cutoff_frac * (hi - lo)
+    train = np.flatnonzero(t < cutoff)
+    deploy = np.flatnonzero(t >= cutoff)
+    if train.size == 0 or deploy.size == 0:
+        raise ValueError("temporal cutoff leaves an empty side")
+    return train, deploy

@@ -1,0 +1,60 @@
+"""From-scratch ML stack (NumPy only): everything the paper's pipeline needs.
+
+* :mod:`repro.ml.metrics`   — the paper's Eq. 6 log-ratio error and friends
+* :mod:`repro.ml.gbm`       — histogram gradient boosting (XGBoost algorithm)
+* :mod:`repro.ml.tree`      — binned regression trees (GBM building block)
+* :mod:`repro.ml.linear`    — ridge / lasso / elastic-net baselines
+* :mod:`repro.ml.forest`    — random-forest regression (bagged binned trees)
+* :mod:`repro.ml.neighbors` — kNN regression + distance-based novelty scores
+* :mod:`repro.ml.importance` — permutation importance, PDPs, local surrogates
+* :mod:`repro.ml.mcdropout` — MC-dropout uncertainty (ensemble alternative)
+* :mod:`repro.ml.nn`        — MLPs with optional heteroscedastic Gaussian head
+* :mod:`repro.ml.ensemble`  — deep ensembles + AU/EU decomposition
+* :mod:`repro.ml.hpo`       — grid/random hyperparameter search
+* :mod:`repro.ml.agebo`     — aging-evolution NAS (AgEBO-style)
+* :mod:`repro.ml.uncertainty` — AutoDEUQ-style pipeline
+"""
+
+from repro.ml.base import Estimator, Pipeline, clone
+from repro.ml.ensemble import DeepEnsemble
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.importance import LocalSurrogate, partial_dependence, permutation_importance
+from repro.ml.linear import ElasticNetRegression, LassoRegression, RidgeRegression, lasso_path
+from repro.ml.mcdropout import MCDropoutRegressor
+from repro.ml.neighbors import KNeighborsRegressor, knn_novelty
+from repro.ml.metrics import (
+    dex_to_pct,
+    log_ratio_error,
+    mean_abs_log_ratio,
+    median_abs_log_ratio,
+    median_abs_pct_error,
+    pct_to_dex,
+)
+from repro.ml.nn import MLPRegressor
+
+__all__ = [
+    "Estimator",
+    "Pipeline",
+    "clone",
+    "GradientBoostingRegressor",
+    "RandomForestRegressor",
+    "RidgeRegression",
+    "LassoRegression",
+    "ElasticNetRegression",
+    "lasso_path",
+    "KNeighborsRegressor",
+    "knn_novelty",
+    "MCDropoutRegressor",
+    "LocalSurrogate",
+    "permutation_importance",
+    "partial_dependence",
+    "MLPRegressor",
+    "DeepEnsemble",
+    "log_ratio_error",
+    "mean_abs_log_ratio",
+    "median_abs_log_ratio",
+    "median_abs_pct_error",
+    "dex_to_pct",
+    "pct_to_dex",
+]

@@ -1,0 +1,93 @@
+"""Estimator protocol, cloning, and a minimal Pipeline.
+
+A deliberately small sklearn-like surface: ``fit(X, y) -> self``,
+``predict(X) -> y``, ``get_params()/set_params()`` driven by constructor
+signature introspection — enough for the sweep engine, HPO, and ensembles
+to treat every model uniformly.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Estimator", "BaseEstimator", "clone", "Pipeline"]
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Anything that fits and predicts."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Estimator": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+class BaseEstimator:
+    """get/set_params via constructor-signature introspection."""
+
+    def get_params(self) -> dict[str, Any]:
+        sig = inspect.signature(type(self).__init__)
+        return {
+            name: getattr(self, name)
+            for name in sig.parameters
+            if name != "self" and hasattr(self, name)
+        }
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        valid = self.get_params()
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(f"{type(self).__name__} has no parameter {key!r}")
+            setattr(self, key, value)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({args})"
+
+
+def clone(estimator: BaseEstimator, **overrides: Any) -> BaseEstimator:
+    """Fresh, unfitted copy with the same (optionally overridden) params."""
+    params = estimator.get_params()
+    params.update(overrides)
+    return type(estimator)(**params)
+
+
+class Pipeline(BaseEstimator):
+    """Transformer chain terminated by an estimator.
+
+    Transformers expose ``fit_transform``/``transform``; only the final step
+    needs ``fit``/``predict``.
+    """
+
+    def __init__(self, steps: list[tuple[str, Any]]):
+        if not steps:
+            raise ValueError("Pipeline needs at least one step")
+        self.steps = steps
+
+    @property
+    def final(self) -> Any:
+        return self.steps[-1][1]
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Pipeline":
+        Z = X
+        for _, step in self.steps[:-1]:
+            Z = step.fit_transform(Z)
+        self.final.fit(Z, y)
+        return self
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        Z = X
+        for _, step in self.steps[:-1]:
+            Z = step.transform(Z)
+        return Z
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.final.predict(self._transform(X))
+
+    def predict_dist(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Forward to a probabilistic final step (mean, variance)."""
+        return self.final.predict_dist(self._transform(X))

@@ -1,0 +1,61 @@
+"""Quantile pre-binning for histogram gradient boosting.
+
+Features are discretized once into at most 255 integer codes via quantile
+edges (LightGBM/XGBoost-hist style).  Split search then runs on integer
+codes with ``bincount`` kernels — the optimization that makes a pure-NumPy
+GBM fast enough for the paper's sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["QuantileBinner"]
+
+
+class QuantileBinner:
+    """Per-feature quantile discretizer producing uint8 codes.
+
+    ``transform`` maps values to the index of the first edge they do not
+    exceed; values above the top edge land in the last bin, so test-time
+    out-of-range values degrade gracefully.
+    """
+
+    def __init__(self, n_bins: int = 64):
+        if not 2 <= n_bins <= 255:
+            raise ValueError("n_bins must be in [2, 255]")
+        self.n_bins = int(n_bins)
+        self.edges_: list[np.ndarray] | None = None
+
+    def fit(self, X: np.ndarray) -> "QuantileBinner":
+        X = np.asarray(X, dtype=float)
+        qs = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
+        edges: list[np.ndarray] = []
+        for f in range(X.shape[1]):
+            col_edges = np.unique(np.quantile(X[:, f], qs))
+            edges.append(col_edges)
+        self.edges_ = edges
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.edges_ is None:
+            raise RuntimeError("QuantileBinner.transform called before fit")
+        X = np.asarray(X, dtype=float)
+        if X.shape[1] != len(self.edges_):
+            raise ValueError(
+                f"feature count mismatch: fitted {len(self.edges_)}, got {X.shape[1]}"
+            )
+        codes = np.empty(X.shape, dtype=np.uint8)
+        for f, edges in enumerate(self.edges_):
+            codes[:, f] = np.searchsorted(edges, X[:, f], side="left")
+        return codes
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    @property
+    def actual_bins(self) -> int:
+        """Largest code + 1 across features (≤ ``n_bins``)."""
+        if self.edges_ is None:
+            raise RuntimeError("binner not fitted")
+        return max(len(e) for e in self.edges_) + 1

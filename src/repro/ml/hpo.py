@@ -1,0 +1,118 @@
+"""Hyperparameter optimization over estimators (paper §VI.B).
+
+Wraps :mod:`repro.parallel.sweep` with a fit/score closure so the paper's
+exhaustive XGBoost grid ("8046 XGBoost models" over n_estimators × depth ×
+colsample × subsample) is a one-liner.  Scores are validation-set median
+absolute log-ratio errors (lower is better).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.metrics import median_abs_log_ratio
+from repro.parallel.sweep import ParamGrid, SweepResult, run_grid, run_random_search
+
+__all__ = ["HpoResult", "grid_search", "random_search", "heatmap_from_results"]
+
+
+@dataclass
+class HpoResult:
+    """Outcome of a search: ranked configurations plus the best model refit."""
+
+    results: list[SweepResult]
+    best_params: dict[str, Any]
+    best_score: float
+    best_model: Any
+
+    def scores(self) -> list[float]:
+        return [r.score for r in self.results]
+
+
+def _make_objective(
+    factory: Callable[..., Any],
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float],
+):
+    def objective(**params: Any):
+        model = factory(**params)
+        model.fit(X_train, y_train)
+        score = metric(y_val, model.predict(X_val))
+        return score, {}
+
+    return objective
+
+
+def grid_search(
+    factory: Callable[..., Any],
+    grid: ParamGrid | Mapping[str, Sequence[Any]],
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float] = median_abs_log_ratio,
+    workers: int | None = 1,
+    refit: bool = True,
+) -> HpoResult:
+    """Exhaustive sweep; refits the best configuration on train+val."""
+    if not isinstance(grid, ParamGrid):
+        grid = ParamGrid(**grid)
+    objective = _make_objective(factory, X_train, y_train, X_val, y_val, metric)
+    results = run_grid(objective, grid, workers=workers)
+    best = results[0]
+    best_model = None
+    if refit:
+        best_model = factory(**best.params)
+        best_model.fit(
+            np.concatenate([X_train, X_val]), np.concatenate([y_train, y_val])
+        )
+    return HpoResult(results=results, best_params=best.params, best_score=best.score, best_model=best_model)
+
+
+def random_search(
+    factory: Callable[..., Any],
+    space: Mapping[str, Sequence[Any]],
+    n_iter: int,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float] = median_abs_log_ratio,
+    seed: int = 0,
+    workers: int | None = 1,
+    refit: bool = True,
+) -> HpoResult:
+    """Uniform random sweep over a discrete space."""
+    objective = _make_objective(factory, X_train, y_train, X_val, y_val, metric)
+    results = run_random_search(objective, space, n_iter, seed=seed, workers=workers)
+    best = results[0]
+    best_model = None
+    if refit:
+        best_model = factory(**best.params)
+        best_model.fit(np.concatenate([X_train, X_val]), np.concatenate([y_train, y_val]))
+    return HpoResult(results=results, best_params=best.params, best_score=best.score, best_model=best_model)
+
+
+def heatmap_from_results(
+    results: list[SweepResult], x_param: str, y_param: str
+) -> tuple[np.ndarray, list[Any], list[Any]]:
+    """Pivot sweep results into a (len(y_vals), len(x_vals)) score matrix.
+
+    Cells covered by multiple configs (other axes swept too) keep the best
+    score — matching how Fig. 1a collapses the 4-parameter sweep onto the
+    (trees × depth) plane.
+    """
+    x_vals = sorted({r.params[x_param] for r in results})
+    y_vals = sorted({r.params[y_param] for r in results})
+    M = np.full((len(y_vals), len(x_vals)), np.inf)
+    for r in results:
+        i = y_vals.index(r.params[y_param])
+        j = x_vals.index(r.params[x_param])
+        M[i, j] = min(M[i, j], r.score)
+    return M, x_vals, y_vals

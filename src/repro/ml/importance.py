@@ -1,0 +1,196 @@
+"""Model interpretation: permutation importance, PDPs, local surrogates.
+
+The paper's companion work (Isakov et al., SC'20 — "HPC I/O Throughput
+Bottleneck Analysis with Explainable Local Models") interrogates black-box
+I/O models to surface bottleneck features; this module provides the same
+toolkit for every estimator in :mod:`repro.ml`:
+
+* :func:`permutation_importance` — model-agnostic global importance: how
+  much does shuffling one column hurt the error metric?
+* :func:`partial_dependence` — the model's average response as one feature
+  sweeps its range (all else marginalized).
+* :class:`LocalSurrogate` — a sparse linear model fitted to the black box
+  in a Gaussian neighbourhood of one job, LIME-style: *this* job is slow
+  because of *these* counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.base import Estimator
+from repro.ml.linear import RidgeRegression
+from repro.ml.metrics import mean_abs_log_ratio
+from repro.rng import generator_from
+
+__all__ = [
+    "permutation_importance",
+    "partial_dependence",
+    "LocalSurrogate",
+    "LocalExplanation",
+]
+
+
+def permutation_importance(
+    model: Estimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float] = mean_abs_log_ratio,
+    n_repeats: int = 5,
+    random_state: int = 0,
+) -> np.ndarray:
+    """Per-feature increase in ``metric`` when that column is shuffled.
+
+    Returns the mean increase over ``n_repeats`` shuffles, shape (d,).
+    Negative values (shuffling *helped*) are reported as-is — they are a
+    useful smell for features the model fits noise through.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if n_repeats < 1:
+        raise ValueError("n_repeats must be >= 1")
+    rng = generator_from(random_state)
+    base = metric(y, model.predict(X))
+    n, d = X.shape
+    out = np.zeros(d)
+    for j in range(d):
+        col = X[:, j].copy()
+        acc = 0.0
+        for _ in range(n_repeats):
+            X[:, j] = col[rng.permutation(n)]
+            acc += metric(y, model.predict(X)) - base
+        X[:, j] = col
+        out[j] = acc / n_repeats
+    return out
+
+
+def partial_dependence(
+    model: Estimator,
+    X: np.ndarray,
+    feature: int,
+    grid: np.ndarray | None = None,
+    n_grid: int = 20,
+    sample: int = 512,
+    random_state: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(grid, mean prediction) as ``feature`` sweeps its observed range.
+
+    The grid defaults to quantiles of the observed column, so PDPs stay
+    meaningful for the heavily skewed Darshan counters.  ``sample`` rows are
+    used as the marginalization background.
+    """
+    X = np.asarray(X, dtype=float)
+    if not 0 <= feature < X.shape[1]:
+        raise IndexError(f"feature index {feature} out of range for d={X.shape[1]}")
+    rng = generator_from(random_state)
+    if X.shape[0] > sample:
+        X = X[rng.choice(X.shape[0], sample, replace=False)]
+    if grid is None:
+        qs = np.linspace(0.02, 0.98, n_grid)
+        grid = np.unique(np.quantile(X[:, feature], qs))
+    grid = np.asarray(grid, dtype=float)
+
+    out = np.empty(grid.size)
+    Xw = X.copy()
+    for i, value in enumerate(grid):
+        Xw[:, feature] = value
+        out[i] = float(np.mean(model.predict(Xw)))
+    return grid, out
+
+
+@dataclass
+class LocalExplanation:
+    """Sparse linear fit of the black box around one job."""
+
+    feature_idx: np.ndarray     # indices of the top features, by |weight|
+    weights: np.ndarray         # local linear weights (standardized units)
+    intercept: float
+    local_r2: float             # surrogate fidelity in the neighbourhood
+    prediction: float           # black-box prediction at the anchor job
+
+    def top(self, names: list[str], k: int = 8) -> list[tuple[str, float]]:
+        """Human-readable (name, weight) pairs, largest |weight| first."""
+        pairs = [(names[i], float(w)) for i, w in zip(self.feature_idx, self.weights)]
+        return pairs[:k]
+
+
+class LocalSurrogate:
+    """LIME-style local explanation for regression models.
+
+    Perturbs the anchor row with Gaussian noise scaled to each column's
+    training spread, weights samples by proximity, and fits a ridge model
+    on the ``n_keep`` most correlated features.  The surrogate's weights
+    say which features *locally* drive the black-box prediction.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 1024,
+        kernel_width: float = 1.5,
+        n_keep: int = 10,
+        ridge_alpha: float = 1.0,
+        random_state: int = 0,
+    ):
+        if n_samples < 16:
+            raise ValueError("n_samples must be >= 16")
+        if n_keep < 1:
+            raise ValueError("n_keep must be >= 1")
+        self.n_samples = int(n_samples)
+        self.kernel_width = float(kernel_width)
+        self.n_keep = int(n_keep)
+        self.ridge_alpha = float(ridge_alpha)
+        self.random_state = int(random_state)
+
+    def explain(
+        self, model: Estimator, X_background: np.ndarray, anchor: np.ndarray
+    ) -> LocalExplanation:
+        """Explain ``model``'s prediction at row ``anchor``.
+
+        ``X_background`` supplies the per-column scales (training data or a
+        representative sample of it).
+        """
+        X_background = np.asarray(X_background, dtype=float)
+        anchor = np.asarray(anchor, dtype=float).reshape(-1)
+        if anchor.shape[0] != X_background.shape[1]:
+            raise ValueError("anchor dimensionality does not match background")
+        rng = generator_from(self.random_state)
+
+        scale = X_background.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+
+        Z = rng.normal(0.0, 1.0, (self.n_samples, anchor.size))
+        X_pert = anchor[None, :] + Z * scale[None, :]
+        y_pert = np.asarray(model.predict(X_pert), dtype=float)
+
+        # proximity kernel on standardized distance
+        dist2 = (Z**2).mean(axis=1)
+        w = np.exp(-dist2 / (2.0 * self.kernel_width**2))
+
+        # feature pre-selection: weighted correlation with the output
+        yw = y_pert - np.average(y_pert, weights=w)
+        Zw = Z - np.average(Z, axis=0, weights=w)
+        corr = np.abs((w[:, None] * Zw * yw[:, None]).sum(axis=0))
+        keep = np.argsort(corr)[::-1][: self.n_keep]
+
+        # weighted ridge on the kept features (weights via row scaling)
+        sw = np.sqrt(w)
+        A = Z[:, keep] * sw[:, None]
+        b = y_pert * sw
+        ridge = RidgeRegression(alpha=self.ridge_alpha).fit(A, b)
+        pred_local = ridge.predict(A)
+        ss_res = float(((b - pred_local) ** 2).sum())
+        ss_tot = float(((b - b.mean()) ** 2).sum())
+        r2 = 1.0 - ss_res / max(ss_tot, 1e-12)
+
+        order = np.argsort(np.abs(ridge.coef_))[::-1]
+        anchor_pred = float(model.predict(anchor[None, :])[0])
+        return LocalExplanation(
+            feature_idx=keep[order],
+            weights=ridge.coef_[order],
+            intercept=ridge.intercept_,
+            local_r2=r2,
+            prediction=anchor_pred,
+        )

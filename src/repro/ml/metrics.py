@@ -1,0 +1,74 @@
+"""Error metrics from the paper (§V, Eq. 6).
+
+The models optimize ``e = mean |log10(y / ŷ)|`` over linear throughputs.
+All targets in this codebase are already log10 throughput ("dex"), so the
+log-ratio error of a prediction is simply the dex difference.  Reported
+percentages follow the paper's convention: a dex error ``x`` maps to
+``10^x − 1`` relative error, so −25 % means the model *underestimated* real
+throughput by 25 %, and over/underestimation by the same factor costs the
+same (log symmetry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "log_ratio_error",
+    "mean_abs_log_ratio",
+    "median_abs_log_ratio",
+    "median_abs_pct_error",
+    "dex_to_pct",
+    "pct_to_dex",
+    "error_percentiles",
+]
+
+
+def log_ratio_error(y_dex: np.ndarray, pred_dex: np.ndarray) -> np.ndarray:
+    """Signed log-ratio error ``log10(y/ŷ)`` for log-space inputs."""
+    y_dex = np.asarray(y_dex, dtype=float)
+    pred_dex = np.asarray(pred_dex, dtype=float)
+    if y_dex.shape != pred_dex.shape:
+        raise ValueError(f"shape mismatch: {y_dex.shape} vs {pred_dex.shape}")
+    return y_dex - pred_dex
+
+
+def mean_abs_log_ratio(y_dex: np.ndarray, pred_dex: np.ndarray) -> float:
+    """Eq. 6: the training objective."""
+    return float(np.mean(np.abs(log_ratio_error(y_dex, pred_dex))))
+
+
+def median_abs_log_ratio(y_dex: np.ndarray, pred_dex: np.ndarray) -> float:
+    """The reported statistic — medians resist the heavy error tails (§V)."""
+    return float(np.median(np.abs(log_ratio_error(y_dex, pred_dex))))
+
+
+def dex_to_pct(x_dex: float | np.ndarray) -> float | np.ndarray:
+    """Relative error implied by a dex offset: ``10^x − 1`` (as a percentage).
+
+    ``dex_to_pct(0.0414) ≈ 10.0`` — a 0.0414 dex error is a 10 % miss.
+    Negative dex maps to negative percent (underestimation).
+    """
+    return (np.power(10.0, x_dex) - 1.0) * 100.0
+
+
+def pct_to_dex(pct: float | np.ndarray) -> float | np.ndarray:
+    """Inverse of :func:`dex_to_pct`."""
+    return np.log10(1.0 + np.asarray(pct, dtype=float) / 100.0)
+
+
+def median_abs_pct_error(y_dex: np.ndarray, pred_dex: np.ndarray) -> float:
+    """Median absolute error in percent — the paper's headline numbers."""
+    return float(dex_to_pct(median_abs_log_ratio(y_dex, pred_dex)))
+
+
+def error_percentiles(
+    y_dex: np.ndarray, pred_dex: np.ndarray, qs: tuple[float, ...] = (20.0, 50.0, 100.0, 200.0, 400.0)
+) -> dict[str, float]:
+    """Share of jobs whose absolute percent error exceeds each threshold.
+
+    Mirrors the y-axis annotations of the paper's error-distribution plots
+    (Fig. 3/4 mark 20 %, 50 %, 100 %, ... levels).
+    """
+    err_pct = np.abs(dex_to_pct(np.abs(log_ratio_error(y_dex, pred_dex))))
+    return {f">{int(q)}%": float(np.mean(err_pct > q)) for q in qs}

@@ -1,0 +1,39 @@
+"""Cross-validation helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.rng import generator_from
+
+__all__ = ["kfold_indices", "cross_val_error"]
+
+
+def kfold_indices(
+    n: int, k: int = 5, rng: int | np.random.Generator = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield (train, test) index pairs for shuffled k-fold CV."""
+    if k < 2 or k > n:
+        raise ValueError("k must be in [2, n]")
+    gen = generator_from(rng)
+    perm = gen.permutation(n)
+    folds = np.array_split(perm, k)
+    for i in range(k):
+        test = np.sort(folds[i])
+        train = np.sort(np.concatenate([folds[j] for j in range(k) if j != i]))
+        yield train, test
+
+
+def cross_val_error(model_factory, X: np.ndarray, y: np.ndarray, k: int = 5, metric=None, rng=0) -> float:
+    """Mean metric over k folds; ``model_factory()`` returns a fresh estimator."""
+    from repro.ml.metrics import median_abs_log_ratio
+
+    metric = metric or median_abs_log_ratio
+    scores = []
+    for train, test in kfold_indices(len(y), k, rng):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        scores.append(metric(y[test], model.predict(X[test])))
+    return float(np.mean(scores))

@@ -1,0 +1,219 @@
+"""Feedforward neural networks in NumPy: Adam, dropout, weight decay.
+
+Two heads:
+
+* ``loss="mse"``    — plain regression (the Fig. 2 NAS models);
+* ``loss="nll"``    — heteroscedastic Gaussian head predicting (μ, log σ²),
+  the building block of deep ensembles / AutoDEUQ (§VIII): minimizing the
+  Gaussian negative log-likelihood teaches each member its own aleatory
+  variance estimate.
+
+Inputs are expected standardized (wrap in a Pipeline with
+:class:`repro.data.preprocessing.Standardizer`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.rng import generator_from
+
+__all__ = ["MLPRegressor"]
+
+_ACTIVATIONS = ("relu", "tanh", "elu")
+_MIN_LOG_VAR, _MAX_LOG_VAR = -10.0, 3.0
+
+
+def _act(name: str, z: np.ndarray) -> np.ndarray:
+    if name == "relu":
+        return np.maximum(z, 0.0)
+    if name == "tanh":
+        return np.tanh(z)
+    return np.where(z > 0, z, np.expm1(z))  # elu
+
+
+def _act_grad(name: str, z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    if name == "relu":
+        return (z > 0).astype(z.dtype)
+    if name == "tanh":
+        return 1.0 - a**2
+    return np.where(z > 0, 1.0, a + 1.0)  # elu'
+
+
+class MLPRegressor(BaseEstimator):
+    """Multilayer perceptron regressor.
+
+    Parameters
+    ----------
+    hidden:
+        Tuple of hidden-layer widths, e.g. ``(128, 128)``.
+    activation:
+        ``relu`` / ``tanh`` / ``elu``.
+    loss:
+        ``mse`` or ``nll`` (heteroscedastic Gaussian).
+    dropout, weight_decay, learning_rate, epochs, batch_size:
+        Usual training knobs (AdamW-style decoupled decay).
+    """
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (128, 128),
+        activation: str = "relu",
+        loss: str = "mse",
+        dropout: float = 0.0,
+        weight_decay: float = 1e-5,
+        learning_rate: float = 1e-3,
+        epochs: int = 60,
+        batch_size: int = 256,
+        random_state: int = 0,
+    ):
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"activation must be one of {_ACTIVATIONS}")
+        if loss not in ("mse", "nll"):
+            raise ValueError("loss must be 'mse' or 'nll'")
+        if not 0.0 <= dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+        self.hidden = tuple(int(h) for h in hidden)
+        self.activation = activation
+        self.loss = loss
+        self.dropout = float(dropout)
+        self.weight_decay = float(weight_decay)
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.random_state = int(random_state)
+
+        self.weights_: list[np.ndarray] | None = None
+        self.biases_: list[np.ndarray] | None = None
+        self.train_curve_: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def _init_params(self, d_in: int, rng: np.random.Generator) -> None:
+        d_out = 2 if self.loss == "nll" else 1
+        dims = [d_in, *self.hidden, d_out]
+        self.weights_ = []
+        self.biases_ = []
+        for a, b in zip(dims[:-1], dims[1:]):
+            # He initialization
+            self.weights_.append(rng.normal(0.0, np.sqrt(2.0 / a), (a, b)))
+            self.biases_.append(np.zeros(b))
+
+    def _forward(
+        self, X: np.ndarray, rng: np.random.Generator | None
+    ) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+        """Returns (output, pre-activations, activations, dropout masks)."""
+        zs: list[np.ndarray] = []
+        acts: list[np.ndarray] = [X]
+        masks: list[np.ndarray] = []
+        a = X
+        n_layers = len(self.weights_)
+        for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = a @ W + b
+            zs.append(z)
+            if i < n_layers - 1:
+                a = _act(self.activation, z)
+                if rng is not None and self.dropout > 0.0:
+                    mask = (rng.random(a.shape) >= self.dropout) / (1.0 - self.dropout)
+                    a = a * mask
+                    masks.append(mask)
+                else:
+                    masks.append(np.ones(1))
+                acts.append(a)
+            else:
+                a = z
+        return a, zs, acts, masks
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1)
+        n, d = X.shape
+        rng = generator_from(self.random_state)
+        self._init_params(d, rng)
+
+        m_w = [np.zeros_like(w) for w in self.weights_]
+        v_w = [np.zeros_like(w) for w in self.weights_]
+        m_b = [np.zeros_like(b) for b in self.biases_]
+        v_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.train_curve_ = []
+
+        for _epoch in range(self.epochs):
+            perm = rng.permutation(n)
+            epoch_loss = 0.0
+            for lo in range(0, n, self.batch_size):
+                idx = perm[lo : lo + self.batch_size]
+                xb, yb = X[idx], y[idx]
+                out, zs, acts, masks = self._forward(xb, rng)
+
+                if self.loss == "mse":
+                    mu = out[:, 0]
+                    diff = mu - yb
+                    loss = float(np.mean(diff**2))
+                    d_out = np.zeros_like(out)
+                    d_out[:, 0] = 2.0 * diff / xb.shape[0]
+                else:
+                    mu = out[:, 0]
+                    log_var = np.clip(out[:, 1], _MIN_LOG_VAR, _MAX_LOG_VAR)
+                    inv_var = np.exp(-log_var)
+                    diff = mu - yb
+                    loss = float(np.mean(0.5 * (log_var + diff**2 * inv_var)))
+                    d_out = np.zeros_like(out)
+                    d_out[:, 0] = diff * inv_var / xb.shape[0]
+                    d_out[:, 1] = 0.5 * (1.0 - diff**2 * inv_var) / xb.shape[0]
+                    # zero gradient where the clamp is active
+                    clamped = (out[:, 1] <= _MIN_LOG_VAR) | (out[:, 1] >= _MAX_LOG_VAR)
+                    d_out[clamped, 1] = 0.0
+                epoch_loss += loss * xb.shape[0]
+
+                # backprop
+                grads_w = [np.empty(0)] * len(self.weights_)
+                grads_b = [np.empty(0)] * len(self.biases_)
+                delta = d_out
+                for li in range(len(self.weights_) - 1, -1, -1):
+                    grads_w[li] = acts[li].T @ delta
+                    grads_b[li] = delta.sum(axis=0)
+                    if li > 0:
+                        delta = delta @ self.weights_[li].T
+                        if self.dropout > 0.0:
+                            delta = delta * masks[li - 1]
+                        delta = delta * _act_grad(self.activation, zs[li - 1], acts[li])
+
+                # AdamW update
+                step += 1
+                bc1 = 1.0 - beta1**step
+                bc2 = 1.0 - beta2**step
+                for li in range(len(self.weights_)):
+                    m_w[li] = beta1 * m_w[li] + (1 - beta1) * grads_w[li]
+                    v_w[li] = beta2 * v_w[li] + (1 - beta2) * grads_w[li] ** 2
+                    m_b[li] = beta1 * m_b[li] + (1 - beta1) * grads_b[li]
+                    v_b[li] = beta2 * v_b[li] + (1 - beta2) * grads_b[li] ** 2
+                    self.weights_[li] -= self.learning_rate * (
+                        (m_w[li] / bc1) / (np.sqrt(v_w[li] / bc2) + eps)
+                        + self.weight_decay * self.weights_[li]
+                    )
+                    self.biases_[li] -= self.learning_rate * (m_b[li] / bc1) / (
+                        np.sqrt(v_b[li] / bc2) + eps
+                    )
+            self.train_curve_.append(epoch_loss / n)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("predict called before fit")
+        out, _, _, _ = self._forward(np.asarray(X, dtype=float), None)
+        return out[:, 0]
+
+    def predict_dist(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(mean, variance).  For MSE heads the variance is zero."""
+        if self.weights_ is None:
+            raise RuntimeError("predict_dist called before fit")
+        out, _, _, _ = self._forward(np.asarray(X, dtype=float), None)
+        mu = out[:, 0]
+        if self.loss == "nll":
+            var = np.exp(np.clip(out[:, 1], _MIN_LOG_VAR, _MAX_LOG_VAR))
+        else:
+            var = np.zeros_like(mu)
+        return mu, var

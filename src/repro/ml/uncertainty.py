@@ -1,0 +1,70 @@
+"""AutoDEUQ-style uncertainty quantification pipeline (§VIII).
+
+``autodeuq`` chains the two stages the paper describes: (1) run the NAS and
+collect the best-performing configurations, (2) train them as a deep
+ensemble with NLL heads and decompose predictive uncertainty into aleatory
+and epistemic parts per test job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.agebo import AgingEvolutionSearch
+from repro.ml.ensemble import DeepEnsemble, UncertaintyDecomposition
+
+__all__ = ["AutoDeuqResult", "autodeuq", "ensemble_from_nas"]
+
+
+@dataclass
+class AutoDeuqResult:
+    """Fitted ensemble plus the test-set decomposition."""
+
+    ensemble: DeepEnsemble
+    decomposition: UncertaintyDecomposition
+    nas: AgingEvolutionSearch | None
+
+
+def ensemble_from_nas(
+    nas: AgingEvolutionSearch, n_members: int, epochs: int, seed: int = 0
+) -> DeepEnsemble:
+    """Build an ensemble from the NAS's top distinct configurations."""
+    configs = nas.top_configs(n_members)
+    # NLL heads are required for AU; drop keys MLPRegressor doesn't take twice
+    members = [dict(c) for c in configs]
+    return DeepEnsemble(n_members=len(members), members=members, epochs=epochs, random_state=seed)
+
+
+def autodeuq(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    X_test: np.ndarray,
+    n_members: int = 8,
+    nas: AgingEvolutionSearch | None = None,
+    run_nas: bool = True,
+    nas_kwargs: dict | None = None,
+    epochs: int = 40,
+    seed: int = 0,
+) -> AutoDeuqResult:
+    """Joint NAS + ensemble + decomposition.
+
+    Set ``run_nas=False`` to skip the search and use random architecture
+    diversity (cheaper; the ablation bench compares both).
+    """
+    if nas is None and run_nas:
+        nas = AgingEvolutionSearch(**(nas_kwargs or {}), seed=seed)
+        nas.run(X_train, y_train, X_val, y_val)
+
+    if nas is not None:
+        ensemble = ensemble_from_nas(nas, n_members=n_members, epochs=epochs, seed=seed)
+    else:
+        ensemble = DeepEnsemble(n_members=n_members, diversity="arch", epochs=epochs, random_state=seed)
+
+    X_fit = np.concatenate([X_train, X_val])
+    y_fit = np.concatenate([y_train, y_val])
+    ensemble.fit(X_fit, y_fit)
+    return AutoDeuqResult(ensemble=ensemble, decomposition=ensemble.decompose(X_test), nas=nas)

@@ -1,0 +1,11 @@
+"""Shared-nothing parallel helpers used by the sweep engine and HPO.
+
+The design follows the SPMD decomposition idiom: work items are split into
+contiguous chunks, each chunk is processed independently (optionally in a
+process pool), and results are gathered in submission order.
+"""
+
+from repro.parallel.pool import parallel_map, effective_workers
+from repro.parallel.sweep import ParamGrid, run_grid, run_random_search
+
+__all__ = ["parallel_map", "effective_workers", "ParamGrid", "run_grid", "run_random_search"]

@@ -1,0 +1,81 @@
+"""Chunked map with optional process-pool execution.
+
+``parallel_map`` is the single execution primitive used by the grid sweeps,
+the NAS, and the ensemble trainer.  With ``workers <= 1`` (the default on a
+single-core machine) it degrades to a plain loop with zero overhead, so all
+call sites can be written once in the parallel style.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "effective_workers"]
+
+
+def effective_workers(workers: int | None = None) -> int:
+    """Resolve a worker count.
+
+    ``None`` means "use ``REPRO_WORKERS`` env var, else the CPU count".  The
+    result is always >= 1.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None:
+            workers = int(env)
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def _chunks(items: Sequence[T], n_chunks: int) -> list[list[T]]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced chunks."""
+    n = len(items)
+    n_chunks = max(1, min(n_chunks, n))
+    bounds = [round(i * n / n_chunks) for i in range(n_chunks + 1)]
+    return [list(items[bounds[i] : bounds[i + 1]]) for i in range(n_chunks) if bounds[i] < bounds[i + 1]]
+
+
+def _apply_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    return [fn(item) for item in chunk]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: int | None = None,
+    chunks_per_worker: int = 4,
+) -> list[R]:
+    """Apply ``fn`` to every item, preserving order.
+
+    Parameters
+    ----------
+    fn:
+        Pure function of one argument.  Must be picklable when ``workers > 1``.
+    items:
+        Work items; materialized once.
+    workers:
+        Process count; ``None`` → :func:`effective_workers`.  ``1`` runs
+        serially in-process (no pickling, easy to debug and profile).
+    chunks_per_worker:
+        Over-decomposition factor for load balancing, as in classic
+        block-cyclic work distribution.
+    """
+    seq = list(items)
+    if not seq:
+        return []
+    n_workers = effective_workers(workers)
+    if n_workers == 1 or len(seq) == 1:
+        return [fn(item) for item in seq]
+
+    chunked = _chunks(seq, n_workers * max(1, chunks_per_worker))
+    results: list[R] = []
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        for part in pool.map(_apply_chunk, [fn] * len(chunked), chunked):
+            results.extend(part)
+    return results

@@ -1,0 +1,44 @@
+"""Batch-scheduler substrate (the system behind the paper's Cobalt logs).
+
+The Cobalt logs the paper consumes (§V) — "number of nodes and cores
+assigned to a job, job start and end times, job placement" — are the
+*output* of a batch scheduler.  This subpackage implements that substrate:
+
+* :mod:`repro.scheduler.topology`  — dragonfly / 3-D torus interconnects
+  (both Theta and Cori are Cray XC40 Aries dragonflies; the torus is kept
+  for placement ablations) built on ``networkx``
+* :mod:`repro.scheduler.placement` — node-allocation policies and the
+  locality metrics that feed contention
+* :mod:`repro.scheduler.queue`     — event-driven FCFS + EASY-backfill
+  scheduling of a job stream
+* :mod:`repro.scheduler.ost`       — Lustre OST striping assignment and
+  per-OST load overlap between concurrent jobs
+
+The placement ablation bench uses these pieces to show *why* the ζl term
+is idiosyncratic: two identical jobs submitted together land on different
+nodes/OSTs and see different neighbour traffic (§IX's unobservable
+contention), and tighter placement policies shrink — but cannot remove —
+that spread.
+"""
+
+from repro.scheduler.ost import OstStriper, ost_overlap_matrix
+from repro.scheduler.placement import Allocation, PlacementPolicy, allocation_locality
+from repro.scheduler.queue import BatchScheduler, ScheduledJob, SchedulerStats
+from repro.scheduler.trace import QueueTrace, schedule_jobs, trace_from_jobs
+from repro.scheduler.topology import Dragonfly, Torus3D
+
+__all__ = [
+    "Dragonfly",
+    "Torus3D",
+    "PlacementPolicy",
+    "Allocation",
+    "allocation_locality",
+    "BatchScheduler",
+    "ScheduledJob",
+    "SchedulerStats",
+    "OstStriper",
+    "ost_overlap_matrix",
+    "QueueTrace",
+    "schedule_jobs",
+    "trace_from_jobs",
+]

@@ -1,0 +1,117 @@
+"""Lustre OST striping: which storage targets a job actually touches.
+
+Contention is not a function of *aggregate* system load alone — a job is
+slowed by the neighbours that share its object storage targets.  Lustre
+assigns each file a stripe (a subset of OSTs, round-robin from a start
+offset); two concurrent jobs interact in proportion to their stripe
+overlap.  This module implements that assignment and the overlap/pressure
+computations the placement ablation consumes, and is the mechanistic
+justification for the engine's lognormal "placement luck" term: identical
+jobs submitted together draw different stripe offsets and therefore
+different neighbour sets (§IX's unobservable ζl).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import generator_from
+
+__all__ = ["StripeAssignment", "OstStriper", "ost_overlap_matrix", "per_ost_load"]
+
+
+@dataclass
+class StripeAssignment:
+    """The OST subset of one job."""
+
+    ost_ids: np.ndarray
+
+    @property
+    def width(self) -> int:
+        return int(self.ost_ids.size)
+
+
+class OstStriper:
+    """Round-robin stripe allocator over ``n_ost`` targets.
+
+    ``policy="roundrobin"`` mimics Lustre's default allocator: each new
+    file starts at a rotating offset, which balances aggregate load but
+    randomizes neighbour sets.  ``policy="random"`` draws stripes uniformly
+    (the worst case); ``policy="balanced"`` picks the currently least
+    loaded targets (an idealized QOS allocator for the ablation).
+    """
+
+    _POLICIES = ("roundrobin", "random", "balanced")
+
+    def __init__(self, n_ost: int, policy: str = "roundrobin", seed: int = 0):
+        if n_ost < 1:
+            raise ValueError("n_ost must be >= 1")
+        if policy not in self._POLICIES:
+            raise ValueError(f"policy must be one of {self._POLICIES}")
+        self.n_ost = int(n_ost)
+        self.policy = policy
+        self._rng = generator_from(seed)
+        self._cursor = 0
+        self._load = np.zeros(self.n_ost)
+
+    def assign(self, stripe_width: int, demand: float = 0.0) -> StripeAssignment:
+        """Grant a stripe of ``stripe_width`` OSTs; track ``demand`` on them.
+
+        ``demand`` is the job's bandwidth pressure (any consistent unit);
+        it accumulates per OST and steers the ``balanced`` policy.
+        """
+        w = int(min(max(stripe_width, 1), self.n_ost))
+        if self.policy == "roundrobin":
+            osts = (self._cursor + np.arange(w)) % self.n_ost
+            self._cursor = int((self._cursor + w) % self.n_ost)
+        elif self.policy == "random":
+            osts = self._rng.choice(self.n_ost, w, replace=False)
+        else:
+            osts = np.argsort(self._load, kind="stable")[:w]
+        osts = np.sort(np.asarray(osts, dtype=np.int64))
+        if demand:
+            self._load[osts] += demand / w
+        return StripeAssignment(ost_ids=osts)
+
+    def release(self, assignment: StripeAssignment, demand: float) -> None:
+        """Remove a finished job's pressure from its stripe."""
+        if demand:
+            self._load[assignment.ost_ids] -= demand / assignment.width
+            np.maximum(self._load, 0.0, out=self._load)
+
+    @property
+    def load(self) -> np.ndarray:
+        """Current per-OST pressure (copy)."""
+        return self._load.copy()
+
+
+def ost_overlap_matrix(assignments: list[StripeAssignment], n_ost: int) -> np.ndarray:
+    """(k, k) pairwise stripe-overlap fractions for k concurrent jobs.
+
+    Entry (i, j) is |stripe_i ∩ stripe_j| / width_i — the share of job i's
+    targets that job j also hits (not symmetric when widths differ).
+    """
+    k = len(assignments)
+    member = np.zeros((k, n_ost), dtype=bool)
+    for i, a in enumerate(assignments):
+        member[i, a.ost_ids] = True
+    inter = (member[:, None, :] & member[None, :, :]).sum(axis=2).astype(float)
+    widths = member.sum(axis=1).astype(float)
+    out = inter / np.maximum(widths[:, None], 1.0)
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def per_ost_load(
+    assignments: list[StripeAssignment], demands: np.ndarray, n_ost: int
+) -> np.ndarray:
+    """Aggregate pressure per OST from concurrent jobs (demand split evenly)."""
+    demands = np.asarray(demands, dtype=float)
+    if demands.size != len(assignments):
+        raise ValueError("one demand per assignment required")
+    load = np.zeros(n_ost)
+    for a, d in zip(assignments, demands):
+        load[a.ost_ids] += d / a.width
+    return load

@@ -1,0 +1,174 @@
+"""Interconnect topologies: Aries-style dragonfly and a 3-D torus.
+
+Placement quality is a topological notion — an allocation is "tight" when
+its nodes are few hops apart — so the scheduler needs an actual
+interconnect model.  Both testbed machines (ALCF Theta and NERSC Cori) are
+Cray XC40s with the Aries dragonfly; the torus is included for placement
+ablations (it was the BG/Q-era geometry and stresses policies differently:
+torus distance grows smoothly, dragonfly distance is nearly bimodal).
+
+Router graphs are built with ``networkx``; hop distances come from BFS and
+are cached per topology.  Node counts are kept configurable so benches can
+run scaled-down machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+__all__ = ["Topology", "Dragonfly", "Torus3D"]
+
+
+class Topology:
+    """Base class: a router graph plus a node→router mapping.
+
+    Subclasses populate ``graph`` (routers as integer vertices) and
+    ``nodes_per_router``.  Compute nodes are numbered consecutively,
+    router-major: node ``i`` sits on router ``i // nodes_per_router``.
+    """
+
+    def __init__(self, graph: nx.Graph, nodes_per_router: int):
+        if nodes_per_router < 1:
+            raise ValueError("nodes_per_router must be >= 1")
+        self.graph = graph
+        self.nodes_per_router = int(nodes_per_router)
+        self._hops: np.ndarray | None = None
+
+    @property
+    def n_routers(self) -> int:
+        return int(self.graph.number_of_nodes())
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_routers * self.nodes_per_router
+
+    def router_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Router index hosting each compute node."""
+        node_ids = np.asarray(node_ids)
+        if np.any(node_ids < 0) or np.any(node_ids >= self.n_nodes):
+            raise IndexError("node id out of range")
+        return node_ids // self.nodes_per_router
+
+    # ------------------------------------------------------------------ #
+    def hop_matrix(self) -> np.ndarray:
+        """All-pairs router hop distances (cached; BFS per router)."""
+        if self._hops is None:
+            n = self.n_routers
+            hops = np.zeros((n, n), dtype=np.int16)
+            for src, dists in nx.all_pairs_shortest_path_length(self.graph):
+                for dst, d in dists.items():
+                    hops[src, dst] = d
+            self._hops = hops
+        return self._hops
+
+    def node_distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Hop distance between compute nodes (0 when on the same router)."""
+        ra = self.router_of(np.asarray(a))
+        rb = self.router_of(np.asarray(b))
+        return self.hop_matrix()[ra, rb]
+
+    def diameter(self) -> int:
+        return int(self.hop_matrix().max())
+
+
+class Dragonfly(Topology):
+    """Aries-style dragonfly: all-to-all intra-group, girdled global links.
+
+    Parameters
+    ----------
+    n_groups:
+        Number of electrical groups.
+    routers_per_group:
+        Routers per group (all-to-all within the group).
+    nodes_per_router:
+        Compute nodes per router (4 on an Aries blade).
+    global_links_per_router:
+        How many distinct *other groups* each router connects to directly.
+        Groups stay mutually reachable (≤ 3 router hops end-to-end) as in
+        the real machine, where every group pair shares at least one link.
+    """
+
+    def __init__(
+        self,
+        n_groups: int = 12,
+        routers_per_group: int = 16,
+        nodes_per_router: int = 4,
+        global_links_per_router: int = 1,
+        seed: int = 0,
+    ):
+        if n_groups < 2 or routers_per_group < 2:
+            raise ValueError("need at least 2 groups of 2 routers")
+        rng = np.random.default_rng(seed)
+        g = nx.Graph()
+        n_routers = n_groups * routers_per_group
+        g.add_nodes_from(range(n_routers))
+
+        def router(group: int, slot: int) -> int:
+            return group * routers_per_group + slot
+
+        # intra-group all-to-all
+        for grp in range(n_groups):
+            for i in range(routers_per_group):
+                for j in range(i + 1, routers_per_group):
+                    g.add_edge(router(grp, i), router(grp, j))
+
+        # deterministic round-robin guarantee: every group pair gets a link
+        pair_idx = 0
+        for ga in range(n_groups):
+            for gb in range(ga + 1, n_groups):
+                sa = pair_idx % routers_per_group
+                sb = (pair_idx * 7 + 3) % routers_per_group
+                g.add_edge(router(ga, sa), router(gb, sb))
+                pair_idx += 1
+
+        # extra random global links up to the per-router budget
+        extra = max(0, global_links_per_router - 1) * n_routers // 2
+        for _ in range(extra):
+            ga, gb = rng.choice(n_groups, 2, replace=False)
+            g.add_edge(
+                router(int(ga), int(rng.integers(routers_per_group))),
+                router(int(gb), int(rng.integers(routers_per_group))),
+            )
+
+        super().__init__(g, nodes_per_router)
+        self.n_groups = int(n_groups)
+        self.routers_per_group = int(routers_per_group)
+
+    def group_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Electrical group of each compute node."""
+        return self.router_of(node_ids) // self.routers_per_group
+
+
+class Torus3D(Topology):
+    """Wrap-around 3-D mesh (BG/Q-era geometry, kept for ablations)."""
+
+    def __init__(self, dims: tuple[int, int, int] = (8, 8, 8), nodes_per_router: int = 1):
+        dx, dy, dz = (int(d) for d in dims)
+        if min(dx, dy, dz) < 2:
+            raise ValueError("all torus dimensions must be >= 2")
+        g = nx.Graph()
+        n = dx * dy * dz
+
+        def rid(x: int, y: int, z: int) -> int:
+            return (x * dy + y) * dz + z
+
+        g.add_nodes_from(range(n))
+        for x in range(dx):
+            for y in range(dy):
+                for z in range(dz):
+                    a = rid(x, y, z)
+                    g.add_edge(a, rid((x + 1) % dx, y, z))
+                    g.add_edge(a, rid(x, (y + 1) % dy, z))
+                    g.add_edge(a, rid(x, y, (z + 1) % dz))
+        super().__init__(g, nodes_per_router)
+        self.dims = (dx, dy, dz)
+
+    def coordinates(self, node_ids: np.ndarray) -> np.ndarray:
+        """(n, 3) torus coordinates of each node's router."""
+        r = self.router_of(np.asarray(node_ids))
+        _, dy, dz = self.dims
+        x = r // (dy * dz)
+        y = (r // dz) % dy
+        z = r % dz
+        return np.stack([x, y, z], axis=1)

@@ -1,0 +1,19 @@
+"""Synthetic HPC I/O data-generating process.
+
+Implements the paper's Eq. 3 decomposition literally:
+
+``log10 φ(j) = fa(j) + fg(ζg(t)) + fl(ζl(t, j)) + fn(ω)``
+
+* :mod:`repro.simulator.applications` — application catalog (latent configs)
+* :mod:`repro.simulator.platform`/`iomodel`   — fa: idealized platform response
+* :mod:`repro.simulator.weather`      — fg: global system state ζg(t)
+* :mod:`repro.simulator.contention`   — fl: job-interaction term ζl(t, j)
+* :mod:`repro.simulator.noise`        — fn: inherent noise ω
+* :mod:`repro.simulator.workload`     — job arrival / duplicate-set structure
+* :mod:`repro.simulator.engine`       — orchestration
+"""
+
+from repro.simulator.engine import SimulationEngine, simulate
+from repro.simulator.job import JobTable
+
+__all__ = ["SimulationEngine", "simulate", "JobTable"]

@@ -1,0 +1,394 @@
+"""Application catalog: latent I/O configurations per application family.
+
+Each *family* mimics a class of production HPC codes the paper's intro and
+Fig. 1b reference (IOR, HACC, QB/Qbox, pw.x, a generic shared-file Writer)
+plus additional science workloads to fill out the mix.  A *variant* is a
+concrete parameter draw from a family — the unit of "duplicate jobs": every
+rerun of a variant shares its latent configuration exactly, so all its
+observable Darshan features are identical (paper §VI.A definition).
+
+Two *novel* families (``lammps_novel``, ``dl_ckpt_novel``) exist only for
+out-of-distribution injection: they appear after the deployment cutoff and
+occupy parameter regimes the training period never covers (§VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["AppFamily", "FAMILIES", "OOD_FAMILIES", "family_names", "family_index", "sample_variants"]
+
+KiB = 1024.0
+MiB = 1024.0**2
+GiB = 1024.0**3
+TiB = 1024.0**4
+
+
+def _loguniform(rng: np.random.Generator, lo: float, hi: float, n: int) -> np.ndarray:
+    return np.exp(rng.uniform(np.log(lo), np.log(hi), n))
+
+
+def _pow2(rng: np.random.Generator, lo_exp: int, hi_exp: int, n: int) -> np.ndarray:
+    return 2.0 ** rng.integers(lo_exp, hi_exp + 1, n)
+
+
+def _beta(rng: np.random.Generator, a: float, b: float, n: int) -> np.ndarray:
+    return rng.beta(a, b, n)
+
+
+def _snap_unit(x: np.ndarray, levels: int) -> np.ndarray:
+    """Quantize a [0, 1] parameter onto a ``levels``-point lattice.
+
+    Application configs are discrete in practice (striping presets, on/off
+    collective buffering, fixed rank counts...).  Snapping keeps the
+    data-generating function fa on a lattice that a finite training set can
+    actually cover — without it, every variant sits at a unique point of a
+    10-dimensional continuum and *no* model family approaches the duplicate
+    bound, contradicting §VI.B.
+    """
+    return np.round(np.asarray(x, dtype=float) * (levels - 1)) / (levels - 1)
+
+
+def _snap_log(x: np.ndarray, per_decade: int = 4) -> np.ndarray:
+    """Quantize a positive parameter onto a geometric lattice."""
+    return np.power(10.0, np.round(np.log10(np.asarray(x, dtype=float)) * per_decade) / per_decade)
+
+
+#: unit-interval latent parameters and their lattice resolutions
+_UNIT_SNAPS = {
+    "read_frac": 17,
+    "shared_frac": 9,
+    "seq_frac": 9,
+    "aligned_frac": 9,
+    "collective_frac": 5,
+}
+#: log-scale latent parameters snapped to 4 levels per decade
+_LOG_SNAPS = ("meta_per_gib", "fsync_per_gib")
+
+#: knobs a rerun of a base configuration may change.  Production reruns vary
+#: *scale* (ranks, problem size, transfer sizing) far more often than access
+#: *pattern* (sharing mode, sequentiality, alignment), which is baked into
+#: the code path — so pattern knobs stay locked to the base configuration.
+_MUTABLE_KEYS = ("nprocs", "read_frac", "xfer_read", "xfer_write", "meta_per_gib", "fsync_per_gib")
+
+
+@dataclass(frozen=True)
+class AppFamily:
+    """One application class and its parameter distributions."""
+
+    name: str
+    sensitivity_base: float         # contention sensitivity multiplier (Fig. 1b spread)
+    mpiio_prob: float               # probability a variant performs I/O through MPI-IO
+    sampler: Callable[[np.random.Generator, int], dict[str, np.ndarray]]
+    #: deviation of the family's true performance from the platform envelope
+    #: model, in dex.  Zero for the trained families (the envelope *is*
+    #: fitted to them); non-zero for novel codes, whose internal behaviour
+    #: (async I/O, pathological locking, ...) no amount of in-distribution
+    #: training data reveals — this is what makes OoD jobs carry the 3x
+    #: error of §VIII rather than being benign extrapolations.
+    fa_offset_dex: float = 0.0
+    #: per-variant spread of that deviation (dex).  This must dominate the
+    #: mean: a family-consistent offset is learnable from the handful of
+    #: novel jobs that land in a training split (one "nprocs > 8k" split
+    #: isolates the whole family), whereas independent per-variant draws —
+    #: each variant rerun only 1-3 times — sit below any sane
+    #: min_child_weight and stay unpredictable, as §VIII requires.
+    fa_sigma_dex: float = 0.0
+
+    def sample(
+        self, rng: np.random.Generator, n: int, variants_per_base: float = 40.0,
+        mutation_prob: float = 0.22,
+    ) -> dict[str, np.ndarray]:
+        """Draw ``n`` variants; adds family-level sensitivity and MPI-IO flags.
+
+        Variants cluster around a small set of *base configurations*: real
+        workloads rerun a few canonical setups with one or two knobs changed
+        (the clustering the paper's prior work, Gauge [8], documents).  Each
+        variant copies a base and re-draws each *scale* knob
+        (``_MUTABLE_KEYS``) independently with probability
+        ``mutation_prob``; access-pattern knobs stay locked to the base.
+        ``total_bytes`` is always re-drawn (problem size varies run to run,
+        and throughput — a rate — is invariant to it).  Without this
+        manifold structure, application behaviour is not learnable at
+        realistic dataset sizes and no model approaches the duplicate
+        bound, contradicting §VI.B.
+        """
+        n_bases = max(2, int(round(n / variants_per_base)) + 1)
+        bases = self.sampler(rng, n_bases)
+        fresh = self.sampler(rng, n)
+        assign = rng.integers(0, n_bases, n)
+        params = {k: np.asarray(v)[assign].copy() for k, v in bases.items()}
+        for key in _MUTABLE_KEYS:
+            mutate = rng.random(n) < mutation_prob
+            params[key][mutate] = np.asarray(fresh[key])[mutate]
+        params["total_bytes"] = np.asarray(fresh["total_bytes"])
+
+        for key, levels in _UNIT_SNAPS.items():
+            params[key] = _snap_unit(params[key], levels)
+        for key in _LOG_SNAPS:
+            params[key] = _snap_log(params[key])
+        jitter = np.exp(rng.normal(0.0, 0.25, n))
+        params["sensitivity"] = self.sensitivity_base * jitter
+        # Per-variant deviation from the envelope model (see the
+        # fa_offset_dex / fa_sigma_dex field docs for why the variance must
+        # dominate the family mean).
+        params["fa_offset"] = self.fa_offset_dex + self.fa_sigma_dex * rng.normal(0.0, 1.0, n)
+        params["uses_mpiio"] = rng.random(n) < self.mpiio_prob
+        # collective I/O only makes sense through MPI-IO
+        params["collective_frac"] = np.where(params["uses_mpiio"], params["collective_frac"], 0.0)
+        return params
+
+
+def _ior(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """IOR filesystem benchmark: large aligned sequential transfers, N-1 or N-N."""
+    return {
+        "nprocs": _pow2(rng, 6, 10, n),
+        "total_bytes": _loguniform(rng, 64 * GiB, 4 * TiB, n),
+        "read_frac": rng.choice([0.0, 0.5, 1.0], n, p=[0.4, 0.4, 0.2]),
+        "xfer_read": _pow2(rng, 20, 24, n),        # 1..16 MiB
+        "xfer_write": _pow2(rng, 20, 24, n),
+        "shared_frac": rng.choice([0.0, 1.0], n, p=[0.5, 0.5]),
+        "files_per_proc": np.ones(n),
+        "shared_files": np.ones(n),
+        "meta_per_gib": _loguniform(rng, 0.05, 0.6, n),
+        "seq_frac": np.full(n, 1.0),
+        "aligned_frac": np.full(n, 1.0),
+        "collective_frac": rng.choice([0.0, 1.0], n, p=[0.5, 0.5]),
+        "fsync_per_gib": _loguniform(rng, 0.01, 0.2, n),
+    }
+
+
+def _hacc(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """HACC cosmology checkpoints: huge file-per-process sequential writes."""
+    return {
+        "nprocs": _pow2(rng, 8, 13, n),
+        "total_bytes": _loguniform(rng, 256 * GiB, 40 * TiB, n),
+        "read_frac": _beta(rng, 1.2, 18.0, n),      # ~5 % reads (restart headers)
+        "xfer_read": _pow2(rng, 16, 20, n),
+        "xfer_write": _pow2(rng, 21, 25, n),        # 2..32 MiB
+        "shared_frac": _beta(rng, 1.0, 12.0, n),
+        "files_per_proc": rng.choice([1.0, 2.0], n, p=[0.7, 0.3]),
+        "shared_files": np.ones(n),
+        "meta_per_gib": _loguniform(rng, 0.02, 0.3, n),
+        "seq_frac": rng.uniform(0.93, 1.0, n),
+        "aligned_frac": rng.uniform(0.85, 1.0, n),
+        "collective_frac": _beta(rng, 1.0, 6.0, n),
+        "fsync_per_gib": _loguniform(rng, 0.005, 0.1, n),
+    }
+
+
+def _qb(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """Qbox-like first-principles MD: mixed collective I/O, moderate sizes."""
+    return {
+        "nprocs": _pow2(rng, 7, 11, n),
+        "total_bytes": _loguniform(rng, 4 * GiB, 2 * TiB, n),
+        "read_frac": rng.uniform(0.15, 0.55, n),
+        "xfer_read": _pow2(rng, 17, 22, n),
+        "xfer_write": _pow2(rng, 17, 22, n),
+        "shared_frac": rng.uniform(0.4, 1.0, n),
+        "files_per_proc": np.ones(n),
+        "shared_files": rng.integers(1, 5, n).astype(float),
+        "meta_per_gib": _loguniform(rng, 0.3, 4.0, n),
+        "seq_frac": rng.uniform(0.6, 0.95, n),
+        "aligned_frac": rng.uniform(0.4, 0.9, n),
+        "collective_frac": rng.uniform(0.4, 1.0, n),
+        "fsync_per_gib": _loguniform(rng, 0.02, 0.5, n),
+    }
+
+
+def _pwx(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """Quantum ESPRESSO pw.x: many small unaligned writes, metadata heavy."""
+    return {
+        "nprocs": _pow2(rng, 4, 9, n),
+        "total_bytes": _loguniform(rng, 1 * GiB, 120 * GiB, n),
+        "read_frac": rng.uniform(0.05, 0.35, n),
+        "xfer_read": _pow2(rng, 12, 17, n),
+        "xfer_write": _pow2(rng, 11, 16, n),        # 2..64 KiB
+        "shared_frac": _beta(rng, 1.5, 4.0, n),
+        "files_per_proc": rng.integers(2, 12, n).astype(float),
+        "shared_files": rng.integers(1, 8, n).astype(float),
+        "meta_per_gib": _loguniform(rng, 20.0, 400.0, n),
+        "seq_frac": rng.uniform(0.3, 0.8, n),
+        "aligned_frac": rng.uniform(0.05, 0.5, n),
+        "collective_frac": _beta(rng, 1.0, 8.0, n),
+        "fsync_per_gib": _loguniform(rng, 0.5, 10.0, n),
+    }
+
+
+def _writer(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """Generic N-1 shared-file writer: the paper's most contention-sensitive app."""
+    return {
+        "nprocs": _pow2(rng, 6, 11, n),
+        "total_bytes": _loguniform(rng, 8 * GiB, 6 * TiB, n),
+        "read_frac": _beta(rng, 1.0, 30.0, n),
+        "xfer_read": _pow2(rng, 16, 20, n),
+        "xfer_write": _pow2(rng, 14, 20, n),
+        "shared_frac": rng.uniform(0.85, 1.0, n),
+        "files_per_proc": np.ones(n),
+        "shared_files": np.ones(n),
+        "meta_per_gib": _loguniform(rng, 0.1, 2.0, n),
+        "seq_frac": rng.uniform(0.5, 1.0, n),
+        "aligned_frac": rng.uniform(0.2, 0.8, n),
+        "collective_frac": _beta(rng, 2.0, 5.0, n),
+        "fsync_per_gib": _loguniform(rng, 0.1, 2.0, n),
+    }
+
+
+def _montage(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """Montage-like mosaicking: read-heavy, many small files, POSIX only."""
+    return {
+        "nprocs": _pow2(rng, 4, 8, n),
+        "total_bytes": _loguniform(rng, 1 * GiB, 200 * GiB, n),
+        "read_frac": rng.uniform(0.7, 0.98, n),
+        "xfer_read": _pow2(rng, 13, 18, n),
+        "xfer_write": _pow2(rng, 13, 17, n),
+        "shared_frac": _beta(rng, 1.0, 9.0, n),
+        "files_per_proc": rng.integers(8, 120, n).astype(float),
+        "shared_files": rng.integers(1, 4, n).astype(float),
+        "meta_per_gib": _loguniform(rng, 40.0, 900.0, n),
+        "seq_frac": rng.uniform(0.4, 0.9, n),
+        "aligned_frac": rng.uniform(0.1, 0.6, n),
+        "collective_frac": np.zeros(n),
+        "fsync_per_gib": _loguniform(rng, 0.01, 0.3, n),
+    }
+
+
+def _enzo(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """ENZO-like AMR: bursty checkpoints, mixed shared/unique, mid-size blocks."""
+    return {
+        "nprocs": _pow2(rng, 7, 12, n),
+        "total_bytes": _loguniform(rng, 16 * GiB, 10 * TiB, n),
+        "read_frac": rng.uniform(0.1, 0.45, n),
+        "xfer_read": _pow2(rng, 16, 21, n),
+        "xfer_write": _pow2(rng, 17, 22, n),
+        "shared_frac": rng.uniform(0.1, 0.7, n),
+        "files_per_proc": rng.integers(1, 6, n).astype(float),
+        "shared_files": rng.integers(1, 10, n).astype(float),
+        "meta_per_gib": _loguniform(rng, 1.0, 30.0, n),
+        "seq_frac": rng.uniform(0.55, 0.95, n),
+        "aligned_frac": rng.uniform(0.3, 0.9, n),
+        "collective_frac": rng.uniform(0.0, 0.8, n),
+        "fsync_per_gib": _loguniform(rng, 0.05, 1.0, n),
+    }
+
+
+def _cosmoflow(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """CosmoFlow-like ML training: large sequential shared reads, POSIX."""
+    return {
+        "nprocs": _pow2(rng, 6, 10, n),
+        "total_bytes": _loguniform(rng, 32 * GiB, 8 * TiB, n),
+        "read_frac": rng.uniform(0.9, 1.0, n),
+        "xfer_read": _pow2(rng, 19, 23, n),
+        "xfer_write": _pow2(rng, 14, 18, n),
+        "shared_frac": rng.uniform(0.5, 1.0, n),
+        "files_per_proc": rng.integers(1, 3, n).astype(float),
+        "shared_files": rng.integers(4, 64, n).astype(float),
+        "meta_per_gib": _loguniform(rng, 0.5, 10.0, n),
+        "seq_frac": rng.uniform(0.8, 1.0, n),
+        "aligned_frac": rng.uniform(0.6, 1.0, n),
+        "collective_frac": np.zeros(n),
+        "fsync_per_gib": _loguniform(rng, 0.001, 0.05, n),
+    }
+
+
+def _lammps_novel(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """Novel MD code (OoD): extreme scale + tiny transfers — outside training support.
+
+    Every scale knob sits strictly beyond the in-distribution envelope
+    (nprocs > 2¹³ = HACC's max; transfers below pw.x's 2¹¹ minimum;
+    metadata rates above Montage's 900/GiB ceiling) so that a correctly
+    functioning EU detector *can* separate these jobs — the paper's novel
+    applications are qualitatively different codes, not edge draws of known
+    ones.
+    """
+    return {
+        "nprocs": _pow2(rng, 14, 16, n),             # far larger than any trained app
+        "total_bytes": _loguniform(rng, 2 * GiB, 64 * GiB, n),
+        "read_frac": rng.uniform(0.0, 0.15, n),
+        "xfer_read": _pow2(rng, 8, 10, n),
+        "xfer_write": _pow2(rng, 7, 9, n),           # 128..512 B
+        "shared_frac": rng.uniform(0.9, 1.0, n),
+        "files_per_proc": np.ones(n),
+        "shared_files": np.ones(n),
+        "meta_per_gib": _loguniform(rng, 2000.0, 20000.0, n),
+        "seq_frac": rng.uniform(0.0, 0.3, n),
+        "aligned_frac": rng.uniform(0.0, 0.2, n),
+        "collective_frac": np.zeros(n),
+        "fsync_per_gib": _loguniform(rng, 20.0, 100.0, n),
+    }
+
+
+def _dl_ckpt_novel(rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """Novel DL checkpointing service (OoD): single-process giant streaming writes.
+
+    Volume and transfer size exceed every trained family (HACC tops out at
+    40 TiB and 32 MiB writes); thousands of files from a single process is
+    likewise unseen.
+    """
+    return {
+        "nprocs": np.ones(n, dtype=float),           # in-dist minimum is 16
+        "total_bytes": _loguniform(rng, 100 * TiB, 600 * TiB, n),
+        "read_frac": _beta(rng, 1.0, 40.0, n),
+        "xfer_read": _pow2(rng, 22, 26, n),
+        "xfer_write": _pow2(rng, 27, 29, n),         # 128..512 MiB, beyond training range
+        "shared_frac": np.zeros(n),
+        "files_per_proc": rng.integers(5000, 20000, n).astype(float),
+        "shared_files": np.ones(n),
+        "meta_per_gib": _loguniform(rng, 0.001, 0.02, n),
+        "seq_frac": np.full(n, 1.0),
+        "aligned_frac": np.full(n, 1.0),
+        "collective_frac": np.zeros(n),
+        "fsync_per_gib": _loguniform(rng, 0.0005, 0.01, n),
+    }
+
+
+#: in-distribution families; ``sensitivity_base`` ordering reproduces the
+#: per-application duplicate spread of Fig. 1b (Writer most sensitive,
+#: IOR — a dedicated benchmark run on quiet systems — least).
+FAMILIES: dict[str, AppFamily] = {
+    "ior": AppFamily("ior", sensitivity_base=0.35, mpiio_prob=0.7, sampler=_ior),
+    "hacc": AppFamily("hacc", sensitivity_base=0.75, mpiio_prob=0.5, sampler=_hacc),
+    "qb": AppFamily("qb", sensitivity_base=0.90, mpiio_prob=0.9, sampler=_qb),
+    "pwx": AppFamily("pwx", sensitivity_base=1.50, mpiio_prob=0.25, sampler=_pwx),
+    "writer": AppFamily("writer", sensitivity_base=2.10, mpiio_prob=0.4, sampler=_writer),
+    "montage": AppFamily("montage", sensitivity_base=1.00, mpiio_prob=0.0, sampler=_montage),
+    "enzo": AppFamily("enzo", sensitivity_base=0.95, mpiio_prob=0.6, sampler=_enzo),
+    "cosmoflow": AppFamily("cosmoflow", sensitivity_base=0.70, mpiio_prob=0.0, sampler=_cosmoflow),
+}
+
+#: novel families used only for OoD injection (§VIII)
+OOD_FAMILIES: dict[str, AppFamily] = {
+    "lammps_novel": AppFamily(
+        "lammps_novel", sensitivity_base=1.5, mpiio_prob=0.0,
+        sampler=_lammps_novel, fa_offset_dex=-0.25, fa_sigma_dex=0.55,
+    ),  # pathological locking on average; every port behaves differently
+    "dl_ckpt_novel": AppFamily(
+        "dl_ckpt_novel", sensitivity_base=0.6, mpiio_prob=0.0,
+        sampler=_dl_ckpt_novel, fa_offset_dex=+0.20, fa_sigma_dex=0.50,
+    ),  # async/buffered writes on average; per-deployment tuning varies
+}
+
+_ALL = {**FAMILIES, **OOD_FAMILIES}
+
+
+def family_names(include_ood: bool = True) -> list[str]:
+    """Stable family ordering; OoD families come last."""
+    names = list(FAMILIES)
+    if include_ood:
+        names += list(OOD_FAMILIES)
+    return names
+
+
+def family_index(name: str) -> int:
+    """Integer id of a family (position in :func:`family_names`)."""
+    return family_names().index(name)
+
+
+def sample_variants(name: str, rng: np.random.Generator, n: int) -> dict[str, np.ndarray]:
+    """Draw ``n`` variant configurations from family ``name``."""
+    if n <= 0:
+        return {k: np.empty(0) for k in _ALL[name].sample(rng, 1)}
+    return _ALL[name].sample(rng, n)

@@ -1,0 +1,143 @@
+"""ζl(t, j): resource contention between concurrent jobs.
+
+The local system impact has two parts (paper §IX):
+
+* a *systematic* part driven by the aggregate I/O pressure of the jobs that
+  overlap job ``j`` in time — reconstructed exactly with an event sweep over
+  the job timeline (O(n log n)), and
+* an *idiosyncratic* part from placement: two identical jobs submitted at
+  the same instant land on different nodes/OSTs and see different neighbour
+  traffic.  This part is unobservable in any log and is what makes the
+  Δt = 0 duplicate distribution wider than pure measurement noise.
+
+The :class:`LoadTimeline` is also consumed by :mod:`repro.telemetry.lmt` so
+the LMT features and the contention term describe the *same* traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import PlatformConfig
+from repro.rng import generator_from
+
+__all__ = ["LoadTimeline", "BackgroundLoad", "contention_dex"]
+
+
+class LoadTimeline:
+    """Piecewise-constant aggregate load reconstructed from job intervals.
+
+    Load is expressed as a fraction of platform peak bandwidth; values above
+    1 mean the storage system is oversubscribed.
+    """
+
+    def __init__(self, starts: np.ndarray, ends: np.ndarray, demands: np.ndarray):
+        starts = np.asarray(starts, dtype=float)
+        ends = np.asarray(ends, dtype=float)
+        demands = np.asarray(demands, dtype=float)
+        if np.any(ends < starts):
+            raise ValueError("job interval with end < start")
+        events = np.concatenate([starts, ends])
+        deltas = np.concatenate([demands, -demands])
+        order = np.argsort(events, kind="stable")
+        self._t = events[order]
+        load = np.cumsum(deltas[order])
+        # guard against tiny negative float residue at the tail
+        self._load = np.maximum(load, 0.0)
+        # prefix integral of load for O(1) window averages:
+        # I[k] = ∫_{t0}^{t_k} L dt, with L constant on [t_k, t_{k+1})
+        seg = np.diff(self._t)
+        self._integral = np.concatenate([[0.0], np.cumsum(self._load[:-1] * seg)])
+
+    def load_at(self, t: np.ndarray) -> np.ndarray:
+        """Instantaneous load (fraction of peak) at times ``t``."""
+        t = np.asarray(t, dtype=float)
+        idx = np.searchsorted(self._t, t, side="right") - 1
+        out = np.where(idx >= 0, self._load[np.clip(idx, 0, self._load.size - 1)], 0.0)
+        return np.where(idx >= self._load.size, 0.0, out)
+
+    def _integral_at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        idx = np.clip(np.searchsorted(self._t, t, side="right") - 1, 0, self._t.size - 1)
+        base = self._integral[idx]
+        frac = (t - self._t[idx]) * self._load[idx]
+        below = t < self._t[0]
+        return np.where(below, 0.0, base + np.maximum(frac, 0.0))
+
+    def mean_load(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+        """Average load over each window ``[start, end]`` (exact, vectorized)."""
+        starts = np.asarray(starts, dtype=float)
+        ends = np.asarray(ends, dtype=float)
+        dur = np.maximum(ends - starts, 1e-9)
+        return (self._integral_at(ends) - self._integral_at(starts)) / dur
+
+
+class BackgroundLoad:
+    """Ambient storage traffic from jobs *outside* the dataset.
+
+    The paper's datasets keep only jobs moving more than 1 GiB; the storage
+    system nevertheless serves everything else (small jobs, interactive use,
+    purges).  We model that ambient pressure as a diurnal + weekly cycle
+    plus an OU burst process, realized once per platform on an hourly grid.
+    Without it, contention statistics would depend on how many dataset jobs
+    we happen to simulate — with it they are scale-invariant.
+    """
+
+    def __init__(self, span: float, rng, mean: float = 0.42, diurnal: float = 0.14,
+                 weekly: float = 0.06, burst_sigma: float = 0.16, burst_tau_hours: float = 9.0):
+        gen = generator_from(rng)
+        self.mean = float(mean)
+        self.diurnal = float(diurnal)
+        self.weekly = float(weekly)
+        dt = 3600.0
+        n = max(2, int(span / dt) + 2)
+        alpha = np.exp(-1.0 / burst_tau_hours)
+        innov = gen.normal(0.0, burst_sigma * np.sqrt(1.0 - alpha**2), n)
+        ou = np.empty(n)
+        ou[0] = gen.normal(0.0, burst_sigma)
+        for i in range(1, n):
+            ou[i] = alpha * ou[i - 1] + innov[i]
+        self._grid_t = np.arange(n) * dt
+        self._grid_v = ou
+        self._phase = gen.uniform(0.0, 2.0 * np.pi, 2)
+
+    def load_at(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        day = 2.0 * np.pi * t / 86_400.0
+        week = 2.0 * np.pi * t / (7 * 86_400.0)
+        cyc = self.diurnal * np.sin(day + self._phase[0]) + self.weekly * np.sin(week + self._phase[1])
+        burst = np.interp(t, self._grid_t, self._grid_v)
+        return np.clip(self.mean + cyc + burst, 0.0, 2.5)
+
+    def mean_load(self, starts: np.ndarray, ends: np.ndarray, n_samples: int = 9) -> np.ndarray:
+        """Window-averaged background load via fixed-count sampling."""
+        starts = np.asarray(starts, dtype=float)
+        ends = np.asarray(ends, dtype=float)
+        fracs = np.linspace(0.0, 1.0, n_samples)
+        acc = np.zeros_like(starts)
+        for f in fracs:
+            acc += self.load_at(starts + f * (ends - starts))
+        return acc / n_samples
+
+
+def contention_dex(
+    platform: PlatformConfig,
+    load_other: np.ndarray,
+    sensitivity: np.ndarray,
+    rng,
+) -> tuple[np.ndarray, np.ndarray]:
+    """fl in dex (<= 0) plus the placement multiplier actually drawn.
+
+    ``slowdown = scale * sensitivity * sat(load_other) * placement`` where
+    ``sat`` saturates (an oversubscribed system cannot get arbitrarily
+    slower per unit of extra load) and ``placement`` is a mean-one lognormal
+    capturing node/OST assignment luck.
+    """
+    gen = generator_from(rng)
+    load_other = np.asarray(load_other, dtype=float)
+    sensitivity = np.asarray(sensitivity, dtype=float)
+    sat = load_other / (0.35 + load_other)
+    sigma = platform.placement_sigma
+    placement = np.exp(gen.normal(0.0, sigma, load_other.shape) - 0.5 * sigma**2)
+    dex = -platform.contention_scale * sensitivity * sat * placement
+    return np.maximum(dex, -0.6), placement

@@ -1,0 +1,152 @@
+"""Simulation orchestration: workload → Eq. 3 components → realized jobs.
+
+The engine wires the substrates together in the order the paper's
+formulation implies:
+
+1. sample the workload (variants, duplicate sets, schedule)        — §V
+2. evaluate fa(j) on the idealized platform                        — Eq. 3
+3. realize the global weather process and evaluate fg(t)           — §VII
+4. reconstruct the load timeline and evaluate fl(t, j)             — §IX
+5. add inherent noise fn                                           — §IX
+6. realize throughput, I/O time, and the final job schedule
+
+A single fixed-point pass resolves the throughput↔duration circularity:
+durations are first estimated from fa + fg, the load timeline is built from
+those estimates, and the final throughput then includes contention and
+noise.  (Production systems have the same feedback; one pass reproduces the
+load statistics that matter here.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SECONDS_PER_YEAR, SimulationConfig
+from repro.rng import RngFactory
+from repro.simulator.contention import BackgroundLoad, LoadTimeline, contention_dex
+from repro.simulator.iomodel import ideal_log_throughput
+from repro.simulator.job import LATENT_COLUMNS, JobTable
+from repro.simulator.noise import noise_dex
+from repro.simulator.platform import Platform
+from repro.simulator.weather import Weather
+from repro.simulator.workload import WorkloadPlan, build_workload
+
+__all__ = ["SimulationEngine", "SimulationResult", "simulate"]
+
+MiB = 1024.0**2
+
+
+@dataclass
+class SimulationResult:
+    """Everything downstream consumers need: jobs plus shared substrate state."""
+
+    jobs: JobTable
+    weather: Weather
+    timeline: LoadTimeline
+    background: BackgroundLoad
+    platform: Platform
+    plan: WorkloadPlan
+    config: SimulationConfig
+
+    @property
+    def span(self) -> float:
+        return self.config.workload.span_years * SECONDS_PER_YEAR
+
+    @property
+    def deployment_cutoff_time(self) -> float:
+        return self.config.workload.deployment_cutoff * self.span
+
+
+class SimulationEngine:
+    """Builds one platform's multi-year job population."""
+
+    def __init__(self, config: SimulationConfig):
+        self.config = config
+        self.rngs = RngFactory(config.seed)
+        self.platform = Platform(config.platform)
+
+    def run(self) -> SimulationResult:
+        cfg = self.config
+        span = cfg.workload.span_years * SECONDS_PER_YEAR
+
+        plan = build_workload(cfg.workload, self.rngs.get("workload"))
+        n = plan.n_jobs
+        weather = Weather(
+            cfg.weather,
+            span,
+            self.rngs.get("weather"),
+            deployment_epoch_at=min(0.97, cfg.workload.deployment_cutoff + 0.04),
+        )
+
+        # expand latent variant parameters to jobs
+        job_params = {k: v[plan.job_variant] for k, v in plan.variant_params.items()}
+        start = plan.start_time
+
+        # Eq. 3 terms -------------------------------------------------- #
+        # fa = platform envelope model + the family's deviation from it
+        # (zero for trained families; novel codes behave unlike anything
+        # the envelope was fitted to, see applications.AppFamily)
+        fa = ideal_log_throughput(self.platform, job_params) + job_params["fa_offset"]
+        fg = weather.log_factor(start)
+
+        total_mib = job_params["total_bytes"] / MiB
+        runtime_rng = self.rngs.get("runtime")
+        compute_stretch = 1.0 + runtime_rng.exponential(cfg.workload.compute_time_factor, n)
+
+        io_time_est = total_mib / np.power(10.0, fa + fg)
+        dur_est = np.maximum(io_time_est * compute_stretch, 1.0)
+        demand = self.platform.demand_fraction(total_mib / dur_est, job_params["read_frac"])
+
+        timeline = LoadTimeline(start, start + dur_est, demand)
+        background = BackgroundLoad(span, self.rngs.get("background"))
+        load_window = timeline.mean_load(start, start + dur_est)
+        load_bg = background.mean_load(start, start + dur_est)
+        load_other = np.maximum(load_window - demand, 0.0) + load_bg
+
+        fl, _placement = contention_dex(
+            cfg.platform, load_other, job_params["sensitivity"], self.rngs.get("contention")
+        )
+        fn = noise_dex(cfg.platform, self.rngs.get("noise"), n)
+
+        log_tp = fa + fg + fl + fn
+        throughput = np.power(10.0, log_tp)
+        io_time = total_mib / throughput
+        end = start + np.maximum(io_time * compute_stretch, 1.0)
+
+        # assemble ------------------------------------------------------ #
+        jobs = JobTable(
+            family_id=plan.variant_family[plan.job_variant].astype(np.int32),
+            variant_id=plan.job_variant.astype(np.int64),
+            is_ood=plan.variant_is_ood[plan.job_variant],
+            start_time=cfg.workload.start_epoch + start,
+            end_time=cfg.workload.start_epoch + end,
+            nodes=np.maximum(
+                1, np.ceil(job_params["nprocs"] / cfg.platform.cores_per_node)
+            ).astype(np.int64),
+            cores=job_params["nprocs"].astype(np.int64),
+            fa_dex=fa,
+            fg_dex=fg,
+            fl_dex=fl,
+            fn_dex=fn,
+            throughput_mibps=throughput,
+            io_time=io_time,
+            load_other=load_other,
+            **{k: np.asarray(job_params[k]) for k in LATENT_COLUMNS},
+        )
+        jobs.validate()
+        return SimulationResult(
+            jobs=jobs,
+            weather=weather,
+            timeline=timeline,
+            background=background,
+            platform=self.platform,
+            plan=plan,
+            config=cfg,
+        )
+
+
+def simulate(config: SimulationConfig) -> SimulationResult:
+    """One-call façade: build and run an engine."""
+    return SimulationEngine(config).run()

@@ -1,0 +1,122 @@
+"""fa(j): the idealized application-performance model (Eq. 3, first term).
+
+Computes the I/O throughput a job would see on an otherwise idle,
+configuration-frozen platform.  This is the deterministic "application
+behaviour" component that a sufficiently expressive ML model *can* learn from
+Darshan features, because every input here is recoverable from the feature
+set emitted by :mod:`repro.telemetry.darshan`.
+
+The model is a standard analytic parallel-I/O cost model:
+
+* per-process transfer efficiency (latency/bandwidth),
+* collective buffering rescuing small MPI-IO transfers,
+* saturating scale-out to the OST ceiling,
+* N-1 shared-file lock contention on writes,
+* random-access and alignment penalties,
+* metadata and fsync serialization at the MDS.
+
+All functions are vectorized over jobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.platform import Platform
+
+__all__ = ["ideal_throughput_mibps", "ideal_log_throughput"]
+
+GiB = 1024.0**3
+_COLLECTIVE_XFER = 4.0 * 1024 * 1024  # collective buffering aggregates to ~4 MiB
+
+
+def _side_bandwidth(
+    platform: Platform,
+    nprocs: np.ndarray,
+    xfer: np.ndarray,
+    shared_frac: np.ndarray,
+    seq_frac: np.ndarray,
+    aligned_frac: np.ndarray,
+    collective_frac: np.ndarray,
+    read: bool,
+) -> np.ndarray:
+    """Aggregate bandwidth (MiB/s) for one direction (read or write)."""
+    cfg = platform.config
+    # Everything below is phrased in POSIX-*visible* effective quantities:
+    # collective buffering re-issues large, aligned, sequential transfers,
+    # and Darshan records the post-aggregation traffic, so each effective
+    # term here is recoverable from the POSIX feature set (§V).
+    eff = platform.transfer_efficiency(xfer)
+    eff_coll = platform.transfer_efficiency(np.maximum(xfer, _COLLECTIVE_XFER))
+    eff = (1.0 - collective_frac) * eff + collective_frac * eff_coll
+    seq_eff = 1.0 - (1.0 - seq_frac) * (1.0 - collective_frac)
+    align_eff = 1.0 - (1.0 - aligned_frac) * (1.0 - collective_frac)
+    # share of traffic issued as large extents (aggregated or natively big)
+    big_share = collective_frac + (1.0 - collective_frac) * (xfer >= _COLLECTIVE_XFER)
+
+    demand = nprocs * cfg.per_proc_mibps * eff
+    ceiling = platform.aggregate_ceiling(platform.osts_used(nprocs, shared_frac), read=read)
+    # smooth saturating min: harmonic interpolation avoids a kink the ML
+    # models would exploit unrealistically
+    bw = demand * ceiling / (demand + ceiling)
+
+    # random access hurts (seek amplification on the OSTs)
+    bw = bw * (1.0 - cfg.random_access_penalty * (1.0 - seq_eff))
+    # unaligned accesses trigger read-modify-write on writes, minor cost on reads
+    align_pen = 0.20 if not read else 0.06
+    bw = bw * (1.0 - align_pen * (1.0 - align_eff))
+    if not read:
+        # N-1 shared-file writes serialize on extent locks; large disjoint
+        # extents (collective aggregation or natively large transfers)
+        # conflict far less
+        lock = cfg.shared_write_penalty * shared_frac * np.power(nprocs, 0.35) * (1.0 - 0.8 * big_share)
+        bw = bw / (1.0 + lock)
+    return np.maximum(bw, 1e-3)
+
+
+def ideal_throughput_mibps(platform: Platform, params: dict[str, np.ndarray]) -> np.ndarray:
+    """fa in linear units: MiB/s the application achieves on an idle system.
+
+    ``params`` holds the latent columns (see ``job.LATENT_COLUMNS``).
+    """
+    cfg = platform.config
+    nprocs = np.asarray(params["nprocs"], dtype=float)
+    total_bytes = np.asarray(params["total_bytes"], dtype=float)
+    read_frac = np.asarray(params["read_frac"], dtype=float)
+
+    bytes_read = total_bytes * read_frac
+    bytes_write = total_bytes - bytes_read
+
+    bw_read = _side_bandwidth(
+        platform, nprocs, params["xfer_read"], params["shared_frac"],
+        params["seq_frac"], params["aligned_frac"], params["collective_frac"], read=True,
+    )
+    bw_write = _side_bandwidth(
+        platform, nprocs, params["xfer_write"], params["shared_frac"],
+        params["seq_frac"], params["aligned_frac"], params["collective_frac"], read=False,
+    )
+
+    mib_read = bytes_read / (1024.0**2)
+    mib_write = bytes_write / (1024.0**2)
+    time_read = mib_read / bw_read
+    time_write = mib_write / bw_write
+
+    # metadata + fsync time: serialized at the MDS, softened by client-side
+    # caching when many processes share files
+    gib = total_bytes / GiB
+    meta_ops = params["meta_per_gib"] * gib + params["fsync_per_gib"] * gib
+    meta_parallel = np.sqrt(nprocs)
+    time_meta = meta_ops * cfg.metadata_cost / meta_parallel
+
+    # Phases overlap in real codes: reads, writes, and metadata streams from
+    # different ranks proceed concurrently, so the job's I/O wall time is
+    # governed by the slowest stream rather than the sum.  A p-norm is the
+    # smooth version of that max.
+    p = 2.5
+    total_time = (time_read**p + time_write**p + time_meta**p) ** (1.0 / p)
+    return (mib_read + mib_write) / np.maximum(total_time, 1e-9)
+
+
+def ideal_log_throughput(platform: Platform, params: dict[str, np.ndarray]) -> np.ndarray:
+    """fa in dex: log10 MiB/s."""
+    return np.log10(ideal_throughput_mibps(platform, params))

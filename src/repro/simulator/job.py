@@ -1,0 +1,122 @@
+"""Job records in struct-of-arrays layout.
+
+A :class:`JobTable` holds every per-job quantity as a NumPy array so the
+entire pipeline (performance model, weather, contention, telemetry) stays
+vectorized.  Latent application parameters are shared *exactly* between
+members of a duplicate set (they are copied from the variant table), which is
+what makes duplicate detection by feature hashing possible downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+
+__all__ = ["JobTable", "LATENT_COLUMNS"]
+
+#: latent application-configuration columns (deterministic per variant)
+LATENT_COLUMNS = (
+    "nprocs",
+    "total_bytes",
+    "read_frac",
+    "xfer_read",
+    "xfer_write",
+    "shared_frac",
+    "files_per_proc",
+    "shared_files",
+    "meta_per_gib",
+    "seq_frac",
+    "aligned_frac",
+    "collective_frac",
+    "fsync_per_gib",
+    "sensitivity",
+    "fa_offset",
+    "uses_mpiio",
+)
+
+
+@dataclass
+class JobTable:
+    """All per-job arrays for one simulated platform.
+
+    Ground-truth component columns (``fa_dex`` … ``fn_dex``) are carried for
+    *validating* the litmus tests against the generative truth; the ML
+    pipeline itself never reads them.
+    """
+
+    # identity / workload structure
+    family_id: np.ndarray = field(default_factory=lambda: np.empty(0, np.int32))
+    variant_id: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    is_ood: np.ndarray = field(default_factory=lambda: np.empty(0, np.bool_))
+    # latent application configuration (see LATENT_COLUMNS)
+    nprocs: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    total_bytes: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    read_frac: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    xfer_read: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    xfer_write: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    shared_frac: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    files_per_proc: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    shared_files: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    meta_per_gib: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    seq_frac: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    aligned_frac: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    collective_frac: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    fsync_per_gib: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    sensitivity: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    fa_offset: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    uses_mpiio: np.ndarray = field(default_factory=lambda: np.empty(0, np.bool_))
+    # schedule
+    start_time: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    end_time: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    nodes: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    cores: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    # ground-truth throughput decomposition, dex = log10 units
+    fa_dex: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    fg_dex: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    fl_dex: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    fn_dex: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    # realized observables
+    throughput_mibps: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    io_time: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+    load_other: np.ndarray = field(default_factory=lambda: np.empty(0, np.float64))
+
+    def __len__(self) -> int:
+        return int(self.start_time.shape[0])
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self)
+
+    @property
+    def log_throughput(self) -> np.ndarray:
+        """Prediction target: log10 of I/O throughput in MiB/s."""
+        return np.log10(self.throughput_mibps)
+
+    @property
+    def duration(self) -> np.ndarray:
+        return self.end_time - self.start_time
+
+    def take(self, index: np.ndarray) -> "JobTable":
+        """Row subset (fancy index or boolean mask), preserving all columns."""
+        out = JobTable()
+        for f in fields(self):
+            arr = getattr(self, f.name)
+            setattr(out, f.name, np.asarray(arr)[index])
+        return out
+
+    def validate(self) -> None:
+        """Internal consistency checks; raises ``ValueError`` on violation."""
+        n = len(self)
+        for f in fields(self):
+            arr = getattr(self, f.name)
+            if arr.shape[0] != n:
+                raise ValueError(f"column {f.name} has length {arr.shape[0]}, expected {n}")
+        if n == 0:
+            return
+        if np.any(self.end_time < self.start_time):
+            raise ValueError("job with negative duration")
+        if np.any(self.total_bytes <= 0):
+            raise ValueError("job with non-positive I/O volume")
+        if np.any(~np.isfinite(self.throughput_mibps)) or np.any(self.throughput_mibps <= 0):
+            raise ValueError("non-finite or non-positive throughput")

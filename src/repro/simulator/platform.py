@@ -1,0 +1,63 @@
+"""Storage-platform model: derived quantities shared by fa and telemetry.
+
+Wraps a :class:`repro.config.PlatformConfig` with vectorized helpers —
+transfer-size efficiency curves, OST fan-out of a job, and per-job aggregate
+bandwidth demand — so that :mod:`repro.simulator.iomodel` and
+:mod:`repro.telemetry.lmt` agree on the same hardware picture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import PlatformConfig
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """A Lustre-like parallel filesystem attached to a compute partition."""
+
+    def __init__(self, config: PlatformConfig):
+        self.config = config
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    # ------------------------------------------------------------------ #
+    def transfer_efficiency(self, xfer_bytes: np.ndarray) -> np.ndarray:
+        """Per-process streaming efficiency as a function of transfer size.
+
+        Classic latency/bandwidth model: a transfer of ``latency_bytes``
+        reaches 50 % of the streaming ceiling.
+        """
+        xfer = np.asarray(xfer_bytes, dtype=float)
+        return xfer / (xfer + self.config.latency_bytes)
+
+    def osts_used(self, nprocs: np.ndarray, shared_frac: np.ndarray) -> np.ndarray:
+        """Effective number of OSTs a job's I/O spreads across.
+
+        File-per-process I/O fans out to up to ``n_ost`` targets; shared
+        files are striped over ``stripe_width`` targets.
+        """
+        cfg = self.config
+        fpp = np.minimum(np.asarray(nprocs, dtype=float), cfg.n_ost)
+        shared = np.minimum(float(cfg.stripe_width), cfg.n_ost)
+        sf = np.asarray(shared_frac, dtype=float)
+        return sf * shared + (1.0 - sf) * fpp
+
+    def aggregate_ceiling(self, osts: np.ndarray, read: bool) -> np.ndarray:
+        """Bandwidth ceiling (MiB/s) given the OST fan-out."""
+        peak = self.config.peak_read_mibps if read else self.config.peak_write_mibps
+        frac = np.clip(np.asarray(osts, dtype=float) / self.config.n_ost, 0.0, 1.0)
+        # fan-out helps sub-linearly: a single OST already delivers ~1.5/n_ost
+        # of peak thanks to server-side caching
+        return peak * np.clip(1.5 * frac / (0.5 + frac), 1.0 / self.config.n_ost, 1.0)
+
+    def demand_fraction(self, mibps: np.ndarray, read_frac: np.ndarray) -> np.ndarray:
+        """A job's data rate as a fraction of the blended platform peak."""
+        cfg = self.config
+        rf = np.asarray(read_frac, dtype=float)
+        peak = rf * cfg.peak_read_mibps + (1.0 - rf) * cfg.peak_write_mibps
+        return np.asarray(mibps, dtype=float) / peak

@@ -1,0 +1,159 @@
+"""ζg(t): global system state — "I/O climate" and "I/O weather".
+
+Following the paper's §VII (and the UMAMI terminology it cites), the global
+component mixes slow *climate* (software epochs, aging, filesystem fullness,
+seasonal load) with transient *weather* (service degradations, a slowly
+wandering Ornstein-Uhlenbeck term).  The whole process is a pure function of
+time once constructed, which is exactly the property the golden start-time
+model exploits in the system-modeling litmus test.
+
+Everything is evaluated vectorized over arbitrary time arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SECONDS_PER_DAY, SECONDS_PER_YEAR, WeatherConfig
+from repro.rng import generator_from
+
+__all__ = ["Weather"]
+
+
+class Weather:
+    """Realization of the global system process over a fixed span.
+
+    Parameters
+    ----------
+    config:
+        Amplitude/frequency knobs.
+    span:
+        Length of the simulated period in seconds; times are offsets in
+        ``[0, span]`` from the platform's start epoch.
+    rng:
+        Seed or generator; one realization is drawn at construction.
+    deployment_epoch_at:
+        Optional fraction of the span at which a *guaranteed* epoch boundary
+        with an amplified offset is placed.  The engine aligns this with the
+        deployment cutoff so temporal splits exhibit the post-deployment
+        drift of Fig. 1d.
+    """
+
+    def __init__(
+        self,
+        config: WeatherConfig,
+        span: float,
+        rng,
+        deployment_epoch_at: float | None = 0.85,
+    ):
+        self.config = config
+        self.span = float(span)
+        gen = generator_from(rng)
+
+        # --- epochs: piecewise-constant offsets (software/hardware changes)
+        n_ep = max(1, int(config.epoch_count))
+        bounds = np.sort(gen.uniform(0.0, span, n_ep - 1)) if n_ep > 1 else np.empty(0)
+        offsets = gen.normal(0.0, config.epoch_sigma, n_ep)
+        if deployment_epoch_at is not None:
+            t_dep = float(deployment_epoch_at) * span
+            bounds = np.sort(np.append(bounds, t_dep))
+            # the post-deployment epoch gets a deliberate, sign-random shift
+            extra = gen.choice([-1.0, 1.0]) * (config.epoch_sigma * 2.0)
+            offsets = np.append(offsets, offsets[-1] + extra)
+        self._epoch_bounds = bounds
+        self._epoch_offsets = offsets - offsets.mean()
+
+        # --- degradations: negative half-cosine pulses
+        years = span / SECONDS_PER_YEAR
+        n_events = gen.poisson(config.degradations_per_year * years)
+        self._deg_center = gen.uniform(0.0, span, n_events)
+        self._deg_depth = gen.uniform(config.degradation_depth_min, config.degradation_depth_max, n_events)
+        hours = np.exp(
+            gen.uniform(
+                np.log(config.degradation_hours_min),
+                np.log(config.degradation_hours_max),
+                n_events,
+            )
+        )
+        self._deg_halfwidth = hours * 3600.0 / 2.0
+
+        # --- slow OU wander, realized on a 6-hour grid and interpolated
+        dt = 6.0 * 3600.0
+        n_grid = max(2, int(span / dt) + 2)
+        tau = config.ou_tau_days * SECONDS_PER_DAY
+        alpha = np.exp(-dt / tau)
+        innov = gen.normal(0.0, config.ou_sigma * np.sqrt(1.0 - alpha**2), n_grid)
+        ou = np.empty(n_grid)
+        ou[0] = gen.normal(0.0, config.ou_sigma)
+        for i in range(1, n_grid):  # short loop: ~4K iterations at 3-year span
+            ou[i] = alpha * ou[i - 1] + innov[i]
+        self._ou_grid_t = np.arange(n_grid) * dt
+        self._ou_grid_v = ou
+
+        # --- fullness sawtooth
+        self._purge_period = config.fullness_purge_period_days * SECONDS_PER_DAY
+
+    # ------------------------------------------------------------------ #
+    def epoch_offset(self, t: np.ndarray) -> np.ndarray:
+        """Piecewise-constant software-epoch offset (dex)."""
+        t = np.asarray(t, dtype=float)
+        idx = np.searchsorted(self._epoch_bounds, t, side="right")
+        return self._epoch_offsets[idx]
+
+    def degradation(self, t: np.ndarray) -> np.ndarray:
+        """Total degradation depth at time ``t`` (dex, >= 0)."""
+        t = np.asarray(t, dtype=float)
+        out = np.zeros_like(t)
+        if self._deg_center.size == 0:
+            return out
+        # chunk over time to bound the events x times broadcast
+        step = max(1, 2_000_000 // max(1, self._deg_center.size))
+        flat = t.ravel()
+        res = np.zeros(flat.size)
+        for lo in range(0, flat.size, step):
+            hi = min(flat.size, lo + step)
+            x = (flat[lo:hi, None] - self._deg_center[None, :]) / self._deg_halfwidth[None, :]
+            pulse = np.where(np.abs(x) < 1.0, 0.5 * (1.0 + np.cos(np.pi * x)), 0.0)
+            res[lo:hi] = pulse @ self._deg_depth
+        return res.reshape(t.shape)
+
+    def ou(self, t: np.ndarray) -> np.ndarray:
+        """Slow bandwidth wander (dex, zero-mean)."""
+        t = np.asarray(t, dtype=float)
+        return np.interp(t, self._ou_grid_t, self._ou_grid_v)
+
+    def fullness(self, t: np.ndarray) -> np.ndarray:
+        """Filesystem fullness fraction in [0, 0.97] (sawtooth with purges)."""
+        cfg = self.config
+        t = np.asarray(t, dtype=float)
+        phase = np.mod(t, self._purge_period) / self._purge_period
+        per_period = cfg.fullness_slope * self._purge_period / SECONDS_PER_YEAR
+        base = cfg.fullness_start + 0.5 * per_period * (phase - 0.5) * 2.0
+        drift = 0.02 * t / self.span  # the system slowly fills over its life
+        return np.clip(base + drift, 0.02, 0.97)
+
+    def seasonal(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        cfg = self.config
+        season = cfg.seasonal_amplitude * np.sin(2.0 * np.pi * t / SECONDS_PER_YEAR)
+        aging = cfg.aging_slope * t / SECONDS_PER_YEAR
+        return season + aging
+
+    # ------------------------------------------------------------------ #
+    def log_factor(self, t: np.ndarray) -> np.ndarray:
+        """fg(t): total global offset in dex (negative during degradations)."""
+        t = np.asarray(t, dtype=float)
+        full_pen = -self.config.fullness_penalty * (self.fullness(t) - self.config.fullness_start)
+        return self.epoch_offset(t) - self.degradation(t) + self.ou(t) + self.seasonal(t) + full_pen
+
+    def describe(self) -> dict[str, float]:
+        """Summary statistics of this realization (for reports/tests)."""
+        grid = np.linspace(0.0, self.span, 4096)
+        fg = self.log_factor(grid)
+        return {
+            "n_degradations": int(self._deg_center.size),
+            "n_epochs": int(self._epoch_offsets.size),
+            "fg_std_dex": float(np.std(fg)),
+            "fg_min_dex": float(np.min(fg)),
+            "fg_max_dex": float(np.max(fg)),
+        }

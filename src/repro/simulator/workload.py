@@ -1,0 +1,218 @@
+"""Workload synthesis: who runs what, when — including duplicate structure.
+
+Reproduces the structural properties of the paper's job populations that the
+litmus tests depend on:
+
+* a configurable fraction of jobs belongs to *duplicate sets* (identical
+  latent config ⇒ identical Darshan features): 23.5 % on Theta, 54 % on Cori;
+* duplicate sets are either *spread* over a campaign (weeks) or submitted as
+  *batches* with identical start times (Δt = 0 sets), whose size
+  distribution matches §IX (~70 % of Δt = 0 sets have exactly 2 jobs,
+  ~96 % have ≤ 6);
+* an IOR-like health-check benchmark reruns periodically across the whole
+  span (the paper's example of system-probing duplicates);
+* after the deployment cutoff, *novel* application families appear
+  (out-of-distribution jobs, §VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SECONDS_PER_DAY, SECONDS_PER_YEAR, WorkloadConfig
+from repro.rng import generator_from
+from repro.simulator.applications import OOD_FAMILIES, family_index, family_names, sample_variants
+
+__all__ = ["WorkloadPlan", "build_workload"]
+
+
+@dataclass
+class WorkloadPlan:
+    """Output of :func:`build_workload` (indices are into the variant table)."""
+
+    variant_params: dict[str, np.ndarray]   # per-variant latent columns
+    variant_family: np.ndarray              # per-variant family id
+    variant_is_ood: np.ndarray              # per-variant OoD flag
+    job_variant: np.ndarray                 # per-job variant index
+    start_time: np.ndarray                  # per-job offset (s) from span start
+
+    @property
+    def n_jobs(self) -> int:
+        return int(self.job_variant.shape[0])
+
+    @property
+    def n_variants(self) -> int:
+        return int(self.variant_family.shape[0])
+
+
+def _draw_set_sizes(rng: np.random.Generator, cfg: WorkloadConfig, target_jobs: int) -> np.ndarray:
+    """Duplicate-set sizes (each >= 2) summing to ~``target_jobs``."""
+    if target_jobs < 2:
+        return np.empty(0, dtype=np.int64)
+    sizes: list[int] = []
+    total = 0
+    while total < target_jobs:
+        s = int(np.clip(round(np.exp(rng.normal(cfg.set_size_log_mean, cfg.set_size_log_sigma))), 2, 400))
+        s = min(s, target_jobs - total) if target_jobs - total >= 2 else 2
+        if s < 2:
+            break
+        sizes.append(s)
+        total += s
+    return np.asarray(sizes, dtype=np.int64)
+
+
+def _schedule_set(
+    rng: np.random.Generator, cfg: WorkloadConfig, size: int, span: float
+) -> np.ndarray:
+    """Start times for one duplicate set.
+
+    Three submission styles cover the Δt structure of Fig. 1c/6:
+
+    * *batch* — members start within the same second (Δt = 0 strip);
+    * *sequential chain* — each member starts minutes-to-hours after the
+      previous one (sweep campaigns resubmitted as jobs finish), which
+      populates the 10¹–10⁴ s decades;
+    * *campaign spread* — members scatter over weeks (days-to-months tail).
+    """
+    center = rng.uniform(0.05 * span, 0.95 * span)
+    sigma = cfg.campaign_sigma_days * SECONDS_PER_DAY
+    style = rng.random()
+    if style < cfg.batch_prob:
+        # split into Δt=0 batches of size 2 + Geom(p); remainder spread
+        times = np.empty(size)
+        filled = 0
+        while filled < size:
+            b = 2 + rng.geometric(cfg.batch_geom_p) - 1
+            b = min(b, size - filled)
+            t0 = np.clip(center + rng.normal(0.0, sigma), 0.0, span - 1.0)
+            if b == 1:
+                times[filled] = t0
+            else:
+                # members of a batch start within the same second
+                times[filled : filled + b] = t0 + rng.uniform(0.0, 0.9, b)
+            filled += b
+        return times
+    if style < cfg.batch_prob + cfg.seq_prob:
+        gaps = rng.lognormal(cfg.seq_gap_log_mean, cfg.seq_gap_log_sigma, size - 1)
+        times = center + np.concatenate([[0.0], np.cumsum(gaps)])
+        return np.clip(times, 0.0, span - 1.0)
+    offsets = rng.normal(0.0, sigma, size)
+    return np.clip(center + offsets, 0.0, span - 1.0)
+
+
+def build_workload(cfg: WorkloadConfig, rng) -> WorkloadPlan:
+    """Construct the full job population for one platform."""
+    gen = generator_from(rng)
+    n = int(cfg.n_jobs)
+    if n < 10:
+        raise ValueError("need at least 10 jobs to build a workload")
+    span = cfg.span_years * SECONDS_PER_YEAR
+
+    # ---- budget the population --------------------------------------- #
+    post_jobs = (1.0 - cfg.deployment_cutoff) * n
+    n_ood = int(round(cfg.ood_fraction * post_jobs))
+    ood_sizes = []
+    remaining_ood = n_ood
+    while remaining_ood > 0:
+        # §VIII's OoD jobs are "rarely run or novel": predominantly one-off
+        # submissions.  Reruns matter — a novel variant with a sibling in
+        # the training split is *learnable* (boosting memorizes small
+        # duplicate groups) and genuinely stops being OoD for the model.
+        s = int(gen.choice([1, 2, 3], p=[0.70, 0.25, 0.05]))
+        s = min(s, remaining_ood)
+        ood_sizes.append(s)
+        remaining_ood -= s
+    ood_sizes_arr = np.asarray(ood_sizes, dtype=np.int64)
+
+    n_bench_variants = max(1, n // 16_000)
+    bench_runs_each = int(min(span / (cfg.benchmark_period_days * SECONDS_PER_DAY),
+                              max(24, 0.02 * n)))
+    n_bench = n_bench_variants * bench_runs_each
+
+    target_dup = int(cfg.duplicate_fraction * n) - n_bench
+    set_sizes = _draw_set_sizes(gen, cfg, max(0, target_dup))
+    n_dup = int(set_sizes.sum())
+
+    n_single = max(0, n - n_ood - n_bench - n_dup)
+
+    # ---- variant table ------------------------------------------------ #
+    families = family_names(include_ood=True)
+    id_weights = np.array([cfg.family_weights.get(f, 0.0) for f in families])
+    id_weights = id_weights / id_weights.sum()
+
+    n_normal_variants = n_single + set_sizes.size
+    variant_family = gen.choice(len(families), size=n_normal_variants, p=id_weights)
+    bench_family = np.full(n_bench_variants, family_index("ior"), dtype=np.int64)
+    ood_names = list(OOD_FAMILIES)
+    ood_family = np.asarray(
+        [family_index(ood_names[i % len(ood_names)]) for i in range(ood_sizes_arr.size)],
+        dtype=np.int64,
+    )
+    variant_family = np.concatenate([variant_family, bench_family, ood_family]).astype(np.int64)
+    variant_is_ood = np.zeros(variant_family.size, dtype=bool)
+    if ood_family.size:
+        variant_is_ood[-ood_family.size :] = True
+
+    # draw latent parameters family-by-family (vectorized within family)
+    params: dict[str, np.ndarray] = {}
+    for fid, fname in enumerate(families):
+        mask = variant_family == fid
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        drawn = sample_variants(fname, gen, count)
+        for key, values in drawn.items():
+            if key not in params:
+                dtype = bool if values.dtype == bool else float
+                params[key] = np.zeros(variant_family.size, dtype=dtype)
+            params[key][mask] = values
+    # enforce the paper's >1 GiB job filter at the source
+    params["total_bytes"] = np.maximum(params["total_bytes"], cfg.min_bytes_gib * 1024.0**3)
+
+    # ---- job -> variant assignment and start times -------------------- #
+    job_variant_parts: list[np.ndarray] = []
+    start_parts: list[np.ndarray] = []
+
+    # singletons: variants [0, n_single)
+    if n_single:
+        job_variant_parts.append(np.arange(n_single, dtype=np.int64))
+        start_parts.append(gen.uniform(0.0, span, n_single))
+
+    # duplicate sets: variants [n_single, n_single + n_sets)
+    for k, size in enumerate(set_sizes):
+        vid = n_single + k
+        job_variant_parts.append(np.full(size, vid, dtype=np.int64))
+        start_parts.append(_schedule_set(gen, cfg, int(size), span))
+
+    # periodic benchmark variants
+    for b in range(n_bench_variants):
+        vid = n_normal_variants + b
+        period = span / bench_runs_each
+        phase = gen.uniform(0.0, 0.5 * period)
+        times = phase + np.arange(bench_runs_each) * period + gen.uniform(-0.08, 0.08, bench_runs_each) * period
+        job_variant_parts.append(np.full(bench_runs_each, vid, dtype=np.int64))
+        start_parts.append(np.clip(times, 0.0, span - 1.0))
+
+    # OoD variants: only after the deployment cutoff
+    t_cut = cfg.deployment_cutoff * span
+    for k, size in enumerate(ood_sizes_arr):
+        vid = n_normal_variants + n_bench_variants + k
+        job_variant_parts.append(np.full(size, vid, dtype=np.int64))
+        base = gen.uniform(t_cut, span - 1.0)
+        jitter = gen.uniform(0.0, 3.0 * SECONDS_PER_DAY, size)
+        start_parts.append(np.clip(base + jitter, t_cut, span - 1.0))
+
+    job_variant = np.concatenate(job_variant_parts)
+    start_time = np.concatenate(start_parts)
+
+    # shuffle into arrival order (sorted by time, as logs would be)
+    order = np.argsort(start_time, kind="stable")
+    return WorkloadPlan(
+        variant_params=params,
+        variant_family=variant_family,
+        variant_is_ood=variant_is_ood,
+        job_variant=job_variant[order],
+        start_time=start_time[order],
+    )

@@ -1,0 +1,24 @@
+"""Statistical utilities shared by litmus tests, benches and examples.
+
+* :mod:`repro.stats.bootstrap` — percentile bootstrap confidence intervals
+  for the medians/bands the paper reports (every headline number in
+  EXPERIMENTS.md carries a resampling CI, which the paper itself omits)
+* :mod:`repro.stats.weighted`  — weighted quantiles for duplicate-pair
+  statistics, where large sets would otherwise dominate (§IX weighting)
+* :mod:`repro.stats.drift`     — distribution-shift scores (PSI, KS) for
+  deployment-time concept-drift monitoring (the ref [5] problem)
+"""
+
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_median_ci
+from repro.stats.drift import DriftMonitor, ks_statistic, population_stability_index
+from repro.stats.weighted import weighted_median, weighted_quantile
+
+__all__ = [
+    "bootstrap_ci",
+    "bootstrap_median_ci",
+    "weighted_quantile",
+    "weighted_median",
+    "population_stability_index",
+    "ks_statistic",
+    "DriftMonitor",
+]

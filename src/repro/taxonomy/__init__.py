@@ -1,0 +1,33 @@
+"""The paper's primary contribution: the error taxonomy and its litmus tests.
+
+* :mod:`repro.taxonomy.litmus_app`    — §VI  duplicate-job application bound
+* :mod:`repro.taxonomy.litmus_system` — §VII golden start-time model
+* :mod:`repro.taxonomy.litmus_ood`    — §VIII EU-threshold OoD attribution
+* :mod:`repro.taxonomy.litmus_noise`  — §IX  Δt=0 duplicates, t-fit, σ bands
+* :mod:`repro.taxonomy.framework`     — §X   the 5-step procedure (Fig. 7)
+"""
+
+from repro.taxonomy.errors import ErrorBreakdown
+from repro.taxonomy.framework import TaxonomyPipeline, TaxonomyReport
+from repro.taxonomy.litmus_app import ApplicationBound, application_bound, duplicate_residuals
+from repro.taxonomy.litmus_noise import NoiseBound, noise_bound
+from repro.taxonomy.litmus_ood import OodAttribution, ood_attribution
+from repro.taxonomy.litmus_system import SystemBound, system_bound
+from repro.taxonomy.tdist import bessel_correction_factor, fit_t_distribution
+
+__all__ = [
+    "ErrorBreakdown",
+    "TaxonomyPipeline",
+    "TaxonomyReport",
+    "ApplicationBound",
+    "application_bound",
+    "duplicate_residuals",
+    "SystemBound",
+    "system_bound",
+    "OodAttribution",
+    "ood_attribution",
+    "NoiseBound",
+    "noise_bound",
+    "fit_t_distribution",
+    "bessel_correction_factor",
+]

@@ -1,0 +1,63 @@
+"""Error accounting records for the taxonomy (Eq. 5, Fig. 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ErrorBreakdown"]
+
+
+@dataclass
+class ErrorBreakdown:
+    """Attribution of a baseline model's error to the five classes.
+
+    All ``*_pct_of_total`` entries are percentages of the *initial baseline
+    error* (the pie-chart convention of Fig. 7): estimated segments come
+    from litmus tests, ``removed`` segments from actually improved models.
+    ``unexplained`` is what the estimates fail to cover; the paper reports
+    32.9 % (Theta) and 13.5 % (Cori).
+    """
+
+    platform: str
+    baseline_error_pct: float                 # median |%| error of the Step-1 model
+
+    # estimated segments (litmus tests)
+    application_pct_of_total: float = 0.0     # Step 2.1
+    system_pct_of_total: float = 0.0          # Step 3.1
+    ood_pct_of_total: float = 0.0             # Step 4
+    aleatory_pct_of_total: float = 0.0        # Step 5 (contention + noise)
+
+    # realized improvements (outer ring of Fig. 7)
+    removed_by_tuning_pct_of_total: float = 0.0   # Step 2.2
+    removed_by_system_logs_pct_of_total: float = 0.0  # Step 3.2 (LMT; Cori only)
+
+    # absolute anchors (median |%| errors of intermediate models/bounds)
+    tuned_error_pct: float = 0.0
+    application_bound_pct: float = 0.0
+    system_bound_pct: float = 0.0
+    noise_bound_pct: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def unexplained_pct_of_total(self) -> float:
+        return 100.0 - (
+            self.application_pct_of_total
+            + self.system_pct_of_total
+            + self.ood_pct_of_total
+            + self.aleatory_pct_of_total
+        )
+
+    def segments(self) -> dict[str, float]:
+        """Inner-ring segments as in Fig. 7 (percent of baseline error)."""
+        return {
+            "application_modeling": self.application_pct_of_total,
+            "system_modeling": self.system_pct_of_total,
+            "out_of_distribution": self.ood_pct_of_total,
+            "aleatory (contention+noise)": self.aleatory_pct_of_total,
+            "unexplained": self.unexplained_pct_of_total,
+        }
+
+    def validate(self) -> None:
+        for name, value in self.segments().items():
+            if value < -25.0 or value > 125.0:
+                raise ValueError(f"segment {name} out of range: {value:.1f}%")

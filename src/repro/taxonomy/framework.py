@@ -1,0 +1,202 @@
+"""§X — applying the taxonomy end to end (Fig. 7).
+
+:class:`TaxonomyPipeline` executes the paper's five-step procedure on a
+:class:`~repro.data.Dataset` and returns an
+:class:`~repro.taxonomy.errors.ErrorBreakdown`:
+
+1.   train/evaluate a baseline model (default-hyperparameter GBM);
+2.1  estimate the application-modeling bound from duplicate jobs;
+2.2  hyperparameter-search toward that bound (error removed by tuning);
+3.1  train the golden start-time model (system-modeling bound);
+3.2  add system logs (LMT) and measure the error actually removed;
+4.   tag OoD jobs with ensemble epistemic uncertainty, attribute their error;
+5.   estimate the aleatory floor from concurrent duplicates (OoD removed).
+
+All segment percentages are relative to the Step-1 baseline error, exactly
+as in the paper's pie charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.duplicates import find_duplicate_sets
+from repro.data.features import feature_matrix
+from repro.data.splits import train_val_test_split
+from repro.ml.ensemble import DeepEnsemble
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.hpo import grid_search
+from repro.ml.metrics import median_abs_pct_error
+from repro.taxonomy.errors import ErrorBreakdown
+from repro.taxonomy.litmus_app import application_bound
+from repro.taxonomy.litmus_noise import noise_bound
+from repro.taxonomy.litmus_ood import ood_attribution
+from repro.taxonomy.litmus_system import DEFAULT_GOLDEN_GRID, system_bound
+
+__all__ = ["TaxonomyPipeline", "TaxonomyReport"]
+
+#: compact tuning grid for Step 2.2 (REPRO_FULL expands it in the benches)
+DEFAULT_TUNING_GRID: dict[str, Sequence[Any]] = {
+    "n_estimators": (100, 300, 600),
+    "max_depth": (6, 10),
+    "learning_rate": (0.05, 0.1),
+    "min_child_weight": (6,),
+    "subsample": (0.8,),
+    "colsample_bytree": (0.8,),
+    "loss": ("squared",),
+}
+
+
+@dataclass
+class TaxonomyReport:
+    """Breakdown plus every intermediate artifact, for inspection/tests."""
+
+    breakdown: ErrorBreakdown
+    baseline_model: Any
+    tuned_model: Any
+    app_bound: Any
+    sys_bound: Any
+    ood: Any
+    noise: Any
+    splits: tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+class TaxonomyPipeline:
+    """Configurable runner for the five-step framework.
+
+    Budget knobs (``tuning_grid``, ``ensemble_members``, ``ensemble_epochs``)
+    let benches trade fidelity for runtime; defaults run a Theta-scale
+    dataset end to end in a few minutes on one core.
+    """
+
+    def __init__(
+        self,
+        feature_set: str = "posix",
+        tuning_grid: Mapping[str, Sequence[Any]] | None = None,
+        golden_grid: Mapping[str, Sequence[Any]] | None = None,
+        ensemble_members: int = 6,
+        ensemble_epochs: int = 30,
+        ood_quantile: float = 0.99,
+        val_frac: float = 0.15,
+        test_frac: float = 0.2,
+        seed: int = 0,
+        workers: int | None = 1,
+    ):
+        self.feature_set = feature_set
+        self.tuning_grid = dict(tuning_grid or DEFAULT_TUNING_GRID)
+        self.golden_grid = dict(golden_grid or DEFAULT_GOLDEN_GRID)
+        self.ensemble_members = int(ensemble_members)
+        self.ensemble_epochs = int(ensemble_epochs)
+        self.ood_quantile = float(ood_quantile)
+        self.val_frac = float(val_frac)
+        self.test_frac = float(test_frac)
+        self.seed = int(seed)
+        self.workers = workers
+
+    # ------------------------------------------------------------------ #
+    def run(self, dataset: Dataset) -> TaxonomyReport:
+        X_app, _ = feature_matrix(dataset, self.feature_set)
+        y = dataset.y
+        train, val, test = train_val_test_split(
+            len(dataset), self.val_frac, self.test_frac, rng=self.seed
+        )
+
+        # Step 1 — baseline model, default hyperparameters
+        baseline = GradientBoostingRegressor(n_estimators=100, max_depth=6, loss="squared")
+        baseline.fit(X_app[train], y[train])
+        e0 = median_abs_pct_error(y[test], baseline.predict(X_app[test]))
+
+        # Step 2.1 — application-modeling bound from duplicates
+        dups = find_duplicate_sets(dataset.frames["posix"])
+        app = application_bound(dataset.frames["posix"], y, dups=dups)
+        est_app = max(0.0, e0 - app.median_abs_pct) / e0 * 100.0
+
+        # Step 2.2 — tune toward the bound
+        tuned = grid_search(
+            GradientBoostingRegressor,
+            self.tuning_grid,
+            X_app[train], y[train], X_app[val], y[val],
+            workers=self.workers,
+        )
+        e_tuned = median_abs_pct_error(y[test], tuned.best_model.predict(X_app[test]))
+        removed_tuning = max(0.0, e0 - e_tuned) / e0 * 100.0
+
+        # Step 3.1 — golden model with the start-time feature
+        X_time, _ = feature_matrix(dataset, f"{self.feature_set}+time")
+        sysb = system_bound(
+            X_time, y, train, val, test,
+            grid=self.golden_grid, workers=self.workers,
+        )
+        est_sys = max(0.0, e_tuned - sysb.golden_error_pct) / e0 * 100.0
+
+        # Step 3.2 — add system logs when the platform collects them
+        removed_logs = 0.0
+        e_logs = None
+        if "lmt" in dataset.frames:
+            X_lmt, _ = feature_matrix(dataset, f"{self.feature_set}+lmt")
+            logs_model = GradientBoostingRegressor(**tuned.best_params)
+            logs_model.fit(X_lmt[np.concatenate([train, val])], y[np.concatenate([train, val])])
+            e_logs = median_abs_pct_error(y[test], logs_model.predict(X_lmt[test]))
+            removed_logs = max(0.0, e_tuned - e_logs) / e0 * 100.0
+
+        # Step 4 — OoD tagging via ensemble epistemic uncertainty
+        ensemble = DeepEnsemble(
+            n_members=self.ensemble_members,
+            diversity="arch",
+            epochs=self.ensemble_epochs,
+            random_state=self.seed,
+        )
+        ensemble.fit(X_app[np.concatenate([train, val])], y[np.concatenate([train, val])])
+        decomp = ensemble.decompose(X_app[test])
+        # attribute against the tuned model's errors (the deployed predictor)
+        ood = ood_attribution(
+            decomp, y[test],
+            pred_dex=tuned.best_model.predict(X_app[test]),
+            quantile=self.ood_quantile,
+        )
+        est_ood = ood.error_share * 100.0
+
+        # Step 5 — aleatory floor from concurrent duplicates, OoD removed
+        exclude = np.zeros(len(dataset), dtype=bool)
+        exclude[test[ood.is_ood]] = True
+        noise = noise_bound(y, dups, dataset.start_time, exclude=exclude)
+        est_aleatory = min(100.0, noise.median_abs_pct / e0 * 100.0)
+
+        breakdown = ErrorBreakdown(
+            platform=dataset.name,
+            baseline_error_pct=e0,
+            application_pct_of_total=est_app,
+            system_pct_of_total=est_sys,
+            ood_pct_of_total=est_ood,
+            aleatory_pct_of_total=est_aleatory,
+            removed_by_tuning_pct_of_total=removed_tuning,
+            removed_by_system_logs_pct_of_total=removed_logs,
+            tuned_error_pct=e_tuned,
+            application_bound_pct=app.median_abs_pct,
+            system_bound_pct=sysb.golden_error_pct,
+            noise_bound_pct=noise.median_abs_pct,
+            details={
+                "tuned_params": tuned.best_params,
+                "golden_params": sysb.best_params,
+                "lmt_error_pct": e_logs,
+                "ood_threshold": ood.threshold,
+                "ood_fraction": ood.ood_fraction,
+                "noise_band_68_pct": noise.band_68_pct,
+                "noise_band_95_pct": noise.band_95_pct,
+            },
+        )
+        breakdown.validate()
+        return TaxonomyReport(
+            breakdown=breakdown,
+            baseline_model=baseline,
+            tuned_model=tuned.best_model,
+            app_bound=app,
+            sys_bound=sysb,
+            ood=ood,
+            noise=noise,
+            splits=(train, val, test),
+        )

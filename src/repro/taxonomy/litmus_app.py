@@ -1,0 +1,74 @@
+"""§VI.A — the application-modeling litmus test.
+
+Duplicate jobs share every observable application feature, so no model can
+tell them apart; the best it can do is predict each set's mean.  The spread
+of duplicates around their set mean is therefore a *lower bound* on any
+model's error — and the distance between a practical model and this bound
+is its application-modeling error, removable by tuning (eapp).
+
+Procedure (paper):
+  1. find duplicate sets; 2. subtract each set's mean I/O throughput;
+  3. apply Bessel's correction; 4. report the median absolute error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.duplicates import DuplicateSets, find_duplicate_sets
+from repro.ml.metrics import dex_to_pct
+from repro.taxonomy.tdist import pooled_residuals
+
+__all__ = ["ApplicationBound", "application_bound", "duplicate_residuals"]
+
+
+@dataclass
+class ApplicationBound:
+    """Result of the duplicate litmus test."""
+
+    median_abs_dex: float        # bound in log10 units
+    median_abs_pct: float        # bound as the paper's % number
+    n_duplicates: int
+    n_sets: int
+    duplicate_fraction: float
+    residuals_dex: np.ndarray    # pooled Bessel-corrected residuals
+
+    def model_app_error_pct(self, model_error_pct: float) -> float:
+        """eapp estimate for a model: its error minus the bound (>= 0)."""
+        return max(0.0, model_error_pct - self.median_abs_pct)
+
+
+def duplicate_residuals(
+    y_dex: np.ndarray, dups: DuplicateSets, bessel: bool = True
+) -> np.ndarray:
+    """Pooled within-set residuals of log throughput (signed, dex)."""
+    return pooled_residuals(y_dex, dups.sets, correct=bessel)
+
+
+def application_bound(
+    features: np.ndarray,
+    y_dex: np.ndarray,
+    dups: DuplicateSets | None = None,
+    bessel: bool = True,
+) -> ApplicationBound:
+    """Run the litmus test on (application features, log throughputs).
+
+    ``dups`` may be supplied to reuse a previous duplicate census.
+    """
+    y_dex = np.asarray(y_dex, dtype=float)
+    if dups is None:
+        dups = find_duplicate_sets(features)
+    if dups.n_sets == 0:
+        raise ValueError("no duplicate sets found; the litmus test needs reruns")
+    resid = duplicate_residuals(y_dex, dups, bessel=bessel)
+    med = float(np.median(np.abs(resid)))
+    return ApplicationBound(
+        median_abs_dex=med,
+        median_abs_pct=float(dex_to_pct(med)),
+        n_duplicates=dups.n_duplicates,
+        n_sets=dups.n_sets,
+        duplicate_fraction=dups.fraction_of(y_dex.shape[0]),
+        residuals_dex=resid,
+    )

@@ -1,0 +1,81 @@
+"""§VII.A — the global-system-modeling litmus test.
+
+Global system impact ζg(t) is, by definition, a pure function of time.  A
+"golden" model that sees the application features *plus the job start time*
+can learn the I/O weather without observing its causes; its test error is a
+lower bound on application + system modeling combined.  The gap between the
+tuned application-only model and this golden model estimates esystem.
+
+Procedure (paper): add the start-time feature to the Darshan-only dataset,
+hyperparameter-search on a validation set, report the test error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.hpo import grid_search
+from repro.ml.metrics import dex_to_pct, median_abs_log_ratio
+
+__all__ = ["SystemBound", "system_bound", "DEFAULT_GOLDEN_GRID"]
+
+#: compact search grid for the golden model (a larger model is needed to
+#: "remember the I/O weather throughout the lifetime of the system", §VII.A)
+DEFAULT_GOLDEN_GRID: dict[str, Sequence[Any]] = {
+    "n_estimators": (300, 600),
+    "max_depth": (8, 10),
+    "learning_rate": (0.05,),
+    "min_child_weight": (6,),
+    "subsample": (0.8,),
+    "colsample_bytree": (0.8,),
+    "loss": ("squared",),
+}
+
+
+@dataclass
+class SystemBound:
+    """Result of the golden start-time-model litmus test."""
+
+    golden_error_dex: float
+    golden_error_pct: float
+    best_params: dict[str, Any]
+    model: Any
+
+    def system_error_pct(self, tuned_app_error_pct: float) -> float:
+        """esystem estimate: tuned app-only error minus golden error."""
+        return max(0.0, tuned_app_error_pct - self.golden_error_pct)
+
+
+def system_bound(
+    X_time: np.ndarray,
+    y_dex: np.ndarray,
+    train: np.ndarray,
+    val: np.ndarray,
+    test: np.ndarray,
+    grid: Mapping[str, Sequence[Any]] | None = None,
+    factory: Callable[..., Any] = GradientBoostingRegressor,
+    workers: int | None = 1,
+) -> SystemBound:
+    """Fit the golden model on features that include ``JOB_START_TIME``.
+
+    ``X_time`` must already contain the start-time column (use
+    ``feature_matrix(ds, "posix+time")``).
+    """
+    result = grid_search(
+        factory,
+        dict(grid or DEFAULT_GOLDEN_GRID),
+        X_time[train], y_dex[train],
+        X_time[val], y_dex[val],
+        workers=workers,
+    )
+    err = median_abs_log_ratio(y_dex[test], result.best_model.predict(X_time[test]))
+    return SystemBound(
+        golden_error_dex=err,
+        golden_error_pct=float(dex_to_pct(err)),
+        best_params=result.best_params,
+        model=result.best_model,
+    )

@@ -1,0 +1,47 @@
+"""Rendering of taxonomy results (text-mode Fig. 7)."""
+
+from __future__ import annotations
+
+from repro.taxonomy.errors import ErrorBreakdown
+
+__all__ = ["render_breakdown"]
+
+_BAR_WIDTH = 46
+
+
+def _bar(pct: float) -> str:
+    filled = int(round(max(0.0, min(100.0, pct)) / 100.0 * _BAR_WIDTH))
+    return "█" * filled + "·" * (_BAR_WIDTH - filled)
+
+
+def render_breakdown(b: ErrorBreakdown) -> str:
+    """Markdown/ASCII rendering of one platform's Fig. 7 pie."""
+    lines = [
+        f"Error taxonomy — {b.platform}",
+        f"  baseline model error (Step 1): {b.baseline_error_pct:.2f}% median abs",
+        "",
+        "  segment (as % of baseline error)",
+    ]
+    for name, value in b.segments().items():
+        lines.append(f"  {name:<28s} {value:5.1f}%  {_bar(value)}")
+    lines += [
+        "",
+        f"  removed by tuning (Step 2.2):      {b.removed_by_tuning_pct_of_total:5.1f}%"
+        f"  (tuned model: {b.tuned_error_pct:.2f}%)",
+    ]
+    if b.removed_by_system_logs_pct_of_total:
+        lines.append(
+            f"  removed by system logs (Step 3.2): {b.removed_by_system_logs_pct_of_total:5.1f}%"
+        )
+    lines += [
+        "",
+        f"  application bound (duplicates):    {b.application_bound_pct:.2f}%",
+        f"  system bound (golden time model):  {b.system_bound_pct:.2f}%",
+        f"  aleatory floor (Δt=0 duplicates):  {b.noise_bound_pct:.2f}%",
+    ]
+    if "noise_band_68_pct" in b.details:
+        lines.append(
+            f"  expected throughput variability:   ±{b.details['noise_band_68_pct']:.2f}% (68%)"
+            f" / ±{b.details['noise_band_95_pct']:.2f}% (95%)"
+        )
+    return "\n".join(lines)

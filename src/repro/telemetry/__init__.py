@@ -1,0 +1,27 @@
+"""Telemetry generators: render simulated jobs into the paper's log sources.
+
+* :mod:`repro.telemetry.darshan` — 48 Darshan POSIX counters (application view)
+* :mod:`repro.telemetry.mpiio`   — 48 Darshan MPI-IO counters (redundant view)
+* :mod:`repro.telemetry.cobalt`  — 5 Cobalt scheduler features
+* :mod:`repro.telemetry.lmt`     — 37 Lustre Monitoring Tools aggregates
+
+Feature counts match §V of the paper exactly ("models have access to 48
+Darshan POSIX, 48 Darshan MPI-IO, 37 LMT, and 5 Cobalt features").
+"""
+
+from repro.telemetry.cobalt import cobalt_features
+from repro.telemetry.darshan import posix_features
+from repro.telemetry.lmt import lmt_features
+from repro.telemetry.mpiio import mpiio_features
+from repro.telemetry.schema import COBALT_FEATURES, LMT_FEATURES, MPIIO_FEATURES, POSIX_FEATURES
+
+__all__ = [
+    "posix_features",
+    "mpiio_features",
+    "cobalt_features",
+    "lmt_features",
+    "POSIX_FEATURES",
+    "MPIIO_FEATURES",
+    "COBALT_FEATURES",
+    "LMT_FEATURES",
+]

@@ -1,0 +1,96 @@
+"""Lustre Monitoring Tools (LMT) synthesis (NERSC Cori).
+
+LMT records OSS/OST/MDS/MDT server-side state every 5 seconds; since a job
+may be served by any number of servers, only window aggregates (min, max,
+mean, std) are exposed to the model (§V).  We sample each base series at a
+fixed number of points inside the job window, add server-side measurement
+noise, and aggregate — the same information channel with the same dilution.
+
+The base series are driven by the *shared* substrate state (background +
+job-driven load timeline, weather realization), so LMT features genuinely
+observe the ζg(t) process that the system-modeling litmus test targets:
+degradations surface as MDS/OSS CPU spikes and served-bandwidth dips, and
+filesystem fullness is reported directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import generator_from
+from repro.simulator.contention import BackgroundLoad, LoadTimeline
+from repro.simulator.job import JobTable
+from repro.simulator.platform import Platform
+from repro.simulator.weather import Weather
+from repro.telemetry.schema import LMT_FEATURES
+
+__all__ = ["lmt_features", "N_WINDOW_SAMPLES"]
+
+#: sample points per job window (LMT's 5 s cadence collapsed to aggregates)
+N_WINDOW_SAMPLES = 16
+
+#: share of each MDT operation type in ambient metadata traffic
+_MDT_MIX = np.array([0.22, 0.22, 0.28, 0.05, 0.02, 0.01, 0.06, 0.02, 0.04, 0.08])
+_MDT_MIX = _MDT_MIX / _MDT_MIX.sum()
+
+
+def _window_samples(jobs: JobTable, start_epoch: float) -> np.ndarray:
+    """(n_jobs, K) sample times inside each job's window (offsets from span start)."""
+    start = jobs.start_time - start_epoch
+    end = jobs.end_time - start_epoch
+    fracs = np.linspace(0.0, 1.0, N_WINDOW_SAMPLES)
+    return start[:, None] + fracs[None, :] * (end - start)[:, None]
+
+
+def lmt_features(
+    jobs: JobTable,
+    weather: Weather,
+    timeline: LoadTimeline,
+    background: BackgroundLoad,
+    platform: Platform,
+    start_epoch: float,
+    rng,
+    measurement_noise: float = 0.08,
+) -> np.ndarray:
+    """(n_jobs, 37) LMT matrix in :data:`LMT_FEATURES` order."""
+    gen = generator_from(rng)
+    t = _window_samples(jobs, start_epoch)
+    n, k = t.shape
+
+    load = timeline.load_at(t.ravel()).reshape(n, k) + background.load_at(t.ravel()).reshape(n, k)
+    fg = weather.log_factor(t.ravel()).reshape(n, k)
+    deg = weather.degradation(t.ravel()).reshape(n, k)
+    fullness = weather.fullness(t.ravel()).reshape(n, k)
+
+    cfg = platform.config
+    served = np.clip(load, 0.0, 1.0) * np.power(10.0, fg)  # weather throttles delivery
+    # direction split follows the platform's read/write capacity ratio
+    read_share = cfg.peak_read_mibps / (cfg.peak_read_mibps + cfg.peak_write_mibps)
+    ost_read = served * cfg.peak_read_mibps * read_share / max(cfg.n_oss, 1)
+    ost_write = served * cfg.peak_write_mibps * (1.0 - read_share) / max(cfg.n_oss, 1)
+
+    oss_cpu = np.clip(28.0 + 46.0 * load - 130.0 * fg, 0.0, 100.0)
+    oss_mem = np.clip(45.0 + 30.0 * fullness + 8.0 * load, 0.0, 100.0)
+    mds_cpu = np.clip(18.0 + 22.0 * load + 160.0 * deg, 0.0, 100.0)
+    mdt_rate = (900.0 + 2400.0 * load + 9000.0 * deg) * cfg.n_mds
+
+    def noisy(x: np.ndarray) -> np.ndarray:
+        return x * np.exp(gen.normal(0.0, measurement_noise, x.shape))
+
+    series = [noisy(ost_read), noisy(ost_write), noisy(oss_cpu), noisy(oss_mem),
+              noisy(mds_cpu), noisy(mdt_rate)]
+
+    cols: list[np.ndarray] = []
+    for s in series:
+        cols.extend([s.min(axis=1), s.max(axis=1), s.mean(axis=1), s.std(axis=1)])
+
+    cols.append(100.0 * fullness.mean(axis=1))
+    mdt_mean = series[5].mean(axis=1)
+    for share in _MDT_MIX:
+        cols.append(mdt_mean * share)
+    cols.append(np.full(n, float(cfg.n_oss)))
+    cols.append(np.full(n, float(cfg.n_ost)))
+
+    X = np.column_stack(cols)
+    assert X.shape[1] == len(LMT_FEATURES)
+    return X

@@ -1,0 +1,156 @@
+"""Feature registries for every telemetry source.
+
+Names follow the real tools' conventions (Darshan counter names, LMT server
+metrics) so downstream code reads like production log analysis.  The counts
+are structural constants of the reproduction and are asserted at import
+time: 48 POSIX + 48 MPI-IO + 5 Cobalt + 37 LMT, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "POSIX_FEATURES",
+    "MPIIO_FEATURES",
+    "COBALT_FEATURES",
+    "LMT_FEATURES",
+    "SIZE_BUCKETS",
+    "size_bucket_names",
+]
+
+#: Darshan's histogram bucket edges for access sizes (bytes)
+SIZE_BUCKETS: list[tuple[str, float, float]] = [
+    ("0_100", 0.0, 100.0),
+    ("100_1K", 100.0, 1e3),
+    ("1K_10K", 1e3, 1e4),
+    ("10K_100K", 1e4, 1e5),
+    ("100K_1M", 1e5, 1e6),
+    ("1M_4M", 1e6, 4e6),
+    ("4M_10M", 4e6, 1e7),
+    ("10M_100M", 1e7, 1e8),
+    ("100M_1G", 1e8, 1e9),
+    ("1G_PLUS", 1e9, float("inf")),
+]
+
+
+def size_bucket_names(prefix: str) -> list[str]:
+    """Histogram feature names for one direction, e.g. ``POSIX_SIZE_READ_*``."""
+    return [f"{prefix}_{label}" for label, _, _ in SIZE_BUCKETS]
+
+
+POSIX_FEATURES: list[str] = (
+    [
+        "POSIX_NPROCS",
+        "POSIX_OPENS",
+        "POSIX_FILE_COUNT",
+        "POSIX_SHARED_FILE_COUNT",
+        "POSIX_UNIQUE_FILE_COUNT",
+        "POSIX_READS",
+        "POSIX_WRITES",
+        "POSIX_SEEKS",
+        "POSIX_STATS",
+        "POSIX_MMAPS",
+        "POSIX_FSYNCS",
+        "POSIX_FDSYNCS",
+        "POSIX_BYTES_READ",
+        "POSIX_BYTES_WRITTEN",
+        "POSIX_CONSEC_READS",
+        "POSIX_CONSEC_WRITES",
+        "POSIX_SEQ_READS",
+        "POSIX_SEQ_WRITES",
+        "POSIX_RW_SWITCHES",
+        "POSIX_MEM_NOT_ALIGNED",
+        "POSIX_FILE_NOT_ALIGNED",
+    ]
+    + size_bucket_names("POSIX_SIZE_READ")
+    + size_bucket_names("POSIX_SIZE_WRITE")
+    + [
+        "POSIX_MAX_BYTE_READ",
+        "POSIX_MAX_BYTE_WRITTEN",
+        "POSIX_MODE",
+        "POSIX_ACCESS1_ACCESS",
+        "POSIX_ACCESS1_COUNT",
+        "POSIX_ACCESS2_ACCESS",
+        "POSIX_ACCESS2_COUNT",
+    ]
+)
+
+MPIIO_FEATURES: list[str] = (
+    [
+        "MPIIO_INDEP_OPENS",
+        "MPIIO_COLL_OPENS",
+        "MPIIO_INDEP_READS",
+        "MPIIO_INDEP_WRITES",
+        "MPIIO_COLL_READS",
+        "MPIIO_COLL_WRITES",
+        "MPIIO_SPLIT_READS",
+        "MPIIO_SPLIT_WRITES",
+        "MPIIO_NB_READS",
+        "MPIIO_NB_WRITES",
+        "MPIIO_SYNCS",
+        "MPIIO_HINTS",
+        "MPIIO_VIEWS",
+        "MPIIO_MODE",
+        "MPIIO_BYTES_READ",
+        "MPIIO_BYTES_WRITTEN",
+        "MPIIO_RW_SWITCHES",
+    ]
+    + size_bucket_names("MPIIO_SIZE_READ_AGG")
+    + size_bucket_names("MPIIO_SIZE_WRITE_AGG")
+    + [
+        "MPIIO_ACCESS1_ACCESS",
+        "MPIIO_ACCESS1_COUNT",
+        "MPIIO_ACCESS2_ACCESS",
+        "MPIIO_ACCESS2_COUNT",
+        "MPIIO_NPROCS",
+        "MPIIO_FILE_COUNT",
+        "MPIIO_SHARED_FILE_COUNT",
+        "MPIIO_UNIQUE_FILE_COUNT",
+        "MPIIO_AGG_XFER_SIZE",
+        "MPIIO_COLL_BUFFER_SIZE",
+        "MPIIO_DATAREP",
+    ]
+)
+
+COBALT_FEATURES: list[str] = [
+    "COBALT_NUM_NODES",
+    "COBALT_NUM_CORES",
+    "COBALT_START_TIMESTAMP",
+    "COBALT_END_TIMESTAMP",
+    "COBALT_PLACEMENT_SCORE",
+]
+
+_LMT_AGG = ("MIN", "MAX", "MEAN", "STD")
+_LMT_SERIES = (
+    "LMT_OST_READ_MBPS",
+    "LMT_OST_WRITE_MBPS",
+    "LMT_OSS_CPU_PCT",
+    "LMT_OSS_MEM_PCT",
+    "LMT_MDS_CPU_PCT",
+    "LMT_MDT_OPS_RATE",
+)
+_LMT_MDT_TYPES = (
+    "OPEN",
+    "CLOSE",
+    "GETATTR",
+    "SETATTR",
+    "MKDIR",
+    "RMDIR",
+    "UNLINK",
+    "RENAME",
+    "GETXATTR",
+    "STATFS",
+)
+
+LMT_FEATURES: list[str] = (
+    [f"{series}_{agg}" for series in _LMT_SERIES for agg in _LMT_AGG]
+    + ["LMT_FULLNESS_PCT_MEAN"]
+    + [f"LMT_MDT_{op}_MEAN" for op in _LMT_MDT_TYPES]
+    + ["LMT_N_OSS_ACTIVE", "LMT_N_OST_ACTIVE"]
+)
+
+# structural invariants from the paper (§V)
+assert len(POSIX_FEATURES) == 48, len(POSIX_FEATURES)
+assert len(MPIIO_FEATURES) == 48, len(MPIIO_FEATURES)
+assert len(COBALT_FEATURES) == 5, len(COBALT_FEATURES)
+assert len(LMT_FEATURES) == 37, len(LMT_FEATURES)
+assert len(set(POSIX_FEATURES + MPIIO_FEATURES + COBALT_FEATURES + LMT_FEATURES)) == 138

@@ -1,0 +1,6 @@
+"""Text-mode visualization used by examples and the bench harness."""
+
+from repro.viz.ascii import ascii_heatmap, ascii_histogram, ascii_scatter, ascii_segment_bar
+from repro.viz.tables import format_table
+
+__all__ = ["ascii_histogram", "ascii_heatmap", "ascii_scatter", "ascii_segment_bar", "format_table"]

@@ -1,0 +1,127 @@
+"""ASCII renderings of the paper's figure types (histogram, heatmap, scatter).
+
+These are intentionally simple: the benches print the *numbers* that define
+each figure, and these helpers give a quick visual sanity check in a
+terminal without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_histogram", "ascii_heatmap", "ascii_scatter"]
+
+_SHADES = " ░▒▓█"
+
+
+def ascii_histogram(
+    values: np.ndarray, bins: int = 24, width: int = 50, title: str = ""
+) -> str:
+    """Horizontal-bar histogram of a 1-D sample."""
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return f"{title}\n  (no data)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(1, counts.max())
+    lines = [title] if title else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(c / peak * width))
+        lines.append(f"  {lo:+9.3f}..{hi:+9.3f} |{bar:<{width}}| {c}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    M: np.ndarray,
+    x_labels: list | None = None,
+    y_labels: list | None = None,
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Dense numeric heatmap with shaded background ordering.
+
+    Lower values print brighter (the sweeps minimize error), matching the
+    reading of Fig. 1a.
+    """
+    M = np.asarray(M, dtype=float)
+    finite = M[np.isfinite(M)]
+    lo, hi = (finite.min(), finite.max()) if finite.size else (0.0, 1.0)
+    span = max(hi - lo, 1e-12)
+    lines = [title] if title else []
+    x_labels = [str(x) for x in (x_labels or range(M.shape[1]))]
+    y_labels = [str(y) for y in (y_labels or range(M.shape[0]))]
+    cell = max(max(len(x) for x in x_labels) + 1, 7)
+    header = " " * 10 + "".join(f"{x:>{cell}}" for x in x_labels)
+    lines.append(header)
+    for i, ylab in enumerate(y_labels):
+        row = f"{ylab:>9} "
+        for j in range(M.shape[1]):
+            v = M[i, j]
+            if not np.isfinite(v):
+                row += " " * (cell - 2) + "··"
+                continue
+            shade = _SHADES[int(round((v - lo) / span * (len(_SHADES) - 1)))]
+            row += f"{value_format.format(v):>{cell - 1}}{shade}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    title: str = "",
+) -> str:
+    """Density scatter (shade = point count per cell)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    keep = np.isfinite(x) & np.isfinite(y)
+    if logx:
+        keep &= x > 0
+        x = np.where(x > 0, np.log10(np.maximum(x, 1e-12)), 0.0)
+    x, y = x[keep], y[keep]
+    if x.size == 0:
+        return f"{title}\n  (no data)"
+    grid, _, _ = np.histogram2d(x, y, bins=(width, height))
+    grid = grid.T[::-1]  # y increases upward
+    peak = max(1.0, grid.max())
+    lines = [title] if title else []
+    for row in grid:
+        line = "".join(
+            _SHADES[int(np.ceil(c / peak * (len(_SHADES) - 1)))] if c > 0 else " " for c in row
+        )
+        lines.append("  |" + line + "|")
+    lines.append(f"  x: [{x.min():.2f}, {x.max():.2f}]{' (log10)' if logx else ''}   "
+                 f"y: [{y.min():.3f}, {y.max():.3f}]   n={x.size}")
+    return "\n".join(lines)
+
+
+def ascii_segment_bar(
+    segments: dict[str, float],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Proportional segment bar — the text rendering of a Fig. 7 pie chart.
+
+    ``segments`` maps label -> percentage.  Percentages below 100 in total
+    leave an unlabeled remainder (the paper's "unexplained" slice); values
+    are clipped at 0 and the bar is normalized to the larger of 100 and the
+    segment sum.
+    """
+    cleaned = {k: max(0.0, float(v)) for k, v in segments.items()}
+    total = max(100.0, sum(cleaned.values()))
+    fills = "█▓▒░▪▫◦"
+    lines = [title] if title else []
+    bar = ""
+    for i, (label, value) in enumerate(cleaned.items()):
+        bar += fills[i % len(fills)] * int(round(value / total * width))
+    bar = bar.ljust(width, "·")[:width]
+    lines.append("  [" + bar + "]")
+    for i, (label, value) in enumerate(cleaned.items()):
+        lines.append(f"  {fills[i % len(fills)]} {label:<38} {value:5.1f}%")
+    remainder = 100.0 - sum(cleaned.values())
+    if remainder > 0.5:
+        lines.append(f"  · {'unexplained':<38} {remainder:5.1f}%")
+    return "\n".join(lines)

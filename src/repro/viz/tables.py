@@ -1,0 +1,38 @@
+"""Aligned table rendering for the bench harness's paper-vs-measured rows."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Monospace table with per-column alignment (numbers right, text left)."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  " + "  ".join("-" * w for w in widths))
+    for row, src in zip(str_rows, rows):
+        cells = []
+        for value, text, width in zip(src, row, widths):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                cells.append(text.rjust(width))
+            else:
+                cells.append(text.ljust(width))
+        out.append("  " + "  ".join(cells))
+    return "\n".join(out)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)

@@ -1,0 +1,57 @@
+"""Tests for quantile pre-binning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.binning import QuantileBinner
+
+
+class TestQuantileBinner:
+    def test_codes_within_range(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (300, 3))
+        codes = QuantileBinner(16).fit_transform(X)
+        assert codes.dtype == np.uint8
+        assert codes.max() < 16
+
+    def test_monotone_within_feature(self):
+        X = np.sort(np.random.default_rng(1).normal(0, 1, (200, 1)), axis=0)
+        codes = QuantileBinner(32).fit_transform(X)
+        assert np.all(np.diff(codes[:, 0].astype(int)) >= 0)
+
+    def test_out_of_range_clipped_gracefully(self):
+        X = np.arange(100.0)[:, None]
+        binner = QuantileBinner(8).fit(X)
+        lo = binner.transform(np.array([[-1e9]]))
+        hi = binner.transform(np.array([[1e9]]))
+        assert lo[0, 0] == 0
+        assert hi[0, 0] == binner.actual_bins - 1
+
+    def test_constant_feature_single_bin(self):
+        X = np.ones((50, 1))
+        binner = QuantileBinner(8).fit(X)
+        codes = binner.transform(X)
+        assert np.unique(codes).size == 1
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            QuantileBinner().transform(np.zeros((2, 2)))
+
+    def test_feature_mismatch_raises(self):
+        binner = QuantileBinner(8).fit(np.zeros((10, 2)))
+        with pytest.raises(ValueError):
+            binner.transform(np.zeros((10, 3)))
+
+    @pytest.mark.parametrize("bad", [1, 256, 0])
+    def test_invalid_bin_count_raises(self, bad):
+        with pytest.raises(ValueError):
+            QuantileBinner(bad)
+
+    @given(arrays(np.float64, (50, 2), elements=st.floats(-1e6, 1e6)))
+    def test_order_preserving_property(self, X):
+        codes = QuantileBinner(16).fit_transform(X)
+        for f in range(X.shape[1]):
+            order = np.argsort(X[:, f], kind="stable")
+            assert np.all(np.diff(codes[order, f].astype(int)) >= 0)

@@ -1,0 +1,117 @@
+"""Integration tests: the simulator's calibration against the paper's numbers.
+
+These assert *bands* around the headline statistics of §V, §VI.A and §IX —
+the quantities DESIGN.md §5 commits to.  They exercise the full path
+simulator → telemetry → duplicate census → litmus tests (no model training,
+so they stay fast).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import cori_config, theta_config
+from repro.data import build_dataset, find_duplicate_sets
+from repro.taxonomy import application_bound, noise_bound
+
+
+@pytest.fixture(scope="module")
+def theta():
+    ds = build_dataset(theta_config(n_jobs=8000))
+    dups = find_duplicate_sets(ds.frames["posix"])
+    return ds, dups
+
+
+@pytest.fixture(scope="module")
+def cori():
+    ds = build_dataset(cori_config(n_jobs=12000))
+    dups = find_duplicate_sets(ds.frames["posix"])
+    return ds, dups
+
+
+class TestDuplicateCensus:
+    def test_theta_duplicate_fraction(self, theta):
+        """Paper: 23.5 % of Theta jobs are duplicates."""
+        ds, dups = theta
+        assert 0.18 <= dups.fraction_of(len(ds)) <= 0.33
+
+    def test_cori_duplicate_fraction(self, cori):
+        """Paper: 54 % of Cori jobs are duplicates."""
+        ds, dups = cori
+        assert 0.45 <= dups.fraction_of(len(ds)) <= 0.65
+
+    def test_mean_set_size_plausible(self, theta):
+        """Paper: 19010 duplicates over 3509 sets ⇒ mean ~5.4."""
+        _, dups = theta
+        mean_size = dups.n_duplicates / dups.n_sets
+        assert 3.0 <= mean_size <= 9.0
+
+
+class TestApplicationBoundCalibration:
+    def test_theta_bound_band(self, theta):
+        """Paper: 10.01 % on Theta."""
+        ds, dups = theta
+        bound = application_bound(ds.frames["posix"], ds.y, dups=dups)
+        assert 7.5 <= bound.median_abs_pct <= 14.0
+
+    def test_cori_bound_band(self, cori):
+        """Paper: 14.15 % on Cori — and higher than Theta's."""
+        ds, dups = cori
+        bound = application_bound(ds.frames["posix"], ds.y, dups=dups)
+        assert 10.5 <= bound.median_abs_pct <= 19.0
+
+    def test_ordering_cori_above_theta(self, theta, cori):
+        bt = application_bound(theta[0].frames["posix"], theta[0].y, dups=theta[1])
+        bc = application_bound(cori[0].frames["posix"], cori[0].y, dups=cori[1])
+        assert bc.median_abs_pct > bt.median_abs_pct
+
+
+class TestNoiseBoundCalibration:
+    def test_theta_bands(self, theta):
+        """Paper: ±5.71 % (68 %) and ±10.56 % (95 %) on Theta."""
+        ds, dups = theta
+        nb = noise_bound(ds.y, dups, ds.start_time)
+        assert 4.2 <= nb.band_68_pct <= 7.5
+        assert 8.0 <= nb.band_95_pct <= 14.5
+
+    def test_cori_bands(self, cori):
+        """Paper: ±7.21 % / ±14.99 % on Cori — noisier than Theta."""
+        ds, dups = cori
+        nb = noise_bound(ds.y, dups, ds.start_time)
+        assert 5.2 <= nb.band_68_pct <= 9.5
+
+    def test_concurrent_set_sizes(self, theta):
+        """Paper: 70 % of Δt=0 sets have 2 jobs; 96 % have ≤ 6."""
+        ds, dups = theta
+        nb = noise_bound(ds.y, dups, ds.start_time)
+        assert 0.55 <= nb.set_size_share_2 <= 0.85
+        assert nb.set_size_share_le6 >= 0.90
+
+    def test_noise_below_application_bound(self, theta):
+        """Δt=0 spread excludes weather ⇒ must sit below the all-time bound."""
+        ds, dups = theta
+        nb = noise_bound(ds.y, dups, ds.start_time)
+        ab = application_bound(ds.frames["posix"], ds.y, dups=dups)
+        assert nb.median_abs_pct < ab.median_abs_pct
+
+
+class TestGroundTruthValidation:
+    def test_application_bound_tracks_true_irreducible(self, theta):
+        """The litmus estimate must track the generative ground truth.
+
+        This validation is only possible because our substrate is a
+        simulator: the paper could never check its own bound this way.
+        """
+        ds, dups = theta
+        bound = application_bound(ds.frames["posix"], ds.y, dups=dups)
+        irr = ds.meta["fg_dex"] + ds.meta["fl_dex"] + ds.meta["fn_dex"]
+        true_med = np.median(np.abs(irr - np.median(irr)))
+        assert bound.median_abs_dex == pytest.approx(true_med, rel=0.35)
+
+    def test_noise_sigma_tracks_injected_noise(self, theta):
+        ds, dups = theta
+        nb = noise_bound(ds.y, dups, ds.start_time)
+        # fn + idiosyncratic contention: must exceed the pure fn σ and stay
+        # well below the all-weather spread
+        fn_sigma = np.std(ds.meta["fn_dex"])
+        assert nb.sigma_dex > 0.8 * fn_sigma
+        assert nb.sigma_dex < 3.0 * fn_sigma

@@ -1,0 +1,212 @@
+"""Tests for the clustering subpackage (k-means, DBSCAN, hierarchy, reports)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    DBSCAN,
+    AgglomerativeClustering,
+    ClusterReport,
+    KMeans,
+    cluster_workload,
+    davies_bouldin_index,
+    silhouette_score,
+)
+
+
+def _blobs(n_per=80, centers=((0, 0), (8, 8), (-8, 8)), spread=0.6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.concatenate(
+        [rng.normal(c, spread, (n_per, len(c))) for c in centers]
+    )
+    truth = np.repeat(np.arange(len(centers)), n_per)
+    return X, truth
+
+
+def _agreement(labels, truth):
+    """Best-case label agreement via majority vote per found cluster."""
+    correct = 0
+    for c in np.unique(labels):
+        if c < 0:
+            continue
+        members = truth[labels == c]
+        correct += np.bincount(members).max()
+    return correct / truth.size
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self):
+        X, truth = _blobs()
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert _agreement(km.labels_, truth) > 0.97
+
+    def test_inertia_decreases_with_k(self):
+        X, _ = _blobs()
+        i2 = KMeans(n_clusters=2, random_state=0).fit(X).inertia_
+        i6 = KMeans(n_clusters=6, random_state=0).fit(X).inertia_
+        assert i6 < i2
+
+    def test_predict_assigns_nearest_center(self):
+        X, _ = _blobs()
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        lab = km.predict(np.array([[0.0, 0.0], [8.0, 8.0]]))
+        assert lab[0] != lab[1]
+
+    def test_duplicate_rows_share_a_cluster(self):
+        X = np.vstack([np.tile([1.0, 2.0], (30, 1)), np.tile([50.0, 50.0], (30, 1))])
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert len(set(km.labels_[:30])) == 1
+        assert len(set(km.labels_[30:])) == 1
+
+    def test_k1_center_is_mean(self):
+        X, _ = _blobs()
+        km = KMeans(n_clusters=1, random_state=0).fit(X)
+        np.testing.assert_allclose(km.centers_[0], X.mean(axis=0), atol=1e-8)
+
+    def test_deterministic_given_seed(self):
+        X, _ = _blobs()
+        l1 = KMeans(n_clusters=3, random_state=4).fit(X).labels_
+        l2 = KMeans(n_clusters=3, random_state=4).fit(X).labels_
+        np.testing.assert_array_equal(l1, l2)
+
+    def test_rejects_more_clusters_than_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=10).fit(np.zeros((5, 2)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans().predict(np.zeros((2, 2)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 5))
+    def test_every_cluster_nonempty(self, k):
+        X, _ = _blobs(n_per=40, seed=k)
+        km = KMeans(n_clusters=k, random_state=k).fit(X)
+        assert np.unique(km.labels_).size == k
+
+
+class TestDBSCAN:
+    def test_recovers_blobs_and_flags_outliers(self):
+        X, truth = _blobs(spread=0.4)
+        X = np.vstack([X, [[100.0, 100.0]]])  # one far outlier
+        db = DBSCAN(eps=1.5, min_samples=4).fit(X)
+        assert db.n_clusters_ == 3
+        assert db.labels_[-1] == -1
+        assert _agreement(db.labels_[:-1], truth) > 0.95
+
+    def test_all_noise_when_eps_tiny(self):
+        X, _ = _blobs(n_per=20)
+        db = DBSCAN(eps=1e-6, min_samples=3).fit(X)
+        assert db.noise_fraction_ == 1.0
+        assert db.n_clusters_ == 0
+
+    def test_single_cluster_when_eps_huge(self):
+        X, _ = _blobs(n_per=20)
+        db = DBSCAN(eps=1e3, min_samples=3).fit(X)
+        assert db.n_clusters_ == 1
+        assert db.noise_fraction_ == 0.0
+
+    def test_duplicate_clump_is_core(self):
+        X = np.vstack([np.tile([0.0, 0.0], (10, 1)), [[5.0, 5.0]]])
+        db = DBSCAN(eps=0.5, min_samples=5).fit(X)
+        assert np.all(db.labels_[:10] == db.labels_[0])
+        assert db.labels_[0] >= 0
+        assert db.labels_[-1] == -1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCAN(min_samples=0)
+
+
+class TestAgglomerative:
+    def test_recovers_blobs(self):
+        X, truth = _blobs(n_per=40)
+        ag = AgglomerativeClustering(n_clusters=3).fit(X)
+        assert _agreement(ag.labels_, truth) > 0.95
+
+    def test_merge_heights_monotone_tail(self):
+        """The final (cross-blob) merges must be far taller than early ones."""
+        X, _ = _blobs(n_per=30, spread=0.3)
+        ag = AgglomerativeClustering(n_clusters=1).fit(X)
+        h = ag.merge_heights_
+        assert h[-1] > 5.0 * np.median(h[: h.size // 2])
+
+    def test_n_clusters_respected(self):
+        X, _ = _blobs(n_per=25)
+        ag = AgglomerativeClustering(n_clusters=5).fit(X)
+        assert np.unique(ag.labels_).size == 5
+
+    def test_sample_cap_enforced(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(max_samples=10).fit(np.zeros((11, 2)))
+
+
+class TestValidationMetrics:
+    def test_silhouette_high_for_separated_blobs(self):
+        X, truth = _blobs()
+        assert silhouette_score(X, truth) > 0.75
+
+    def test_silhouette_low_for_random_labels(self):
+        X, _ = _blobs()
+        rng = np.random.default_rng(0)
+        rand = rng.integers(0, 3, X.shape[0])
+        assert silhouette_score(X, rand) < 0.1
+
+    def test_silhouette_handles_noise_labels(self):
+        X, truth = _blobs()
+        labels = truth.copy()
+        labels[:10] = -1
+        s = silhouette_score(X, labels)
+        assert -1.0 <= s <= 1.0
+
+    def test_silhouette_single_cluster_is_zero(self):
+        X, _ = _blobs()
+        assert silhouette_score(X, np.zeros(X.shape[0], dtype=int)) == 0.0
+
+    def test_davies_bouldin_better_for_true_labels(self):
+        X, truth = _blobs()
+        rng = np.random.default_rng(1)
+        rand = rng.integers(0, 3, X.shape[0])
+        assert davies_bouldin_index(X, truth) < davies_bouldin_index(X, rand)
+
+
+class TestWorkloadReport:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        from repro.config import theta_config
+        from repro.data import build_dataset
+
+        return build_dataset(theta_config(n_jobs=1500))
+
+    def test_report_covers_all_jobs(self, dataset):
+        rep = cluster_workload(dataset, n_clusters=8)
+        assert isinstance(rep, ClusterReport)
+        assert rep.labels.shape == (len(dataset),)
+        assert sum(s.n_jobs for s in rep.summaries) == len(dataset)
+
+    def test_clusters_align_with_families(self, dataset):
+        """Most clusters should be dominated by a single application family."""
+        rep = cluster_workload(dataset, n_clusters=10)
+        purities = [s.family_purity for s in rep.summaries]
+        assert np.median(purities) > 0.55
+
+    def test_per_cluster_model_error(self, dataset):
+        from repro.data import feature_matrix
+        from repro.ml.gbm import GradientBoostingRegressor
+
+        X, _ = feature_matrix(dataset, "posix")
+        model = GradientBoostingRegressor(n_estimators=40, max_depth=5).fit(X, dataset.y)
+        rep = cluster_workload(dataset, model=model, model_X=X, n_clusters=6)
+        errs = [s.model_error_pct for s in rep.summaries]
+        assert all(e is not None and e >= 0.0 for e in errs)
+        assert len(rep.worst_modeled(2)) == 2
+
+    def test_model_without_matrix_raises(self, dataset):
+        from repro.ml.linear import RidgeRegression
+
+        with pytest.raises(ValueError):
+            cluster_workload(dataset, model=RidgeRegression(), model_X=None)

@@ -1,0 +1,97 @@
+"""Reference cross-checks: our clustering vs scipy and brute force.
+
+The clustering substrate is hand-rolled (no sklearn available), so these
+tests anchor it against independent implementations: scipy's linkage for
+the agglomerative hierarchy, and an O(n²) literal-definition DBSCAN.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.cluster import hierarchy
+
+from repro.cluster import DBSCAN, AgglomerativeClustering
+
+
+def _blobs(n_per=25, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate([
+        rng.normal((0, 0), 0.5, (n_per, 2)),
+        rng.normal((6, 6), 0.5, (n_per, 2)),
+        rng.normal((-6, 6), 0.5, (n_per, 2)),
+    ])
+
+
+class TestAgglomerativeVsScipy:
+    def test_merge_heights_match_scipy_average_linkage(self):
+        X = _blobs()
+        ours = AgglomerativeClustering(n_clusters=1).fit(X)
+        Z = hierarchy.linkage(X, method="average")
+        # same multiset of merge heights (merge order may differ on ties)
+        np.testing.assert_allclose(
+            np.sort(ours.merge_heights_), np.sort(Z[:, 2]), rtol=1e-8
+        )
+
+    def test_flat_clusters_match_scipy_cut(self):
+        X = _blobs(seed=3)
+        ours = AgglomerativeClustering(n_clusters=3).fit(X)
+        Z = hierarchy.linkage(X, method="average")
+        ref = hierarchy.fcluster(Z, t=3, criterion="maxclust")
+        # same partition up to label permutation
+        for labels in (ours.labels_, ref):
+            assert np.unique(labels).size == 3
+        agreement = 0
+        for c in np.unique(ours.labels_):
+            members = ref[ours.labels_ == c]
+            agreement += np.bincount(members).max()
+        assert agreement == X.shape[0]
+
+
+def _brute_dbscan(X, eps, min_samples):
+    """Literal-definition DBSCAN for cross-checking."""
+    n = X.shape[0]
+    d2 = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+    neighbors = [np.flatnonzero(d2[i] <= eps**2 + 1e-12) for i in range(n)]
+    core = np.array([nb.size >= min_samples for nb in neighbors])
+    labels = np.full(n, -1)
+    cid = 0
+    for i in range(n):
+        if not core[i] or labels[i] != -1:
+            continue
+        stack, labels[i] = [i], cid
+        while stack:
+            p = stack.pop()
+            if not core[p]:
+                continue
+            for q in neighbors[p]:
+                if labels[q] == -1:
+                    labels[q] = cid
+                    stack.append(int(q))
+        cid += 1
+    return labels
+
+
+class TestDBSCANVsBruteForce:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.floats(0.3, 2.0), st.integers(2, 6))
+    def test_matches_reference_partition(self, seed, eps, min_samples):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0.0, 1.0, (60, 2))
+        ours = DBSCAN(eps=eps, min_samples=min_samples).fit(X).labels_
+        ref = _brute_dbscan(X, eps, min_samples)
+        # identical noise sets
+        np.testing.assert_array_equal(ours == -1, ref == -1)
+        # identical partitions up to relabeling
+        for c in np.unique(ours):
+            if c < 0:
+                continue
+            refs = ref[ours == c]
+            assert np.unique(refs).size == 1
+
+    def test_core_masks_match(self):
+        X = _blobs(seed=5)
+        model = DBSCAN(eps=1.0, min_samples=4).fit(X)
+        d2 = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+        ref_core = (d2 <= 1.0 + 1e-12).sum(1) >= 4
+        np.testing.assert_array_equal(model.core_mask_, ref_core)

@@ -1,0 +1,64 @@
+"""Tests for configuration presets."""
+
+import pytest
+
+from repro.config import (
+    PRESETS,
+    SimulationConfig,
+    cori_config,
+    preset,
+    theta_config,
+)
+
+
+class TestPresets:
+    def test_theta_platform_flags(self):
+        cfg = theta_config()
+        assert cfg.platform.has_cobalt and not cfg.platform.has_lmt
+
+    def test_cori_platform_flags(self):
+        cfg = cori_config()
+        assert cfg.platform.has_lmt and not cfg.platform.has_cobalt
+
+    def test_cori_noisier_than_theta(self):
+        """Paper: Cori σ₀ ±7.21 % vs Theta ±5.71 %."""
+        assert cori_config().platform.noise_sigma > theta_config().platform.noise_sigma
+
+    def test_cori_more_duplicates(self):
+        """Paper: 54 % duplicates on Cori vs 23.5 % on Theta."""
+        assert cori_config().workload.duplicate_fraction > theta_config().workload.duplicate_fraction
+
+    def test_preset_lookup(self):
+        assert preset("theta").platform.name == "theta"
+        assert preset("CORI").platform.name == "cori"
+
+    def test_preset_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown platform preset"):
+            preset("summit")
+
+    def test_preset_n_jobs_override(self):
+        assert preset("theta", n_jobs=123).workload.n_jobs == 123
+
+    def test_registry_complete(self):
+        assert set(PRESETS) == {"theta", "cori"}
+
+
+class TestSimulationConfig:
+    def test_with_jobs_returns_copy(self):
+        cfg = theta_config()
+        cfg2 = cfg.with_jobs(500)
+        assert cfg2.workload.n_jobs == 500
+        assert cfg.workload.n_jobs != 500 or cfg is not cfg2
+
+    def test_with_seed(self):
+        assert theta_config().with_seed(99).seed == 99
+
+    def test_frozen(self):
+        cfg = theta_config()
+        with pytest.raises(Exception):
+            cfg.seed = 1  # type: ignore[misc]
+
+    def test_default_construction(self):
+        cfg = SimulationConfig()
+        assert cfg.workload.n_jobs > 0
+        assert cfg.platform.n_ost > 0

@@ -1,0 +1,120 @@
+"""Round-trip tests for the darshan-parser text format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import theta_config
+from repro.data import build_dataset, find_duplicate_sets
+from repro.telemetry.darshan_text import (
+    DarshanRecord,
+    dump_dataset,
+    load_logs,
+    parse_log,
+    render_log,
+)
+from repro.telemetry.schema import MPIIO_FEATURES, POSIX_FEATURES
+
+
+def _record(seed=0, with_mpiio=True):
+    rng = np.random.default_rng(seed)
+    posix = {name: float(rng.integers(0, 10**9)) for name in POSIX_FEATURES}
+    mpiio = {name: float(rng.integers(0, 10**6)) for name in MPIIO_FEATURES} if with_mpiio else {}
+    return DarshanRecord(
+        job_id=int(rng.integers(0, 10**6)),
+        nprocs=int(rng.integers(1, 4096)),
+        start_time=float(rng.uniform(1.4e9, 1.6e9)),
+        end_time=float(rng.uniform(1.6e9, 1.7e9)),
+        exe="pw.x",
+        posix=posix,
+        mpiio=mpiio,
+    )
+
+
+class TestRoundTrip:
+    def test_counters_survive_exactly(self):
+        rec = _record()
+        back = parse_log(render_log(rec))
+        assert back.posix == rec.posix
+        assert back.mpiio == rec.mpiio
+
+    def test_header_survives(self):
+        rec = _record(seed=1)
+        back = parse_log(render_log(rec))
+        assert back.job_id == rec.job_id
+        assert back.nprocs == rec.nprocs
+        assert back.start_time == rec.start_time
+        assert back.end_time == rec.end_time
+        assert back.exe == rec.exe
+
+    def test_mpiio_section_optional(self):
+        rec = _record(with_mpiio=False)
+        text = render_log(rec)
+        assert "MPI-IO module" not in text
+        back = parse_log(text)
+        assert not back.has_mpiio
+        np.testing.assert_array_equal(back.mpiio_row(), np.zeros(len(MPIIO_FEATURES)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 1e15, allow_nan=False), st.floats(0.0, 1.0))
+    def test_float_counters_bit_exact(self, big, frac):
+        """repr() round-trip must be bit-exact for any counter value."""
+        rec = _record(seed=2)
+        rec.posix["POSIX_BYTES_READ"] = big + frac
+        back = parse_log(render_log(rec))
+        assert back.posix["POSIX_BYTES_READ"] == big + frac
+
+    def test_rows_in_schema_order(self):
+        rec = _record(seed=3)
+        row = parse_log(render_log(rec)).posix_row()
+        assert row[POSIX_FEATURES.index("POSIX_OPENS")] == rec.posix["POSIX_OPENS"]
+
+    def test_missing_counter_raises_on_row(self):
+        rec = _record(seed=4)
+        back = parse_log(render_log(rec))
+        del back.posix["POSIX_OPENS"]  # simulate a truncated log
+        with pytest.raises(ValueError, match="POSIX_OPENS"):
+            back.posix_row()
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_log("# jobid: 1\nnot a counter line\n")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="jobid"):
+            parse_log("# nprocs: 4\ntotal_POSIX_OPENS: 1\n")
+
+
+class TestDatasetDump:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return build_dataset(theta_config(n_jobs=300))
+
+    def test_dump_and_load_preserve_features(self, dataset, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("darshan")
+        n = dump_dataset(dataset, outdir, limit=50)
+        assert n == 50
+        records = load_logs(outdir)
+        assert len(records) == 50
+        rows = np.stack([r.posix_row() for r in records])
+        np.testing.assert_array_equal(rows, dataset.frames["posix"][:50])
+
+    def test_duplicates_survive_the_trip(self, dataset, tmp_path_factory):
+        """Byte-identical duplicate rows must still be detected after I/O."""
+        outdir = tmp_path_factory.mktemp("darshan_dup")
+        dump_dataset(dataset, outdir)
+        records = load_logs(outdir)
+        rows = np.stack([r.posix_row() for r in records])
+        before = find_duplicate_sets(dataset.frames["posix"])
+        after = find_duplicate_sets(rows)
+        assert after.n_sets == before.n_sets
+        assert after.n_duplicates == before.n_duplicates
+
+    def test_mpiio_emitted_only_when_used(self, dataset, tmp_path_factory):
+        outdir = tmp_path_factory.mktemp("darshan_mpiio")
+        dump_dataset(dataset, outdir, limit=200)
+        records = load_logs(outdir)
+        uses = np.array([r.has_mpiio for r in records])
+        frame = dataset.frames["mpiio"][:200]
+        np.testing.assert_array_equal(uses, np.any(frame != 0.0, axis=1))

@@ -1,0 +1,210 @@
+"""Tests for dataset assembly, feature sets, splits, and duplicate detection."""
+
+import numpy as np
+import pytest
+
+from repro.config import cori_config, theta_config
+from repro.data import (
+    Dataset,
+    build_dataset,
+    concurrent_subsets,
+    duplicate_pairs,
+    feature_matrix,
+    find_duplicate_sets,
+    random_split,
+    temporal_split,
+    train_val_test_split,
+)
+from repro.data.features import derived_posix_features
+from repro.telemetry.schema import POSIX_FEATURES
+
+
+@pytest.fixture(scope="module")
+def theta_ds():
+    return build_dataset(theta_config(n_jobs=3000))
+
+
+@pytest.fixture(scope="module")
+def cori_ds():
+    return build_dataset(cori_config(n_jobs=3000))
+
+
+class TestBuildDataset:
+    def test_sources_per_platform(self, theta_ds, cori_ds):
+        assert set(theta_ds.sources) == {"posix", "mpiio", "cobalt"}
+        assert set(cori_ds.sources) == {"posix", "mpiio", "lmt"}
+
+    def test_target_is_log_throughput(self, theta_ds):
+        assert np.all(np.isfinite(theta_ds.y))
+        assert 0.0 < np.median(theta_ds.y) < 7.0  # MiB/s between 1 and 10^7
+
+    def test_meta_ground_truth_present(self, theta_ds):
+        assert {"variant_id", "is_ood", "fa_dex", "fg_dex", "fl_dex", "fn_dex"} <= set(theta_ds.meta)
+
+    def test_subset(self, theta_ds):
+        sub = theta_ds.subset(np.arange(100))
+        assert len(sub) == 100
+        assert sub.frames["posix"].shape[0] == 100
+
+    def test_save_load_roundtrip(self, theta_ds, tmp_path):
+        path = tmp_path / "ds.npz"
+        theta_ds.save(path)
+        loaded = Dataset.load(path)
+        assert loaded.name == theta_ds.name
+        np.testing.assert_array_equal(loaded.y, theta_ds.y)
+        np.testing.assert_array_equal(loaded.frames["posix"], theta_ds.frames["posix"])
+        np.testing.assert_array_equal(loaded.meta["variant_id"], theta_ds.meta["variant_id"])
+
+    def test_frame_shape_validation(self):
+        with pytest.raises(ValueError, match="frame"):
+            Dataset(
+                name="x",
+                frames={"posix": np.zeros((5, 3))},
+                y=np.zeros(5),
+                start_time=np.zeros(5),
+                end_time=np.ones(5),
+            )
+
+
+class TestFeatureMatrix:
+    def test_posix_with_derived(self, theta_ds):
+        X, names = feature_matrix(theta_ds, "posix")
+        assert X.shape[1] == len(names) > 48
+        assert any(n.startswith("DRV_") for n in names)
+
+    def test_posix_raw_only(self, theta_ds):
+        X, names = feature_matrix(theta_ds, "posix", include_derived=False)
+        assert X.shape[1] == 48
+
+    def test_time_feature_appended(self, theta_ds):
+        X, names = feature_matrix(theta_ds, "posix+time")
+        assert names[-1] == "JOB_START_TIME"
+        np.testing.assert_array_equal(X[:, -1], theta_ds.start_time)
+
+    def test_lmt_on_theta_raises(self, theta_ds):
+        with pytest.raises(ValueError, match="does not collect"):
+            feature_matrix(theta_ds, "posix+lmt")
+
+    def test_cobalt_on_cori_raises(self, cori_ds):
+        with pytest.raises(ValueError, match="does not collect"):
+            feature_matrix(cori_ds, "posix+cobalt")
+
+    def test_unknown_set_raises(self, theta_ds):
+        with pytest.raises(KeyError, match="unknown feature set"):
+            feature_matrix(theta_ds, "posix+magic")
+
+    def test_derived_ratios_recover_latents(self, theta_ds):
+        """DRV_SEQ_READ_PCT must track the latent sequential fraction."""
+        drv, names = derived_posix_features(theta_ds.frames["posix"])
+        seq = drv[:, names.index("DRV_SEQ_READ_PCT")]
+        assert np.all((seq >= 0) & (seq <= 1.0 + 1e-9))
+
+    def test_derived_read_frac_matches_meta(self, theta_ds):
+        drv, names = derived_posix_features(theta_ds.frames["posix"])
+        rf = drv[:, names.index("DRV_READ_BYTE_FRAC")]
+        br = theta_ds.frames["posix"][:, POSIX_FEATURES.index("POSIX_BYTES_READ")]
+        bw = theta_ds.frames["posix"][:, POSIX_FEATURES.index("POSIX_BYTES_WRITTEN")]
+        np.testing.assert_allclose(rf, br / np.maximum(br + bw, 1.0), rtol=1e-9)
+
+
+class TestSplits:
+    def test_random_split_partition(self):
+        train, test = random_split(100, 0.2, rng=0)
+        assert np.intersect1d(train, test).size == 0
+        assert train.size + test.size == 100
+
+    def test_random_split_frac(self):
+        _, test = random_split(1000, 0.25, rng=0)
+        assert test.size == 250
+
+    def test_random_split_bad_frac_raises(self):
+        with pytest.raises(ValueError):
+            random_split(10, 1.5)
+
+    def test_train_val_test_partition(self):
+        tr, va, te = train_val_test_split(200, 0.15, 0.2, rng=1)
+        assert tr.size + va.size + te.size == 200
+        assert np.intersect1d(tr, va).size == 0
+        assert np.intersect1d(tr, te).size == 0
+
+    def test_train_val_test_bad_fracs(self):
+        with pytest.raises(ValueError):
+            train_val_test_split(100, 0.6, 0.6)
+
+    def test_temporal_split_ordering(self):
+        t = np.linspace(0, 100, 50)
+        train, deploy = temporal_split(t, cutoff_frac=0.8)
+        assert t[train].max() < t[deploy].min()
+
+    def test_temporal_split_explicit_cutoff(self):
+        t = np.arange(10.0)
+        train, deploy = temporal_split(t, cutoff=5.0)
+        assert train.size == 5 and deploy.size == 5
+
+    def test_temporal_split_empty_side_raises(self):
+        with pytest.raises(ValueError):
+            temporal_split(np.arange(10.0), cutoff=100.0)
+
+
+class TestDuplicates:
+    def test_hand_built_groups(self):
+        X = np.array([[1, 2], [3, 4], [1, 2], [5, 6], [1, 2], [3, 4]])
+        dups = find_duplicate_sets(X)
+        assert dups.n_sets == 2
+        assert dups.n_duplicates == 5
+        sizes = sorted(dups.set_sizes().tolist())
+        assert sizes == [2, 3]
+        assert dups.set_id[3] == -1  # singleton
+
+    def test_fraction(self):
+        X = np.array([[1.0], [1.0], [2.0], [3.0]])
+        dups = find_duplicate_sets(X)
+        assert dups.fraction_of(4) == pytest.approx(0.5)
+
+    def test_matches_ground_truth_variants(self, theta_ds):
+        """Feature-based detection must recover the simulator's variants."""
+        dups = find_duplicate_sets(theta_ds.frames["posix"])
+        counts = np.bincount(theta_ds.meta["variant_id"])
+        true_dup = counts[counts >= 2].sum()
+        assert dups.n_duplicates == true_dup
+
+    def test_cobalt_destroys_duplicates(self, theta_ds):
+        """Realized timestamps make every row unique (§VI.C)."""
+        X, _ = feature_matrix(theta_ds, "posix+cobalt", include_derived=False)
+        dups = find_duplicate_sets(X)
+        assert dups.n_sets == 0
+
+    def test_concurrent_subsets_window(self):
+        X = np.ones((4, 2))
+        dups = find_duplicate_sets(X)
+        t = np.array([0.0, 0.5, 100.0, 100.2])
+        subsets = concurrent_subsets(dups, t, window=1.0)
+        assert len(subsets) == 2
+        assert all(len(s) == 2 for s in subsets)
+
+    def test_duplicate_pairs_weights(self):
+        X = np.ones((3, 1))
+        dups = find_duplicate_sets(X)
+        dt, dv, w = duplicate_pairs(dups, np.array([0.0, 1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+        assert dt.size == 3  # 3 choose 2
+        np.testing.assert_allclose(w, 1.0 / 3.0)
+
+    def test_duplicate_pairs_subsample_large_sets(self):
+        X = np.ones((300, 1))
+        dups = find_duplicate_sets(X)
+        rng = np.random.default_rng(0)
+        dt, dv, w = duplicate_pairs(dups, np.arange(300.0), np.zeros(300),
+                                    max_pairs_per_set=100, rng=rng)
+        assert dt.size <= 100
+
+    def test_no_duplicates_empty_pairs(self):
+        X = np.arange(6.0).reshape(3, 2)
+        dups = find_duplicate_sets(X)
+        dt, dv, w = duplicate_pairs(dups, np.zeros(3), np.zeros(3))
+        assert dt.size == 0
+
+    def test_cori_has_more_duplicates(self, theta_ds, cori_ds):
+        """Paper: Cori 54 % vs Theta 23.5 %."""
+        d_t = find_duplicate_sets(theta_ds.frames["posix"]).fraction_of(len(theta_ds))
+        d_c = find_duplicate_sets(cori_ds.frames["posix"]).fraction_of(len(cori_ds))
+        assert d_c > d_t + 0.15

@@ -1,0 +1,90 @@
+"""Property tests: invariants of the simulation engine (Eq. 3 bookkeeping)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import cori_config, theta_config
+from repro.simulator.engine import simulate
+
+MiB = 1024.0**2
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return simulate(theta_config(n_jobs=2000))
+
+
+class TestEq3Bookkeeping:
+    def test_throughput_is_sum_of_components(self, sim):
+        j = sim.jobs
+        np.testing.assert_allclose(
+            np.log10(j.throughput_mibps),
+            j.fa_dex + j.fg_dex + j.fl_dex + j.fn_dex,
+            rtol=1e-10,
+        )
+
+    def test_io_time_consistent_with_throughput(self, sim):
+        j = sim.jobs
+        np.testing.assert_allclose(
+            j.io_time, (j.total_bytes / MiB) / j.throughput_mibps, rtol=1e-10
+        )
+
+    def test_duration_covers_io_time(self, sim):
+        j = sim.jobs
+        assert np.all(j.end_time - j.start_time >= j.io_time - 1e-6)
+
+    def test_contention_never_speeds_up(self, sim):
+        assert np.all(sim.jobs.fl_dex <= 0.0)
+
+    def test_jobs_sorted_by_start(self, sim):
+        assert np.all(np.diff(sim.jobs.start_time) >= 0.0)
+
+    def test_nodes_cover_processes(self, sim):
+        j = sim.jobs
+        cores_per_node = sim.config.platform.cores_per_node
+        assert np.all(j.nodes * cores_per_node >= j.cores)
+
+    def test_load_other_nonnegative(self, sim):
+        assert np.all(sim.jobs.load_other >= 0.0)
+
+    def test_paper_volume_filter(self, sim):
+        assert sim.jobs.total_bytes.min() >= sim.config.workload.min_bytes_gib * 1024.0**3
+
+
+class TestReproducibility:
+    def test_same_seed_identical_population(self):
+        a = simulate(theta_config(n_jobs=600))
+        b = simulate(theta_config(n_jobs=600))
+        np.testing.assert_array_equal(a.jobs.throughput_mibps, b.jobs.throughput_mibps)
+        np.testing.assert_array_equal(a.jobs.start_time, b.jobs.start_time)
+
+    def test_different_seed_different_population(self):
+        a = simulate(theta_config(n_jobs=600, seed=1))
+        b = simulate(theta_config(n_jobs=600, seed=2))
+        assert not np.allclose(a.jobs.throughput_mibps, b.jobs.throughput_mibps)
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_validate_passes_for_any_seed(self, seed):
+        sim = simulate(theta_config(n_jobs=400, seed=seed))
+        sim.jobs.validate()  # raises on any inconsistency
+
+    def test_job_count_exact(self):
+        for n in (500, 1234):
+            assert len(simulate(theta_config(n_jobs=n)).jobs) == n
+
+
+class TestCrossPlatform:
+    def test_cori_faster_in_aggregate(self):
+        """Cori's peak bandwidth is ~4x Theta's; medians must reflect it."""
+        t = simulate(theta_config(n_jobs=1500))
+        c = simulate(cori_config(n_jobs=1500))
+        assert np.median(c.jobs.throughput_mibps) > np.median(t.jobs.throughput_mibps)
+
+    def test_platform_telemetry_flags(self):
+        t = simulate(theta_config(n_jobs=200))
+        c = simulate(cori_config(n_jobs=200))
+        assert t.config.platform.has_cobalt and not t.config.platform.has_lmt
+        assert c.config.platform.has_lmt and not c.config.platform.has_cobalt

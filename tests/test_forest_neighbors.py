@@ -1,0 +1,172 @@
+"""Tests for the random forest, kNN regression, and novelty scores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.neighbors import KNeighborsRegressor, knn_novelty
+
+
+def _toy(n=400, d=6, seed=0, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0.0, 1.0, (n, d))
+    y = 1.5 * X[:, 0] - 0.8 * X[:, 1] ** 2 + 0.3 * X[:, 2] + rng.normal(0.0, noise, n)
+    return X, y
+
+
+class TestRandomForest:
+    def test_fits_nonlinear_signal(self):
+        X, y = _toy()
+        model = RandomForestRegressor(n_estimators=60, random_state=1).fit(X, y)
+        resid = model.predict(X) - y
+        assert np.mean(np.abs(resid)) < 0.35
+
+    def test_better_than_mean_on_holdout(self):
+        X, y = _toy(n=800)
+        model = RandomForestRegressor(n_estimators=80, random_state=3).fit(X[:600], y[:600])
+        mae_model = np.mean(np.abs(model.predict(X[600:]) - y[600:]))
+        mae_mean = np.mean(np.abs(y[600:] - y[:600].mean()))
+        assert mae_model < 0.6 * mae_mean
+
+    def test_oob_estimate_available_and_sane(self):
+        X, y = _toy(n=500)
+        model = RandomForestRegressor(n_estimators=60, random_state=0).fit(X, y)
+        assert model.oob_mae_ is not None
+        # OOB error should be in the ballpark of holdout error (not near 0)
+        assert 0.05 < model.oob_mae_ < 1.0
+
+    def test_no_bootstrap_no_oob(self):
+        X, y = _toy(n=200)
+        model = RandomForestRegressor(n_estimators=10, bootstrap=False).fit(X, y)
+        assert model.oob_prediction_ is None
+
+    def test_deterministic_given_seed(self):
+        X, y = _toy()
+        p1 = RandomForestRegressor(n_estimators=15, random_state=7).fit(X, y).predict(X[:20])
+        p2 = RandomForestRegressor(n_estimators=15, random_state=7).fit(X, y).predict(X[:20])
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_seed_changes_predictions(self):
+        X, y = _toy()
+        p1 = RandomForestRegressor(n_estimators=15, random_state=1).fit(X, y).predict(X[:50])
+        p2 = RandomForestRegressor(n_estimators=15, random_state=2).fit(X, y).predict(X[:50])
+        assert not np.allclose(p1, p2)
+
+    def test_predict_dist_variance_nonnegative(self):
+        X, y = _toy()
+        model = RandomForestRegressor(n_estimators=25, random_state=0).fit(X, y)
+        _, var = model.predict_dist(X[:50])
+        assert np.all(var >= 0.0)
+
+    def test_tree_disagreement_larger_off_distribution(self):
+        X, y = _toy(n=600)
+        model = RandomForestRegressor(n_estimators=60, random_state=0).fit(X, y)
+        _, var_in = model.predict_dist(X[:100])
+        X_far = X[:100] + 8.0  # way outside the training hull
+        _, var_out = model.predict_dist(X_far)
+        # binned trees clip extrapolation, but disagreement must not shrink
+        assert np.median(var_out) >= 0.5 * np.median(var_in)
+
+    def test_feature_importances_concentrate_on_signal(self):
+        X, y = _toy(n=900)
+        model = RandomForestRegressor(n_estimators=60, random_state=0).fit(X, y)
+        imp = model.feature_importances(X.shape[1])
+        assert imp.shape == (X.shape[1],)
+        assert imp.sum() == pytest.approx(1.0)
+        assert imp[:3].sum() > imp[3:].sum()
+
+    def test_rejects_bad_max_features(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(max_features=0.0)
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((10, 2)), np.zeros(9))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((3, 2)))
+
+
+class TestKNeighbors:
+    def test_recovers_local_signal(self):
+        X, y = _toy(n=1200, noise=0.01)
+        model = KNeighborsRegressor(n_neighbors=5).fit(X[:1000], y[:1000])
+        mae = np.mean(np.abs(model.predict(X[1000:]) - y[1000:]))
+        # 6-D brute-force kNN at n=1000: local averaging beats the mean
+        # predictor (~1.3) clearly but cannot reach the noise floor
+        assert mae < 0.7
+
+    def test_exact_duplicate_queries_return_neighbor_mean(self):
+        X = np.array([[0.0, 0.0], [0.0, 0.0], [10.0, 10.0]])
+        y = np.array([1.0, 3.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2, standardize=False).fit(X, y)
+        assert model.predict(np.array([[0.0, 0.0]]))[0] == pytest.approx(2.0)
+
+    def test_distance_weighting_prefers_closer(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 1.0, 100.0])
+        uni = KNeighborsRegressor(n_neighbors=2, weights="uniform", standardize=False).fit(X, y)
+        dis = KNeighborsRegressor(n_neighbors=2, weights="distance", standardize=False).fit(X, y)
+        q = np.array([[0.1]])
+        assert dis.predict(q)[0] < uni.predict(q)[0]
+
+    def test_k1_is_nearest_value(self):
+        X, y = _toy(n=50)
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(weights="gravity")
+
+    def test_rejects_k_larger_than_train(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(n_neighbors=10).fit(np.zeros((5, 2)), np.zeros(5))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 6), st.integers(20, 60))
+    def test_prediction_within_training_range(self, k, n):
+        """kNN means can never extrapolate beyond the training target range."""
+        rng = np.random.default_rng(k * 100 + n)
+        X = rng.normal(0.0, 1.0, (n, 3))
+        y = rng.normal(0.0, 1.0, n)
+        model = KNeighborsRegressor(n_neighbors=k).fit(X, y)
+        pred = model.predict(rng.normal(0.0, 2.0, (15, 3)))
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+
+class TestKnnNovelty:
+    def test_far_points_score_higher(self):
+        rng = np.random.default_rng(0)
+        X_train = rng.normal(0.0, 1.0, (500, 8))
+        near = rng.normal(0.0, 1.0, (50, 8))
+        far = rng.normal(6.0, 1.0, (50, 8))
+        s_near = knn_novelty(X_train, near, k=5)
+        s_far = knn_novelty(X_train, far, k=5)
+        assert np.median(s_far) > 3.0 * np.median(s_near)
+
+    def test_self_scoring_with_exclusion(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0.0, 1.0, (100, 4))
+        with_self = knn_novelty(X, X, k=3, exclude_self=False)
+        without_self = knn_novelty(X, X, k=3, exclude_self=True)
+        assert np.all(without_self >= with_self - 1e-12)
+
+    def test_duplicates_score_zero_without_exclusion(self):
+        X = np.tile(np.arange(8.0).reshape(2, 4), (5, 1))  # 5 copies of 2 rows
+        scores = knn_novelty(X, X[:2], k=3, standardize=False)
+        np.testing.assert_allclose(scores, 0.0, atol=1e-9)
+
+    def test_rejects_small_train(self):
+        with pytest.raises(ValueError):
+            knn_novelty(np.zeros((3, 2)), np.zeros((1, 2)), k=5)
+
+    def test_scores_nonnegative_and_finite(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(0.0, 1.0, (200, 5))
+        s = knn_novelty(X, rng.normal(0.0, 3.0, (40, 5)), k=4)
+        assert np.all(np.isfinite(s)) and np.all(s >= 0.0)

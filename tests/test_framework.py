@@ -1,0 +1,91 @@
+"""End-to-end tests of the five-step taxonomy framework (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.config import cori_config, theta_config
+from repro.data import build_dataset
+from repro.taxonomy import TaxonomyPipeline
+from repro.taxonomy.report import render_breakdown
+
+_FAST_TUNING = {
+    "n_estimators": (60, 150),
+    "max_depth": (6,),
+    "learning_rate": (0.1,),
+    "min_child_weight": (6,),
+    "subsample": (0.8,),
+    "colsample_bytree": (0.8,),
+    "loss": ("squared",),
+}
+_FAST_GOLDEN = {
+    "n_estimators": (200,),
+    "max_depth": (8,),
+    "learning_rate": (0.07,),
+    "min_child_weight": (6,),
+    "subsample": (0.8,),
+    "colsample_bytree": (0.8,),
+    "loss": ("squared",),
+}
+
+
+@pytest.fixture(scope="module")
+def theta_report():
+    ds = build_dataset(theta_config(n_jobs=2500))
+    pipe = TaxonomyPipeline(
+        tuning_grid=_FAST_TUNING, golden_grid=_FAST_GOLDEN,
+        ensemble_members=3, ensemble_epochs=10,
+    )
+    return pipe.run(ds)
+
+
+class TestPipelineTheta:
+    def test_baseline_error_plausible(self, theta_report):
+        assert 5.0 < theta_report.breakdown.baseline_error_pct < 40.0
+
+    def test_segments_in_range(self, theta_report):
+        for name, value in theta_report.breakdown.segments().items():
+            assert -25.0 <= value <= 125.0, name
+
+    def test_app_bound_below_baseline(self, theta_report):
+        b = theta_report.breakdown
+        assert b.application_bound_pct < b.baseline_error_pct
+
+    def test_golden_model_beats_tuned(self, theta_report):
+        """The start-time feature must remove system-modeling error (§VII)."""
+        b = theta_report.breakdown
+        assert b.system_bound_pct < b.tuned_error_pct
+
+    def test_noise_floor_is_smallest(self, theta_report):
+        b = theta_report.breakdown
+        assert b.noise_bound_pct < b.application_bound_pct
+
+    def test_noise_bands_ordered(self, theta_report):
+        d = theta_report.breakdown.details
+        assert 0 < d["noise_band_68_pct"] < d["noise_band_95_pct"]
+
+    def test_ood_fraction_small(self, theta_report):
+        assert theta_report.breakdown.details["ood_fraction"] < 0.05
+
+    def test_render(self, theta_report):
+        text = render_breakdown(theta_report.breakdown)
+        assert "Error taxonomy — theta" in text
+
+    def test_report_artifacts(self, theta_report):
+        assert theta_report.tuned_model is not None
+        assert theta_report.app_bound.n_sets > 0
+        assert theta_report.noise.n_concurrent_sets > 0
+        train, val, test = theta_report.splits
+        assert np.intersect1d(train, test).size == 0
+
+
+class TestPipelineCori:
+    def test_lmt_step_runs(self):
+        ds = build_dataset(cori_config(n_jobs=2500))
+        pipe = TaxonomyPipeline(
+            tuning_grid=_FAST_TUNING, golden_grid=_FAST_GOLDEN,
+            ensemble_members=3, ensemble_epochs=8,
+        )
+        rep = pipe.run(ds)
+        # Step 3.2 only exists on Cori (LMT logs)
+        assert rep.breakdown.details["lmt_error_pct"] is not None
+        assert rep.breakdown.removed_by_system_logs_pct_of_total >= 0.0

@@ -1,0 +1,171 @@
+"""Tests for hyperparameter search, AgEBO-style NAS, and AutoDEUQ."""
+
+import numpy as np
+import pytest
+
+from repro.ml.agebo import DEFAULT_SPACE, AgingEvolutionSearch, NasHistory, SearchSpace
+from repro.ml.hpo import grid_search, heatmap_from_results, random_search
+from repro.ml.linear import RidgeRegression
+from repro.ml.model_selection import cross_val_error, kfold_indices
+from repro.ml.uncertainty import autodeuq
+from repro.parallel.sweep import SweepResult
+from repro.rng import generator_from
+
+
+def _toy_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, 4))
+    y = X[:, 0] - 0.5 * X[:, 1] + 0.05 * rng.normal(0, 1, n)
+    return X, y
+
+
+class TestGridSearch:
+    def test_finds_better_alpha(self):
+        X, y = _toy_data()
+        res = grid_search(
+            RidgeRegression,
+            {"alpha": [1e-6, 1e4]},
+            X[:250], y[:250], X[250:320], y[250:320],
+        )
+        assert res.best_params["alpha"] == 1e-6
+        assert res.best_model is not None
+
+    def test_results_sorted(self):
+        X, y = _toy_data()
+        res = grid_search(RidgeRegression, {"alpha": [1e-6, 1.0, 1e4]},
+                          X[:250], y[:250], X[250:320], y[250:320])
+        scores = res.scores()
+        assert scores == sorted(scores)
+
+    def test_no_refit(self):
+        X, y = _toy_data()
+        res = grid_search(RidgeRegression, {"alpha": [1.0]},
+                          X[:250], y[:250], X[250:320], y[250:320], refit=False)
+        assert res.best_model is None
+
+
+class TestRandomSearchEstimator:
+    def test_runs(self):
+        X, y = _toy_data()
+        res = random_search(RidgeRegression, {"alpha": [1e-6, 1.0, 100.0]}, 5,
+                            X[:250], y[:250], X[250:320], y[250:320], seed=1)
+        assert len(res.results) == 5
+
+
+class TestHeatmap:
+    def test_pivot_keeps_best(self):
+        results = [
+            SweepResult({"a": 1, "b": 1, "c": 0}, 5.0, {}),
+            SweepResult({"a": 1, "b": 1, "c": 1}, 3.0, {}),
+            SweepResult({"a": 2, "b": 1, "c": 0}, 4.0, {}),
+        ]
+        M, xs, ys = heatmap_from_results(results, "a", "b")
+        assert M.shape == (1, 2)
+        assert M[0, xs.index(1)] == 3.0  # min over the c axis
+
+
+class TestModelSelection:
+    def test_kfold_partitions(self):
+        folds = list(kfold_indices(20, 4, rng=0))
+        assert len(folds) == 4
+        all_test = np.concatenate([te for _, te in folds])
+        assert np.sort(all_test).tolist() == list(range(20))
+        for tr, te in folds:
+            assert np.intersect1d(tr, te).size == 0
+
+    def test_kfold_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(5, 1))
+
+    def test_cross_val_error_runs(self):
+        X, y = _toy_data(150)
+        err = cross_val_error(lambda: RidgeRegression(1e-6), X, y, k=3)
+        assert 0 <= err < 0.5
+
+
+class TestSearchSpace:
+    def setup_method(self):
+        self.space = SearchSpace(DEFAULT_SPACE)
+        self.rng = generator_from(0)
+
+    def test_sample_within_choices(self):
+        config = self.space.sample(self.rng)
+        for key, value in config.items():
+            assert value in DEFAULT_SPACE[key]
+
+    def test_mutate_changes_exactly_one(self):
+        config = self.space.sample(self.rng)
+        mutated = self.space.mutate(config, self.rng)
+        diffs = [k for k in config if config[k] != mutated[k]]
+        assert len(diffs) == 1
+
+    def test_encode_one_hot(self):
+        config = self.space.sample(self.rng)
+        vec = self.space.encode(config)
+        assert vec.sum() == len(DEFAULT_SPACE)
+        assert set(np.unique(vec)) <= {0.0, 1.0}
+
+
+class TestNasHistory:
+    def test_best_per_generation_monotone(self):
+        h = NasHistory(generation=[0, 0, 1, 1, 2], config=[{}] * 5,
+                       score=[5.0, 4.0, 6.0, 3.0, 7.0])
+        curve = h.best_per_generation()
+        assert curve == [4.0, 3.0, 3.0]
+        assert all(b <= a for a, b in zip(curve[:-1], curve[1:]))
+
+    def test_improvements_count(self):
+        h = NasHistory(generation=[0, 1, 2], config=[{}] * 3, score=[5.0, 4.0, 4.5])
+        assert h.improvements() == 1
+
+
+class TestAgingEvolution:
+    def test_small_run(self):
+        X, y = _toy_data(300, seed=2)
+        nas = AgingEvolutionSearch(
+            space={"hidden": ((4,), (8,)), "activation": ("relu",),
+                   "learning_rate": (1e-3, 3e-3), "dropout": (0.0,), "weight_decay": (0.0,)},
+            population=3, generations=3, epochs=4, seed=0,
+        )
+        nas.run(X[:200], y[:200], X[200:], y[200:])
+        assert nas.best_config_ is not None
+        assert np.isfinite(nas.best_score_)
+        # history holds population + (generations-1)*population evaluations
+        assert len(nas.history.score) == 3 + 2 * 3
+
+    def test_top_configs_distinct(self):
+        X, y = _toy_data(300, seed=2)
+        nas = AgingEvolutionSearch(
+            space={"hidden": ((4,), (8,)), "activation": ("relu",),
+                   "learning_rate": (1e-3,), "dropout": (0.0,), "weight_decay": (0.0,)},
+            population=3, generations=2, epochs=3, seed=0,
+        )
+        nas.run(X[:200], y[:200], X[200:], y[200:])
+        top = nas.top_configs(2)
+        assert 1 <= len(top) <= 2
+        assert all(isinstance(c, dict) for c in top)
+
+
+class TestAutoDeuq:
+    def test_without_nas(self):
+        X, y = _toy_data(400, seed=3)
+        res = autodeuq(X[:250], y[:250], X[250:300], y[250:300], X[300:],
+                       n_members=2, run_nas=False, epochs=5, seed=0)
+        assert res.nas is None
+        d = res.decomposition
+        assert d.mean.shape == (100,)
+        assert np.all(d.aleatory >= 0) and np.all(d.epistemic >= 0)
+
+    def test_with_tiny_nas(self):
+        X, y = _toy_data(300, seed=4)
+        res = autodeuq(
+            X[:200], y[:200], X[200:250], y[200:250], X[250:],
+            n_members=2, epochs=4, seed=0,
+            nas_kwargs=dict(
+                space={"hidden": ((4,), (8,)), "activation": ("relu",),
+                       "learning_rate": (1e-3,), "dropout": (0.0,), "weight_decay": (0.0,)},
+                population=2, generations=2, epochs=3,
+            ),
+        )
+        assert res.nas is not None
+        assert len(res.ensemble.models_) <= 2

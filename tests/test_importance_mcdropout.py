@@ -1,0 +1,150 @@
+"""Tests for model interpretation tools and MC-dropout uncertainty."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.importance import LocalSurrogate, partial_dependence, permutation_importance
+from repro.ml.linear import RidgeRegression
+from repro.ml.mcdropout import MCDropoutRegressor
+
+
+def _toy(n=600, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0.0, 1.0, (n, d))
+    y = 2.0 * X[:, 0] + 0.5 * X[:, 1] + rng.normal(0.0, 0.05, n)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    X, y = _toy()
+    model = GradientBoostingRegressor(n_estimators=80, max_depth=4, loss="squared").fit(X, y)
+    return model, X, y
+
+
+class TestPermutationImportance:
+    def test_signal_features_dominate(self, fitted):
+        model, X, y = fitted
+        imp = permutation_importance(model, X.copy(), y, n_repeats=3)
+        assert imp[0] > imp[2]
+        assert imp[0] > 5.0 * max(np.abs(imp[2:]).max(), 1e-9)
+
+    def test_does_not_mutate_input(self, fitted):
+        model, X, y = fitted
+        X_copy = X.copy()
+        permutation_importance(model, X_copy, y, n_repeats=2)
+        np.testing.assert_array_equal(X_copy, X)
+
+    def test_deterministic_given_seed(self, fitted):
+        model, X, y = fitted
+        i1 = permutation_importance(model, X.copy(), y, n_repeats=2, random_state=5)
+        i2 = permutation_importance(model, X.copy(), y, n_repeats=2, random_state=5)
+        np.testing.assert_array_equal(i1, i2)
+
+    def test_rejects_zero_repeats(self, fitted):
+        model, X, y = fitted
+        with pytest.raises(ValueError):
+            permutation_importance(model, X, y, n_repeats=0)
+
+
+class TestPartialDependence:
+    def test_recovers_linear_slope_direction(self, fitted):
+        model, X, _ = fitted
+        grid, pd0 = partial_dependence(model, X, feature=0)
+        assert pd0[-1] > pd0[0]  # positive coefficient on feature 0
+        assert grid.shape == pd0.shape
+
+    def test_flat_for_noise_feature(self, fitted):
+        model, X, _ = fitted
+        _, pd0 = partial_dependence(model, X, feature=0)
+        _, pd5 = partial_dependence(model, X, feature=5)
+        assert (pd5.max() - pd5.min()) < 0.25 * (pd0.max() - pd0.min())
+
+    def test_explicit_grid(self, fitted):
+        model, X, _ = fitted
+        grid = np.array([-1.0, 0.0, 1.0])
+        got, vals = partial_dependence(model, X, feature=0, grid=grid)
+        np.testing.assert_array_equal(got, grid)
+        assert vals.shape == (3,)
+
+    def test_bad_feature_index_raises(self, fitted):
+        model, X, _ = fitted
+        with pytest.raises(IndexError):
+            partial_dependence(model, X, feature=99)
+
+
+class TestLocalSurrogate:
+    def test_explains_linear_model_exactly(self):
+        X, y = _toy()
+        model = RidgeRegression(alpha=1e-6).fit(X, y)
+        exp = LocalSurrogate(n_keep=6, random_state=0).explain(model, X, X[0])
+        top = dict(zip(exp.feature_idx.tolist(), exp.weights.tolist()))
+        # local weights ≈ global slope * feature scale (scale ≈ 1 here)
+        assert top[0] == pytest.approx(2.0, abs=0.2)
+        assert exp.local_r2 > 0.95
+
+    def test_fidelity_reported_for_nonlinear_model(self, fitted):
+        model, X, _ = fitted
+        exp = LocalSurrogate(random_state=0).explain(model, X, X[3])
+        assert -1.0 <= exp.local_r2 <= 1.0
+        assert np.isfinite(exp.prediction)
+
+    def test_top_names(self, fitted):
+        model, X, _ = fitted
+        exp = LocalSurrogate(n_keep=4).explain(model, X, X[0])
+        names = [f"f{i}" for i in range(X.shape[1])]
+        pairs = exp.top(names, k=2)
+        assert len(pairs) == 2
+        assert all(isinstance(nm, str) for nm, _ in pairs)
+
+    def test_anchor_dimension_mismatch_raises(self, fitted):
+        model, X, _ = fitted
+        with pytest.raises(ValueError):
+            LocalSurrogate().explain(model, X, np.zeros(3))
+
+
+class TestMCDropout:
+    @pytest.fixture(scope="class")
+    def model(self):
+        X, y = _toy(n=500)
+        # small batches: Adam needs ~1k steps to converge at this scale
+        m = MCDropoutRegressor(
+            hidden=(64,), dropout=0.15, epochs=150, batch_size=64, n_passes=12
+        ).fit(X, y)
+        return m, X, y
+
+    def test_prediction_quality(self, model):
+        m, X, y = model
+        mae = np.mean(np.abs(m.predict(X) - y))
+        assert mae < 0.6
+
+    def test_decomposition_shapes_and_signs(self, model):
+        m, X, _ = model
+        dec = m.decompose(X[:50])
+        assert dec.mean.shape == (50,)
+        assert np.all(dec.aleatory >= 0.0)
+        assert np.all(dec.epistemic >= 0.0)
+
+    def test_epistemic_nonzero_with_dropout(self, model):
+        m, X, _ = model
+        dec = m.decompose(X[:100])
+        assert np.median(dec.epistemic) > 0.0
+
+    def test_epistemic_grows_off_distribution(self, model):
+        m, X, _ = model
+        eu_in = m.decompose(X[:100]).epistemic
+        eu_out = m.decompose(X[:100] + 10.0).epistemic
+        assert np.median(eu_out) > np.median(eu_in)
+
+    def test_rejects_zero_dropout(self):
+        with pytest.raises(ValueError):
+            MCDropoutRegressor(dropout=0.0)
+
+    def test_rejects_single_pass(self):
+        with pytest.raises(ValueError):
+            MCDropoutRegressor(n_passes=1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MCDropoutRegressor().predict(np.zeros((3, 2)))

@@ -1,0 +1,126 @@
+"""Property tests of fa(j): the idle-system application-performance model.
+
+These pin the qualitative physics the paper's analysis rests on: I/O gets
+slower with tiny transfers, random access, unaligned writes, shared-file
+lock contention and metadata pressure — the broad application behaviours
+§VI calls "predictable and explainable" (e.g. "this application is slow
+because it frequently writes to shared files").
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import theta_config
+from repro.simulator.iomodel import ideal_log_throughput, ideal_throughput_mibps
+from repro.simulator.platform import Platform
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return Platform(theta_config().platform)
+
+
+def _base(n=1, **over):
+    params = {
+        "nprocs": np.full(n, 256.0),
+        "total_bytes": np.full(n, 1024.0**4),
+        "read_frac": np.full(n, 0.3),
+        "xfer_read": np.full(n, 2.0**20),
+        "xfer_write": np.full(n, 2.0**20),
+        "shared_frac": np.full(n, 0.2),
+        "files_per_proc": np.ones(n),
+        "shared_files": np.ones(n),
+        "meta_per_gib": np.full(n, 1.0),
+        "seq_frac": np.full(n, 0.9),
+        "aligned_frac": np.full(n, 0.8),
+        "collective_frac": np.zeros(n),
+        "fsync_per_gib": np.full(n, 0.1),
+    }
+    params.update({k: np.asarray(v, dtype=float) for k, v in over.items()})
+    return params
+
+
+class TestMonotonicity:
+    def test_larger_transfers_never_slower(self, platform):
+        sizes = 2.0 ** np.arange(12, 25)
+        tp = ideal_throughput_mibps(
+            platform, _base(n=sizes.size, xfer_read=sizes, xfer_write=sizes)
+        )
+        assert np.all(np.diff(tp) >= -1e-9)
+
+    def test_sequential_never_slower_than_random(self, platform):
+        seq = ideal_throughput_mibps(platform, _base(seq_frac=1.0))
+        rnd = ideal_throughput_mibps(platform, _base(seq_frac=0.0))
+        assert seq > rnd
+
+    def test_aligned_never_slower(self, platform):
+        ali = ideal_throughput_mibps(platform, _base(aligned_frac=1.0))
+        una = ideal_throughput_mibps(platform, _base(aligned_frac=0.0))
+        assert ali > una
+
+    def test_shared_file_writes_pay_lock_penalty(self, platform):
+        fpp = ideal_throughput_mibps(platform, _base(shared_frac=0.0, read_frac=0.0))
+        n1 = ideal_throughput_mibps(platform, _base(shared_frac=1.0, read_frac=0.0))
+        assert n1 < fpp
+
+    def test_metadata_pressure_slows_io(self, platform):
+        light = ideal_throughput_mibps(platform, _base(meta_per_gib=0.1))
+        heavy = ideal_throughput_mibps(platform, _base(meta_per_gib=1000.0))
+        assert heavy < light
+
+    def test_more_processes_help_until_saturation(self, platform):
+        nprocs = 2.0 ** np.arange(0, 14)
+        tp = ideal_throughput_mibps(platform, _base(n=nprocs.size, nprocs=nprocs))
+        assert np.all(np.diff(tp) >= -1e-6)      # monotone non-decreasing
+        # but saturating: the last doubling gains far less than the first
+        first_gain = tp[1] / tp[0]
+        last_gain = tp[-1] / tp[-2]
+        assert last_gain < 0.6 * first_gain
+
+
+class TestCollectiveBuffering:
+    def test_collective_rescues_small_unaligned_writes(self, platform):
+        bad = _base(xfer_write=2.0**12, aligned_frac=0.0, seq_frac=0.2, read_frac=0.0)
+        plain = ideal_throughput_mibps(platform, bad)
+        coll = ideal_throughput_mibps(platform, {**bad, "collective_frac": np.ones(1)})
+        assert coll > 1.5 * plain
+
+    def test_collective_neutral_for_large_sequential(self, platform):
+        good = _base(xfer_write=2.0**23, aligned_frac=1.0, seq_frac=1.0, read_frac=0.0)
+        plain = ideal_throughput_mibps(platform, good)
+        coll = ideal_throughput_mibps(platform, {**good, "collective_frac": np.ones(1)})
+        assert coll == pytest.approx(plain, rel=0.35)
+
+
+class TestScaleInvariances:
+    def test_throughput_is_rate_not_volume(self, platform):
+        """fa must be (nearly) invariant to problem size (throughput is a rate)."""
+        small = ideal_throughput_mibps(platform, _base(total_bytes=64 * 1024.0**3))
+        large = ideal_throughput_mibps(platform, _base(total_bytes=16 * 1024.0**4))
+        assert small == pytest.approx(large, rel=0.05)
+
+    def test_log_form_consistent(self, platform):
+        params = _base(n=5, nprocs=[16, 64, 256, 1024, 4096])
+        np.testing.assert_allclose(
+            ideal_log_throughput(platform, params),
+            np.log10(ideal_throughput_mibps(platform, params)),
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(1.0, 8192.0),
+        st.floats(2.0**9, 2.0**25),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+    )
+    def test_always_positive_and_below_peak(self, nprocs, xfer, shared, seq):
+        platform = Platform(theta_config().platform)
+        tp = ideal_throughput_mibps(
+            platform,
+            _base(nprocs=nprocs, xfer_read=xfer, xfer_write=xfer,
+                  shared_frac=shared, seq_frac=seq),
+        )
+        peak = max(platform.config.peak_read_mibps, platform.config.peak_write_mibps)
+        assert 0.0 < tp[0] <= peak * 1.01

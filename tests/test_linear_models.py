@@ -1,0 +1,123 @@
+"""Tests for the linear model family (ridge / lasso / elastic-net / paths)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.linear import (
+    ElasticNetRegression,
+    LassoRegression,
+    RidgeRegression,
+    lasso_path,
+)
+
+
+def _sparse_problem(n=300, d=12, k=3, seed=0, noise=0.05):
+    """Linear signal through k of d features."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0.0, 1.0, (n, d))
+    beta = np.zeros(d)
+    beta[:k] = np.array([2.0, -1.5, 1.0])[:k]
+    y = X @ beta + 0.7 + rng.normal(0.0, noise, n)
+    return X, y, beta
+
+
+class TestElasticNet:
+    def test_recovers_sparse_coefficients(self):
+        X, y, beta = _sparse_problem()
+        model = LassoRegression(alpha=0.01).fit(X, y)
+        np.testing.assert_allclose(model.coef_[:3], beta[:3], atol=0.15)
+
+    def test_lasso_zeroes_out_inactive_features(self):
+        X, y, _ = _sparse_problem(n=500)
+        model = LassoRegression(alpha=0.05).fit(X, y)
+        assert model.n_nonzero_ <= 6
+        assert np.all(model.coef_[:3] != 0.0)
+
+    def test_zero_alpha_matches_ols_fit_quality(self):
+        X, y, _ = _sparse_problem(noise=0.0)
+        model = ElasticNetRegression(alpha=0.0, max_iter=2000, tol=1e-10).fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-4)
+
+    def test_stronger_alpha_shrinks_l1_norm(self):
+        X, y, _ = _sparse_problem()
+        weak = LassoRegression(alpha=0.01).fit(X, y)
+        strong = LassoRegression(alpha=0.5).fit(X, y)
+        assert np.abs(strong.coef_).sum() < np.abs(weak.coef_).sum()
+
+    def test_huge_alpha_gives_intercept_only(self):
+        X, y, _ = _sparse_problem()
+        model = LassoRegression(alpha=100.0).fit(X, y)
+        assert model.n_nonzero_ == 0
+        np.testing.assert_allclose(model.predict(X), y.mean(), atol=1e-9)
+
+    def test_elastic_net_mixes_penalties(self):
+        X, y, _ = _sparse_problem(n=400)
+        lasso = ElasticNetRegression(alpha=0.05, l1_ratio=1.0).fit(X, y)
+        ridgey = ElasticNetRegression(alpha=0.05, l1_ratio=0.1).fit(X, y)
+        # more L2 ⇒ fewer exact zeros
+        assert ridgey.n_nonzero_ >= lasso.n_nonzero_
+
+    def test_constant_column_is_ignored(self):
+        X, y, _ = _sparse_problem()
+        X = np.column_stack([X, np.full(X.shape[0], 7.0)])
+        model = LassoRegression(alpha=0.01).fit(X, y)
+        assert model.coef_[-1] == 0.0
+
+    def test_matches_ridge_when_pure_l2(self):
+        X, y, _ = _sparse_problem(noise=0.02)
+        # same normalization of the penalty: ridge alpha = n * alpha_en (std-ized X)
+        en = ElasticNetRegression(alpha=0.001, l1_ratio=0.0, max_iter=3000, tol=1e-12).fit(X, y)
+        pred_en = en.predict(X)
+        ridge = RidgeRegression(alpha=0.001 * X.shape[0]).fit(
+            (X - X.mean(0)) / X.std(0), y
+        )
+        pred_ridge = ridge.predict((X - X.mean(0)) / X.std(0))
+        np.testing.assert_allclose(pred_en, pred_ridge, atol=5e-3)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ElasticNetRegression(alpha=-1.0)
+        with pytest.raises(ValueError):
+            ElasticNetRegression(l1_ratio=1.5)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ElasticNetRegression().predict(np.zeros((3, 2)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.001, 1.0), st.floats(0.0, 1.0))
+    def test_converges_and_finite(self, alpha, l1_ratio):
+        X, y, _ = _sparse_problem(n=120, seed=42)
+        model = ElasticNetRegression(alpha=alpha, l1_ratio=l1_ratio).fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+        assert np.isfinite(model.intercept_)
+
+
+class TestLassoPath:
+    def test_path_shape_and_monotone_support(self):
+        X, y, _ = _sparse_problem(n=400)
+        alphas, coefs = lasso_path(X, y, n_alphas=12)
+        assert coefs.shape == (12, X.shape[1])
+        nnz = (coefs != 0.0).sum(axis=1)
+        # support grows (weakly) as alpha decreases
+        assert nnz[0] <= nnz[-1]
+        assert nnz[0] == 0  # alpha_max zeroes everything
+
+    def test_true_features_enter_first(self):
+        X, y, _ = _sparse_problem(n=500, noise=0.02)
+        _, coefs = lasso_path(X, y, n_alphas=25)
+        first_entry = np.full(X.shape[1], np.inf)
+        for j in range(X.shape[1]):
+            nz = np.flatnonzero(coefs[:, j] != 0.0)
+            if nz.size:
+                first_entry[j] = nz[0]
+        assert np.all(np.sort(first_entry[:3]) <= np.sort(first_entry[3:])[:3])
+
+    def test_explicit_alphas_respected(self):
+        X, y, _ = _sparse_problem()
+        alphas = np.array([1.0, 0.1])
+        got, coefs = lasso_path(X, y, alphas=alphas)
+        np.testing.assert_array_equal(got, alphas)
+        assert coefs.shape == (2, X.shape[1])

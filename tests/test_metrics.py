@@ -1,0 +1,80 @@
+"""Tests for the paper's Eq. 6 error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.metrics import (
+    dex_to_pct,
+    error_percentiles,
+    log_ratio_error,
+    mean_abs_log_ratio,
+    median_abs_log_ratio,
+    median_abs_pct_error,
+    pct_to_dex,
+)
+
+
+class TestLogRatio:
+    def test_zero_for_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(log_ratio_error(y, y), 0.0)
+
+    def test_symmetry_over_and_under(self):
+        """Eq. 6: log(x) = -log(1/x) — over/underestimation cost the same."""
+        y = np.array([2.0])
+        over = mean_abs_log_ratio(y, y + 0.3)
+        under = mean_abs_log_ratio(y, y - 0.3)
+        assert over == pytest.approx(under)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            log_ratio_error(np.zeros(3), np.zeros(4))
+
+    def test_median_resists_outliers(self):
+        y = np.zeros(101)
+        pred = np.zeros(101)
+        pred[0] = 50.0  # one catastrophic miss
+        assert median_abs_log_ratio(y, pred) == 0.0
+        assert mean_abs_log_ratio(y, pred) > 0.1
+
+
+class TestPctConversion:
+    def test_known_value(self):
+        """0.0414 dex is very close to a 10 % relative error."""
+        assert dex_to_pct(np.log10(1.10)) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        for pct in (1.0, 5.71, 25.0, 100.0):
+            assert dex_to_pct(pct_to_dex(pct)) == pytest.approx(pct)
+
+    def test_negative_dex_is_underestimate(self):
+        assert dex_to_pct(-0.1) < 0
+
+    @given(st.floats(min_value=-0.5, max_value=0.5))
+    def test_roundtrip_property(self, x):
+        assert float(pct_to_dex(dex_to_pct(x))) == pytest.approx(x, abs=1e-9)
+
+
+class TestMedianPct:
+    def test_matches_manual(self):
+        y = np.array([1.0, 1.0, 1.0, 1.0])
+        pred = y + np.array([0.01, -0.02, 0.03, -0.04])
+        manual = (10 ** np.median([0.01, 0.02, 0.03, 0.04]) - 1) * 100
+        assert median_abs_pct_error(y, pred) == pytest.approx(manual)
+
+
+class TestErrorPercentiles:
+    def test_all_within_threshold(self):
+        y = np.zeros(10)
+        pred = y + 0.01  # ~2.3 % error everywhere
+        shares = error_percentiles(y, pred)
+        assert shares[">20%"] == 0.0
+
+    def test_share_counts(self):
+        y = np.zeros(4)
+        pred = np.array([0.0, 0.0, 0.5, 0.5])  # two ~216 % misses
+        shares = error_percentiles(y, pred)
+        assert shares[">100%"] == pytest.approx(0.5)
+        assert shares[">200%"] == pytest.approx(0.5)
+        assert shares[">400%"] == 0.0

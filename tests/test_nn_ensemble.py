@@ -1,0 +1,169 @@
+"""Tests for the MLP, deep ensembles, and the AU/EU decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocessing import Standardizer
+from repro.ml.base import Pipeline
+from repro.ml.ensemble import DeepEnsemble
+from repro.ml.linear import RidgeRegression
+from repro.ml.nn import MLPRegressor
+
+
+class TestMLP:
+    def setup_method(self):
+        rng = np.random.default_rng(0)
+        self.X = rng.normal(0, 1, (1200, 6))
+        self.y = np.sin(self.X[:, 0]) + 0.5 * self.X[:, 1] + 0.05 * rng.normal(0, 1, 1200)
+
+    def test_learns_nonlinear_function(self):
+        m = MLPRegressor(hidden=(64, 64), epochs=40, random_state=0)
+        m.fit(self.X[:1000], self.y[:1000])
+        mae = np.mean(np.abs(m.predict(self.X[1000:]) - self.y[1000:]))
+        baseline = np.mean(np.abs(self.y[1000:] - self.y[:1000].mean()))
+        assert mae < 0.5 * baseline
+
+    def test_train_curve_decreases(self):
+        m = MLPRegressor(hidden=(32,), epochs=20, random_state=0)
+        m.fit(self.X, self.y)
+        assert m.train_curve_[-1] < m.train_curve_[0]
+
+    def test_nll_head_learns_heteroscedastic_variance(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, (2000, 3))
+        y = X[:, 0] + np.exp(0.6 * X[:, 1]) * rng.normal(0, 0.3, 2000)
+        m = MLPRegressor(hidden=(64, 64), loss="nll", epochs=60, random_state=0)
+        m.fit(X, y)
+        _, var = m.predict_dist(X)
+        hi, lo = X[:, 1] > 0.5, X[:, 1] < -0.5
+        assert var[hi].mean() > 2.0 * var[lo].mean()
+
+    def test_mse_head_zero_variance(self):
+        m = MLPRegressor(hidden=(8,), epochs=2).fit(self.X[:100], self.y[:100])
+        _, var = m.predict_dist(self.X[:10])
+        np.testing.assert_array_equal(var, 0.0)
+
+    def test_dropout_runs(self):
+        m = MLPRegressor(hidden=(16,), dropout=0.3, epochs=3).fit(self.X[:200], self.y[:200])
+        assert np.isfinite(m.predict(self.X[:10])).all()
+
+    def test_reproducible(self):
+        kw = dict(hidden=(16,), epochs=3, random_state=11)
+        p1 = MLPRegressor(**kw).fit(self.X[:200], self.y[:200]).predict(self.X[:5])
+        p2 = MLPRegressor(**kw).fit(self.X[:200], self.y[:200]).predict(self.X[:5])
+        np.testing.assert_array_equal(p1, p2)
+
+    @pytest.mark.parametrize("bad", [{"activation": "sigmoid"}, {"loss": "mae"}, {"dropout": 1.0}])
+    def test_invalid_params_raise(self, bad):
+        with pytest.raises(ValueError):
+            MLPRegressor(**bad)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.zeros((2, 3)))
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "elu"])
+    def test_all_activations_learn(self, activation):
+        m = MLPRegressor(hidden=(32,), activation=activation, epochs=15, random_state=0)
+        m.fit(self.X[:800], self.y[:800])
+        mae = np.mean(np.abs(m.predict(self.X[800:]) - self.y[800:]))
+        baseline = np.mean(np.abs(self.y[800:] - self.y[:800].mean()))
+        assert mae < 0.8 * baseline
+
+
+class TestRidge:
+    def test_exact_on_linear_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (200, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 3.0
+        m = RidgeRegression(alpha=1e-9).fit(X, y)
+        np.testing.assert_allclose(m.predict(X), y, atol=1e-6)
+        np.testing.assert_allclose(m.coef_, [1.0, -2.0, 0.5], atol=1e-6)
+
+    def test_ridge_shrinks_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (50, 2))
+        y = X[:, 0]
+        small = RidgeRegression(alpha=1e-9).fit(X, y)
+        big = RidgeRegression(alpha=1e4).fit(X, y)
+        assert np.abs(big.coef_).sum() < np.abs(small.coef_).sum()
+
+    def test_negative_alpha_raises(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RidgeRegression().predict(np.zeros((2, 2)))
+
+
+class TestPipeline:
+    def test_scaler_plus_model(self):
+        rng = np.random.default_rng(0)
+        X = rng.lognormal(4, 2, (400, 3))
+        y = np.log10(X[:, 0])
+        pipe = Pipeline([("s", Standardizer()), ("m", RidgeRegression(alpha=1e-6))])
+        pipe.fit(X[:300], y[:300])
+        mae = np.mean(np.abs(pipe.predict(X[300:]) - y[300:]))
+        baseline = np.mean(np.abs(y[300:] - y[:300].mean()))
+        assert mae < 0.2 * baseline
+
+    def test_empty_pipeline_raises(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+
+class TestDeepEnsemble:
+    def setup_method(self):
+        rng = np.random.default_rng(2)
+        self.X = rng.normal(0, 1, (900, 4))
+        self.y = self.X[:, 0] + 0.2 * rng.normal(0, 1, 900)
+
+    def test_total_variance_identity(self):
+        """Law of total variance: total = AU + EU, elementwise."""
+        ens = DeepEnsemble(n_members=3, epochs=8, random_state=0).fit(self.X, self.y)
+        d = ens.decompose(self.X[:50])
+        np.testing.assert_allclose(d.total, d.aleatory + d.epistemic)
+
+    def test_eu_larger_off_distribution(self):
+        ens = DeepEnsemble(n_members=4, epochs=15, random_state=0).fit(self.X, self.y)
+        d_in = ens.decompose(self.X[:100])
+        d_out = ens.decompose(self.X[:100] + 15.0)  # far outside the training cloud
+        assert d_out.epistemic.mean() > 3.0 * d_in.epistemic.mean()
+
+    def test_au_tracks_noise_level(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0, 1, (2000, 2))
+        y = X[:, 0] + np.where(X[:, 1] > 0, 0.6, 0.05) * rng.normal(0, 1, 2000)
+        members = [{"hidden": (64, 64), "learning_rate": 1e-3}] * 3
+        ens = DeepEnsemble(members=members, epochs=60, random_state=0).fit(X, y)
+        d = ens.decompose(X)
+        assert d.aleatory[X[:, 1] > 0.5].mean() > 2.0 * d.aleatory[X[:, 1] < -0.5].mean()
+
+    def test_member_count(self):
+        ens = DeepEnsemble(n_members=3, epochs=2, random_state=0).fit(self.X[:100], self.y[:100])
+        assert len(ens.models_) == 3
+
+    def test_explicit_members(self):
+        members = [{"hidden": (8,)}, {"hidden": (16,)}]
+        ens = DeepEnsemble(members=members, epochs=2).fit(self.X[:100], self.y[:100])
+        assert len(ens.models_) == 2
+
+    def test_seed_diversity_mode(self):
+        ens = DeepEnsemble(n_members=2, diversity="seed", epochs=2, random_state=0)
+        ens.fit(self.X[:100], self.y[:100])
+        assert len(ens.models_) == 2
+
+    def test_invalid_diversity_raises(self):
+        with pytest.raises(ValueError):
+            DeepEnsemble(diversity="bootstrap")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DeepEnsemble().predict(self.X[:2])
+
+    def test_std_properties(self):
+        ens = DeepEnsemble(n_members=2, epochs=2, random_state=0).fit(self.X[:100], self.y[:100])
+        d = ens.decompose(self.X[:10])
+        np.testing.assert_allclose(d.aleatory_std**2, d.aleatory)
+        np.testing.assert_allclose(d.epistemic_std**2, d.epistemic)

@@ -1,0 +1,128 @@
+"""Tests for the §VIII OoD machinery: gap threshold, novel-family mechanics.
+
+These encode the failure modes we debugged while reproducing Fig. 5 (see
+DESIGN.md §7): feature novelty alone is not enough (models extrapolate the
+envelope fine), and family-level offsets alone are not enough (boosting
+memorizes them through leaked siblings).  The generative mechanism must
+combine out-of-envelope features with variance-dominated per-variant
+deviations — and these tests pin all of that down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import theta_config
+from repro.ml.ensemble import UncertaintyDecomposition
+from repro.simulator.applications import FAMILIES, OOD_FAMILIES, sample_variants
+from repro.simulator.engine import simulate
+from repro.taxonomy.litmus_ood import ood_attribution, shoulder_threshold
+
+
+class TestShoulderThreshold:
+    def test_finds_bimodal_gap(self):
+        rng = np.random.default_rng(0)
+        eu = np.concatenate([rng.uniform(0.01, 0.1, 990), rng.uniform(1.0, 2.0, 10)])
+        thr = shoulder_threshold(eu)
+        assert 0.1 < thr < 1.0  # inside the gap
+
+    def test_falls_back_to_quantile_without_gap(self):
+        rng = np.random.default_rng(1)
+        eu = rng.lognormal(0.0, 0.3, 2000)  # smooth unimodal tail
+        thr = shoulder_threshold(eu, quantile=0.99)
+        assert thr == pytest.approx(np.quantile(eu, 0.99))
+
+    def test_gap_must_be_in_search_window(self):
+        # a gap in the *middle* of the distribution must not trigger
+        eu = np.concatenate([np.full(500, 0.01), np.full(500, 1.0)])
+        thr = shoulder_threshold(eu, quantile=0.99, gap_search_frac=0.03)
+        assert thr >= 1.0  # quantile fallback lands in the upper mode
+
+    def test_tiny_samples_do_not_crash(self):
+        thr = shoulder_threshold(np.array([0.1, 0.2, 5.0]))
+        assert np.isfinite(thr)
+
+
+class TestOodAttribution:
+    def _decomp(self, eu_std):
+        n = eu_std.size
+        return UncertaintyDecomposition(
+            mean=np.zeros(n), aleatory=np.full(n, 0.01), epistemic=eu_std**2
+        )
+
+    def test_perfect_separation_tags_exactly_the_novel(self):
+        rng = np.random.default_rng(2)
+        eu = np.concatenate([rng.uniform(0.01, 0.05, 500), np.full(5, 2.0)])
+        y = np.zeros(505)
+        pred = np.zeros(505)
+        pred[-5:] = 1.0  # novel jobs carry all the error
+        ood = ood_attribution(self._decomp(eu), y, pred_dex=pred)
+        assert ood.is_ood.sum() == 5
+        assert np.all(ood.is_ood[-5:])
+        assert ood.error_share == pytest.approx(1.0)
+        assert ood.enrichment > 10.0
+
+    def test_explicit_threshold_respected(self):
+        eu = np.linspace(0.0, 1.0, 100)
+        ood = ood_attribution(self._decomp(eu), np.zeros(100), threshold=0.9)
+        # linspace(0, 1, 100) has step 1/99: ten values are >= 0.9
+        assert ood.is_ood.sum() == 10
+
+    def test_zero_error_edge_case(self):
+        eu = np.linspace(0.0, 1.0, 50)
+        ood = ood_attribution(self._decomp(eu), np.zeros(50), pred_dex=np.zeros(50))
+        assert ood.error_share == 0.0
+        assert ood.enrichment == 0.0
+
+
+class TestNovelFamilyMechanics:
+    def test_in_distribution_families_have_zero_offset(self):
+        rng = np.random.default_rng(0)
+        for name in FAMILIES:
+            params = sample_variants(name, rng, 50)
+            np.testing.assert_array_equal(params["fa_offset"], 0.0)
+
+    def test_novel_families_have_variance_dominated_offsets(self):
+        rng = np.random.default_rng(1)
+        for name, fam in OOD_FAMILIES.items():
+            params = sample_variants(name, rng, 400)
+            off = params["fa_offset"]
+            assert np.std(off) > abs(np.mean(off)), name
+            assert np.std(off) == pytest.approx(fam.fa_sigma_dex, rel=0.2)
+
+    def test_novel_features_outside_training_envelope(self):
+        rng = np.random.default_rng(2)
+        in_dist_nprocs_max = max(
+            sample_variants(n, rng, 300)["nprocs"].max() for n in FAMILIES
+        )
+        lammps = sample_variants("lammps_novel", rng, 100)
+        assert lammps["nprocs"].min() > in_dist_nprocs_max
+
+        in_dist_bytes_max = max(
+            sample_variants(n, rng, 300)["total_bytes"].max() for n in FAMILIES
+        )
+        dl = sample_variants("dl_ckpt_novel", rng, 100)
+        assert dl["total_bytes"].min() > in_dist_bytes_max
+
+    def test_offsets_flow_into_ground_truth(self):
+        sim = simulate(theta_config(n_jobs=2500))
+        novel = sim.jobs.is_ood
+        assert novel.any()
+        # fa_offset recorded per job and non-trivial for novel jobs only
+        assert np.all(sim.jobs.fa_offset[~novel] == 0.0)
+        assert np.std(sim.jobs.fa_offset[novel]) > 0.2
+
+    def test_novel_variants_are_mostly_one_offs(self):
+        sim = simulate(theta_config(n_jobs=12000))
+        jobs = sim.jobs
+        novel_variants, counts = np.unique(
+            jobs.variant_id[jobs.is_ood], return_counts=True
+        )
+        assert novel_variants.size >= 10
+        assert np.mean(counts == 1) > 0.5
+        assert counts.max() <= 3
+
+    def test_novel_jobs_only_after_deployment_cutoff(self):
+        sim = simulate(theta_config(n_jobs=6000))
+        jobs = sim.jobs
+        cutoff = sim.config.workload.start_epoch + sim.deployment_cutoff_time
+        assert np.all(jobs.start_time[jobs.is_ood] >= cutoff - 1.0)

@@ -1,0 +1,98 @@
+"""Tests for the parallel map and sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import _chunks, effective_workers, parallel_map
+from repro.parallel.sweep import ParamGrid, run_grid, run_random_search
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_order_preserved(self):
+        assert parallel_map(_square, range(10), workers=1) == [x * x for x in range(10)]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=1) == []
+
+    def test_single_item(self):
+        assert parallel_map(_square, [3], workers=4) == [9]
+
+    def test_chunks_cover_all(self):
+        items = list(range(17))
+        chunks = _chunks(items, 4)
+        flat = [x for c in chunks for x in c]
+        assert flat == items
+
+    def test_chunks_more_chunks_than_items(self):
+        chunks = _chunks([1, 2], 10)
+        assert [x for c in chunks for x in c] == [1, 2]
+
+    def test_effective_workers_floor(self):
+        assert effective_workers(0) == 1
+        assert effective_workers(-3) == 1
+
+    def test_effective_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert effective_workers(None) == 3
+
+
+class TestParamGrid:
+    def test_len(self):
+        grid = ParamGrid(a=[1, 2], b=[3, 4, 5])
+        assert len(grid) == 6
+
+    def test_iteration_covers_product(self):
+        grid = ParamGrid(a=[1, 2], b=["x", "y"])
+        combos = list(grid)
+        assert {(c["a"], c["b"]) for c in combos} == {(1, "x"), (1, "y"), (2, "x"), (2, "y")}
+
+    def test_axis(self):
+        grid = ParamGrid(a=[1, 2], b=[3])
+        assert grid.axis("b") == [3]
+
+    def test_empty_param_raises(self):
+        with pytest.raises(ValueError):
+            ParamGrid(a=[])
+
+    def test_no_params_raises(self):
+        with pytest.raises(ValueError):
+            ParamGrid()
+
+
+def _objective(a, b):
+    return (a - 2) ** 2 + b
+
+
+class TestRunGrid:
+    def test_sorted_by_score(self):
+        results = run_grid(_objective, ParamGrid(a=[0, 1, 2, 3], b=[0, 1]), workers=1)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores)
+
+    def test_best_found(self):
+        results = run_grid(_objective, ParamGrid(a=[0, 1, 2, 3], b=[0, 1]), workers=1)
+        assert results[0].params == {"a": 2, "b": 0}
+
+    def test_info_dict_passthrough(self):
+        def obj(a):
+            return a, {"tag": a * 10}
+
+        results = run_grid(obj, ParamGrid(a=[2, 1]), workers=1)
+        assert results[0].info == {"tag": 10}
+
+
+class TestRandomSearch:
+    def test_draws_within_space(self):
+        results = run_random_search(_objective, {"a": [0, 5], "b": [1]}, n_iter=8, seed=0, workers=1)
+        assert len(results) == 8
+        for r in results:
+            assert r.params["a"] in (0, 5) and r.params["b"] == 1
+
+    def test_reproducible(self):
+        r1 = run_random_search(_objective, {"a": [0, 1, 2], "b": [0, 1]}, 5, seed=3, workers=1)
+        r2 = run_random_search(_objective, {"a": [0, 1, 2], "b": [0, 1]}, 5, seed=3, workers=1)
+        assert [r.params for r in r1] == [r.params for r in r2]

@@ -1,0 +1,63 @@
+"""Tests for feature preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.preprocessing import Standardizer, signed_log1p
+
+
+class TestSignedLog1p:
+    def test_zero_fixed_point(self):
+        assert signed_log1p(np.array([0.0]))[0] == 0.0
+
+    def test_odd_function(self):
+        x = np.array([1.0, 10.0, 1e6])
+        np.testing.assert_allclose(signed_log1p(-x), -signed_log1p(x))
+
+    def test_compresses_magnitudes(self):
+        out = signed_log1p(np.array([1e12]))
+        assert out[0] == pytest.approx(12.0, abs=0.01)
+
+    @given(arrays(np.float64, 10, elements=st.floats(-1e9, 1e9)))
+    def test_monotone_property(self, x):
+        order = np.argsort(x)
+        out = signed_log1p(x)
+        assert np.all(np.diff(out[order]) >= -1e-12)
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        X = rng.lognormal(3, 2, (500, 4))
+        Z = Standardizer().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = Standardizer().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        s = Standardizer().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError, match="feature count mismatch"):
+            s.transform(np.zeros((5, 4)))
+
+    def test_no_log_mode(self):
+        X = np.column_stack([np.arange(10.0)])
+        s = Standardizer(log_compress=False).fit(X)
+        Z = s.transform(X)
+        np.testing.assert_allclose(Z.mean(), 0.0, atol=1e-12)
+
+    def test_train_statistics_applied_to_test(self):
+        X_train = np.full((4, 1), 10.0)
+        s = Standardizer(log_compress=False).fit(X_train)
+        Z = s.transform(np.full((2, 1), 20.0))
+        # scale_ forced to 1 for constant column; shift by mean 10
+        np.testing.assert_allclose(Z, 10.0)

@@ -1,0 +1,77 @@
+"""Tests for the GBM's pinball (quantile) loss and prediction intervals."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbm import GradientBoostingRegressor
+
+
+def _heteroscedastic(n=3000, seed=0):
+    """y = x + noise whose spread grows with x."""
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 4.0, n)
+    y = x + rng.normal(0.0, 0.1 + 0.2 * x, n)
+    return x[:, None], y
+
+
+class TestQuantileLoss:
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(loss="quantile", quantile_alpha=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(loss="quantile", quantile_alpha=1.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(loss="exotic")
+
+    def test_base_score_is_target_quantile(self):
+        y = np.arange(100.0)
+        X = np.zeros((100, 1))
+        model = GradientBoostingRegressor(
+            n_estimators=1, loss="quantile", quantile_alpha=0.9
+        ).fit(X, y)
+        assert model.base_score_ == pytest.approx(np.quantile(y, 0.9))
+
+    @pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9])
+    def test_empirical_coverage_matches_alpha(self, alpha):
+        X, y = _heteroscedastic()
+        model = GradientBoostingRegressor(
+            n_estimators=300, max_depth=3, learning_rate=0.1,
+            loss="quantile", quantile_alpha=alpha,
+        ).fit(X, y)
+        below = float(np.mean(y <= model.predict(X)))
+        assert below == pytest.approx(alpha, abs=0.07)
+
+    def test_quantiles_are_ordered(self):
+        X, y = _heteroscedastic()
+        preds = {}
+        for alpha in (0.1, 0.5, 0.9):
+            m = GradientBoostingRegressor(
+                n_estimators=200, max_depth=3, loss="quantile", quantile_alpha=alpha
+            ).fit(X, y)
+            preds[alpha] = m.predict(X)
+        # pointwise monotone in alpha for the overwhelming majority of rows
+        assert np.mean(preds[0.1] <= preds[0.5] + 1e-9) > 0.95
+        assert np.mean(preds[0.5] <= preds[0.9] + 1e-9) > 0.95
+
+    def test_interval_width_tracks_heteroscedastic_noise(self):
+        # the pinball gradient has constant magnitude, so convergence to the
+        # local quantile needs larger steps than the center losses
+        X, y = _heteroscedastic()
+        params = dict(n_estimators=400, max_depth=3, learning_rate=0.3,
+                      huber_delta=0.3, loss="quantile")
+        lo = GradientBoostingRegressor(quantile_alpha=0.1, **params).fit(X, y).predict(X)
+        hi = GradientBoostingRegressor(quantile_alpha=0.9, **params).fit(X, y).predict(X)
+        width = hi - lo
+        small_x = X[:, 0] < 1.0
+        large_x = X[:, 0] > 3.0
+        assert np.median(width[large_x]) > 1.5 * np.median(width[small_x])
+
+    def test_median_quantile_close_to_huber_fit(self):
+        X, y = _heteroscedastic()
+        q50 = GradientBoostingRegressor(
+            n_estimators=200, max_depth=3, loss="quantile", quantile_alpha=0.5
+        ).fit(X, y).predict(X)
+        hub = GradientBoostingRegressor(
+            n_estimators=200, max_depth=3, loss="huber"
+        ).fit(X, y).predict(X)
+        assert np.mean(np.abs(q50 - hub)) < 0.25

@@ -1,0 +1,66 @@
+"""Tests for the workload→scheduler bridge (repro.scheduler.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.config import theta_config
+from repro.scheduler import Dragonfly
+from repro.scheduler.trace import QueueTrace, schedule_jobs, trace_from_jobs
+from repro.simulator.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    # a small population; take the first slice so the trace stays short
+    sim = simulate(theta_config(n_jobs=400))
+    return sim.jobs.take(np.arange(120))
+
+
+class TestTraceConstruction:
+    def test_submission_precedes_intended_start(self, jobs):
+        submit, _, _ = trace_from_jobs(jobs, rng=0)
+        assert np.all(submit <= jobs.start_time)
+
+    def test_walltime_overestimates_duration(self, jobs):
+        _, _, wall = trace_from_jobs(jobs, rng=0)
+        assert np.all(wall >= jobs.duration * 1.1 - 1e-6)
+
+    def test_nodes_passed_through(self, jobs):
+        _, nodes, _ = trace_from_jobs(jobs)
+        np.testing.assert_array_equal(nodes, jobs.nodes)
+
+    def test_deterministic_given_seed(self, jobs):
+        a = trace_from_jobs(jobs, rng=5)
+        b = trace_from_jobs(jobs, rng=5)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestScheduleJobs:
+    def test_row_alignment_and_types(self, jobs):
+        trace = schedule_jobs(jobs, rng=1)
+        assert isinstance(trace, QueueTrace)
+        assert len(trace) == len(jobs)
+        assert np.all(trace.wait_time >= 0.0)
+        assert trace.backfilled.dtype == bool
+
+    def test_default_machine_fits_population(self, jobs):
+        trace = schedule_jobs(jobs, rng=1)
+        assert 0.0 < trace.stats.utilization <= 1.0
+
+    def test_explicit_too_small_machine_rejected(self, jobs):
+        tiny = Dragonfly(n_groups=2, routers_per_group=2, nodes_per_router=1)
+        with pytest.raises(ValueError, match="widest job"):
+            schedule_jobs(jobs, topology=tiny)
+
+    def test_backfill_disabled_yields_no_backfills(self, jobs):
+        trace = schedule_jobs(jobs, backfill=False, rng=1)
+        assert not trace.backfilled.any()
+
+    def test_random_placement_spreads_allocations(self, jobs):
+        topo = Dragonfly(n_groups=10, routers_per_group=16, nodes_per_router=4)
+        tight = schedule_jobs(jobs, topology=topo, policy="cluster", rng=2)
+        loose = schedule_jobs(jobs, topology=topo, policy="random", rng=2)
+        multi = jobs.nodes > 4  # single-router jobs have locality 0 everywhere
+        if multi.sum() >= 5:
+            assert tight.locality[multi].mean() < loose.locality[multi].mean()

@@ -1,0 +1,244 @@
+"""Tests for the simulator substrate: platform, iomodel, weather, contention, noise."""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformConfig, WeatherConfig, theta_config
+from repro.simulator.contention import BackgroundLoad, LoadTimeline, contention_dex
+from repro.simulator.iomodel import ideal_log_throughput, ideal_throughput_mibps
+from repro.simulator.noise import gaussian_mixture_noise, noise_dex, student_t_noise
+from repro.simulator.platform import Platform
+from repro.simulator.weather import Weather
+
+SPAN = 3.0 * 365.25 * 86400
+
+
+def _params(n=1, **over):
+    base = dict(
+        nprocs=np.full(n, 256.0),
+        total_bytes=np.full(n, 1e12),
+        read_frac=np.full(n, 0.5),
+        xfer_read=np.full(n, 2.0**22),
+        xfer_write=np.full(n, 2.0**22),
+        shared_frac=np.zeros(n),
+        files_per_proc=np.ones(n),
+        shared_files=np.ones(n),
+        meta_per_gib=np.full(n, 1.0),
+        seq_frac=np.ones(n),
+        aligned_frac=np.ones(n),
+        collective_frac=np.zeros(n),
+        fsync_per_gib=np.full(n, 0.01),
+        sensitivity=np.ones(n),
+        uses_mpiio=np.zeros(n, dtype=bool),
+    )
+    base.update({k: np.asarray(v, dtype=float) for k, v in over.items()})
+    return base
+
+
+class TestPlatform:
+    def setup_method(self):
+        self.p = Platform(PlatformConfig())
+
+    def test_transfer_efficiency_half_at_latency_bytes(self):
+        eff = self.p.transfer_efficiency(np.array([self.p.config.latency_bytes]))
+        assert eff[0] == pytest.approx(0.5)
+
+    def test_transfer_efficiency_monotone(self):
+        xfer = np.logspace(3, 8, 20)
+        eff = self.p.transfer_efficiency(xfer)
+        assert np.all(np.diff(eff) > 0)
+        assert np.all((eff > 0) & (eff < 1))
+
+    def test_osts_used_shared_vs_fpp(self):
+        fpp = self.p.osts_used(np.array([1000.0]), np.array([0.0]))
+        shared = self.p.osts_used(np.array([1000.0]), np.array([1.0]))
+        assert fpp[0] == self.p.config.n_ost       # capped at all OSTs
+        assert shared[0] == self.p.config.stripe_width
+
+    def test_ceiling_bounded_by_peak(self):
+        osts = np.array([1.0, 8.0, 56.0])
+        ceil = self.p.aggregate_ceiling(osts, read=True)
+        assert np.all(ceil <= self.p.config.peak_read_mibps + 1e-9)
+        assert np.all(np.diff(ceil) > 0)
+
+    def test_demand_fraction_blend(self):
+        d = self.p.demand_fraction(np.array([1000.0]), np.array([0.0]))
+        assert d[0] == pytest.approx(1000.0 / self.p.config.peak_write_mibps)
+
+
+class TestIoModel:
+    def setup_method(self):
+        self.p = Platform(PlatformConfig())
+
+    def test_larger_transfers_faster(self):
+        slow = ideal_throughput_mibps(self.p, _params(xfer_read=2.0**12, xfer_write=2.0**12))
+        fast = ideal_throughput_mibps(self.p, _params(xfer_read=2.0**24, xfer_write=2.0**24))
+        assert fast[0] > 2.0 * slow[0]
+
+    def test_shared_writes_slower(self):
+        fpp = ideal_throughput_mibps(self.p, _params(read_frac=0.0, shared_frac=0.0))
+        shared = ideal_throughput_mibps(self.p, _params(read_frac=0.0, shared_frac=1.0))
+        assert shared[0] < fpp[0]
+
+    def test_metadata_heavy_slower(self):
+        light = ideal_throughput_mibps(self.p, _params(meta_per_gib=0.1))
+        heavy = ideal_throughput_mibps(self.p, _params(meta_per_gib=1000.0))
+        assert heavy[0] < light[0]
+
+    def test_random_access_slower(self):
+        seq = ideal_throughput_mibps(self.p, _params(seq_frac=1.0))
+        rand = ideal_throughput_mibps(self.p, _params(seq_frac=0.0))
+        assert rand[0] < seq[0]
+
+    def test_collective_rescues_small_transfers(self):
+        small = _params(xfer_write=2.0**12, read_frac=0.0)
+        coll = _params(xfer_write=2.0**12, read_frac=0.0, collective_frac=1.0)
+        assert ideal_throughput_mibps(self.p, coll)[0] > 3.0 * ideal_throughput_mibps(self.p, small)[0]
+
+    def test_rate_invariant_to_total_bytes(self):
+        """Throughput is a rate: problem size cancels (meta scales with GiB)."""
+        a = ideal_throughput_mibps(self.p, _params(total_bytes=1e11))
+        b = ideal_throughput_mibps(self.p, _params(total_bytes=1e13))
+        assert a[0] == pytest.approx(b[0], rel=1e-6)
+
+    def test_more_procs_not_slower_fpp(self):
+        few = ideal_throughput_mibps(self.p, _params(nprocs=4.0))
+        many = ideal_throughput_mibps(self.p, _params(nprocs=1024.0))
+        assert many[0] > few[0]
+
+    def test_log_matches_linear(self):
+        params = _params()
+        np.testing.assert_allclose(
+            ideal_log_throughput(self.p, params),
+            np.log10(ideal_throughput_mibps(self.p, params)),
+        )
+
+
+class TestWeather:
+    def test_reproducible(self):
+        w1 = Weather(WeatherConfig(), SPAN, rng=5)
+        w2 = Weather(WeatherConfig(), SPAN, rng=5)
+        t = np.linspace(0, SPAN, 100)
+        np.testing.assert_array_equal(w1.log_factor(t), w2.log_factor(t))
+
+    def test_degradation_nonnegative(self):
+        w = Weather(WeatherConfig(), SPAN, rng=0)
+        t = np.linspace(0, SPAN, 2000)
+        assert np.all(w.degradation(t) >= 0)
+
+    def test_fullness_bounds(self):
+        w = Weather(WeatherConfig(), SPAN, rng=0)
+        f = w.fullness(np.linspace(0, SPAN, 1000))
+        assert np.all((f >= 0.02) & (f <= 0.97))
+
+    def test_describe_keys(self):
+        d = Weather(WeatherConfig(), SPAN, rng=0).describe()
+        assert {"n_degradations", "n_epochs", "fg_std_dex"} <= set(d)
+
+    def test_deployment_epoch_creates_shift(self):
+        cfg = WeatherConfig(epoch_count=1, degradations_per_year=0.0, ou_sigma=1e-9,
+                            seasonal_amplitude=0.0, aging_slope=0.0, fullness_penalty=0.0)
+        w = Weather(cfg, SPAN, rng=1, deployment_epoch_at=0.5)
+        before = w.log_factor(np.array([0.25 * SPAN]))
+        after = w.log_factor(np.array([0.75 * SPAN]))
+        assert abs(after[0] - before[0]) > 0.01
+
+    def test_no_deployment_epoch(self):
+        w = Weather(WeatherConfig(epoch_count=1), SPAN, rng=1, deployment_epoch_at=None)
+        assert w._epoch_offsets.size == 1
+
+    def test_weather_magnitude_sane(self):
+        w = Weather(WeatherConfig(), SPAN, rng=3)
+        fg = w.log_factor(np.linspace(0, SPAN, 4000))
+        assert 0.01 < np.std(fg) < 0.3
+
+
+class TestLoadTimeline:
+    def test_single_job_load(self):
+        tl = LoadTimeline(np.array([10.0]), np.array([20.0]), np.array([0.5]))
+        assert tl.load_at(np.array([15.0]))[0] == pytest.approx(0.5)
+        assert tl.load_at(np.array([25.0]))[0] == pytest.approx(0.0)
+        assert tl.load_at(np.array([5.0]))[0] == pytest.approx(0.0)
+
+    def test_overlap_sums(self):
+        tl = LoadTimeline(np.array([0.0, 5.0]), np.array([10.0, 15.0]), np.array([0.3, 0.4]))
+        assert tl.load_at(np.array([7.0]))[0] == pytest.approx(0.7)
+
+    def test_mean_load_exact_integral(self):
+        tl = LoadTimeline(np.array([0.0]), np.array([10.0]), np.array([1.0]))
+        # window [5, 15]: half covered -> mean 0.5
+        assert tl.mean_load(np.array([5.0]), np.array([15.0]))[0] == pytest.approx(0.5)
+
+    def test_negative_duration_raises(self):
+        with pytest.raises(ValueError):
+            LoadTimeline(np.array([10.0]), np.array([5.0]), np.array([1.0]))
+
+    def test_mean_load_inside_constant(self):
+        tl = LoadTimeline(np.array([0.0]), np.array([100.0]), np.array([0.25]))
+        got = tl.mean_load(np.array([10.0]), np.array([20.0]))[0]
+        assert got == pytest.approx(0.25)
+
+
+class TestBackgroundLoad:
+    def test_bounds(self):
+        bg = BackgroundLoad(SPAN, rng=0)
+        load = bg.load_at(np.linspace(0, SPAN, 5000))
+        assert np.all((load >= 0.0) & (load <= 2.5))
+
+    def test_mean_near_configured(self):
+        bg = BackgroundLoad(SPAN, rng=0, mean=0.42)
+        load = bg.load_at(np.linspace(0, SPAN, 20000))
+        assert abs(load.mean() - 0.42) < 0.15
+
+    def test_mean_load_window(self):
+        bg = BackgroundLoad(SPAN, rng=0)
+        m = bg.mean_load(np.array([0.0]), np.array([86400.0]))
+        assert np.isfinite(m[0]) and m[0] >= 0
+
+
+class TestContention:
+    def test_nonpositive_and_capped(self):
+        cfg = PlatformConfig()
+        dex, _ = contention_dex(cfg, np.full(1000, 5.0), np.full(1000, 3.0), rng=0)
+        assert np.all(dex <= 0) and np.all(dex >= -0.6)
+
+    def test_zero_load_zero_contention(self):
+        cfg = PlatformConfig()
+        dex, _ = contention_dex(cfg, np.zeros(10), np.ones(10), rng=0)
+        np.testing.assert_allclose(dex, 0.0)
+
+    def test_sensitivity_scales(self):
+        cfg = PlatformConfig()
+        lo, _ = contention_dex(cfg, np.full(4000, 0.5), np.full(4000, 0.5), rng=0)
+        hi, _ = contention_dex(cfg, np.full(4000, 0.5), np.full(4000, 2.0), rng=0)
+        assert hi.mean() < lo.mean()  # more negative
+
+    def test_placement_mean_one(self):
+        cfg = PlatformConfig()
+        _, placement = contention_dex(cfg, np.ones(20000), np.ones(20000), rng=0)
+        assert placement.mean() == pytest.approx(1.0, rel=0.05)
+
+
+class TestNoise:
+    def test_gaussian_sigma(self):
+        x = gaussian_mixture_noise(0, 50000, sigma=0.02, heavy_frac=0.0)
+        assert np.std(x) == pytest.approx(0.02, rel=0.05)
+
+    def test_heavy_tail_increases_kurtosis(self):
+        clean = gaussian_mixture_noise(0, 50000, 0.02, heavy_frac=0.0)
+        heavy = gaussian_mixture_noise(0, 50000, 0.02, heavy_frac=0.05)
+        k = lambda v: np.mean((v - v.mean()) ** 4) / np.var(v) ** 2
+        assert k(heavy) > k(clean) + 1.0
+
+    def test_student_t_variance(self):
+        x = student_t_noise(0, 100000, sigma=0.05, df=5.0)
+        assert np.std(x) == pytest.approx(0.05, rel=0.1)
+
+    def test_student_t_low_df_raises(self):
+        with pytest.raises(ValueError):
+            student_t_noise(0, 10, 0.1, df=2.0)
+
+    def test_noise_dex_uses_platform(self):
+        cfg = theta_config().platform
+        x = noise_dex(cfg, 0, 20000)
+        assert np.std(x) == pytest.approx(cfg.noise_sigma, rel=0.35)

@@ -1,0 +1,139 @@
+"""Tests for the stats subpackage (bootstrap, weighted quantiles, drift)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    DriftMonitor,
+    bootstrap_ci,
+    bootstrap_median_ci,
+    ks_statistic,
+    population_stability_index,
+    weighted_median,
+    weighted_quantile,
+)
+
+
+class TestBootstrap:
+    def test_median_ci_brackets_truth(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 1.0, 2000)
+        point, lo, hi = bootstrap_median_ci(x, n_boot=500)
+        assert lo <= point <= hi
+        assert lo < 5.0 < hi
+        assert hi - lo < 0.3  # tight at n=2000
+
+    def test_ci_width_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        _, lo_s, hi_s = bootstrap_median_ci(rng.normal(0, 1, 100), n_boot=400)
+        _, lo_l, hi_l = bootstrap_median_ci(rng.normal(0, 1, 10_000), n_boot=400)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_generic_statistic(self):
+        rng = np.random.default_rng(2)
+        x = rng.exponential(2.0, 1500)
+        point, lo, hi = bootstrap_ci(x, lambda v: float(np.mean(v)), n_boot=400)
+        assert lo < 2.0 < hi
+        assert point == pytest.approx(x.mean())
+
+    def test_deterministic_given_seed(self):
+        x = np.arange(100.0)
+        a = bootstrap_median_ci(x, n_boot=200, random_state=7)
+        b = bootstrap_median_ci(x, n_boot=200, random_state=7)
+        assert a == b
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci(np.array([1.0]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0, 2.0]), np.mean, coverage=1.5)
+
+
+class TestWeightedQuantile:
+    def test_matches_numpy_for_equal_weights(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 5000)
+        w = np.ones_like(x)
+        for q in (0.1, 0.5, 0.9):
+            assert weighted_quantile(x, w, q) == pytest.approx(np.quantile(x, q), abs=0.01)
+
+    def test_zero_weight_points_ignored(self):
+        x = np.array([0.0, 1.0, 2.0, 100.0])
+        w = np.array([1.0, 1.0, 1.0, 0.0])
+        assert weighted_median(x, w) == pytest.approx(1.0, abs=0.35)
+
+    def test_heavy_weight_dominates(self):
+        x = np.array([0.0, 10.0])
+        w = np.array([1.0, 99.0])
+        assert weighted_median(x, w) == pytest.approx(10.0, abs=0.6)
+
+    def test_vector_q(self):
+        x = np.arange(100.0)
+        w = np.ones(100)
+        out = weighted_quantile(x, w, np.array([0.25, 0.75]))
+        assert out.shape == (2,)
+        assert out[0] < out[1]
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0]), np.array([1.0, 2.0]), 0.5)
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0]), np.array([-1.0]), 0.5)
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0, 2.0]), np.array([0.0, 0.0]), 0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.01, 0.99))
+    def test_monotone_in_q(self, q):
+        rng = np.random.default_rng(3)
+        x = rng.normal(0, 1, 300)
+        w = rng.uniform(0.1, 2.0, 300)
+        assert weighted_quantile(x, w, q) <= weighted_quantile(x, w, min(q + 0.01, 0.999))
+
+
+class TestDrift:
+    def test_psi_near_zero_for_same_distribution(self):
+        rng = np.random.default_rng(0)
+        ref = rng.normal(0, 1, 5000)
+        cur = rng.normal(0, 1, 5000)
+        assert population_stability_index(ref, cur) < 0.02
+
+    def test_psi_large_for_shifted_distribution(self):
+        rng = np.random.default_rng(1)
+        ref = rng.normal(0, 1, 5000)
+        cur = rng.normal(2.0, 1, 5000)
+        assert population_stability_index(ref, cur) > 0.5
+
+    def test_ks_bounds_and_extremes(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 1000)
+        assert ks_statistic(a, a) == 0.0
+        assert ks_statistic(a, a + 100.0) == pytest.approx(1.0)
+
+    def test_monitor_flags_only_shifted_columns(self):
+        rng = np.random.default_rng(3)
+        ref = rng.normal(0, 1, (3000, 4))
+        cur = ref.copy()[:1500]
+        cur[:, 2] += 3.0
+        monitor = DriftMonitor().fit(ref, names=list("abcd"))
+        report = monitor.score(cur)
+        assert report.n_drifted == 1
+        assert report.worst(1)[0][0] == "c"
+
+    def test_monitor_validation(self):
+        monitor = DriftMonitor()
+        with pytest.raises(RuntimeError):
+            monitor.score(np.zeros((5, 2)))
+        monitor.fit(np.random.default_rng(0).normal(0, 1, (100, 2)))
+        with pytest.raises(ValueError):
+            monitor.score(np.zeros((5, 3)))
+
+    def test_constant_reference_column_handled(self):
+        ref = np.zeros((200, 1))
+        cur = np.ones((100, 1))
+        monitor = DriftMonitor().fit(ref)
+        report = monitor.score(cur)
+        assert np.isfinite(report.psi).all()
+        assert report.psi[0] > 0.25

@@ -1,0 +1,232 @@
+"""Tests for the litmus tests and the error-breakdown records.
+
+Synthetic-generator tests verify each litmus test recovers *known* injected
+quantities — the validation the paper itself could not perform on
+production logs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.duplicates import DuplicateSets, find_duplicate_sets
+from repro.ml.ensemble import UncertaintyDecomposition
+from repro.taxonomy import (
+    ApplicationBound,
+    application_bound,
+    bessel_correction_factor,
+    fit_t_distribution,
+    noise_bound,
+    ood_attribution,
+)
+from repro.taxonomy.errors import ErrorBreakdown
+from repro.taxonomy.litmus_ood import shoulder_threshold
+from repro.taxonomy.report import render_breakdown
+from repro.taxonomy.tdist import pooled_residuals
+
+
+def _synthetic_duplicates(n_sets=400, size=2, sigma=0.05, seed=0):
+    """Feature rows identical within sets; y = set mean + N(0, σ)."""
+    rng = np.random.default_rng(seed)
+    rows, ys = [], []
+    for s in range(n_sets):
+        feat = rng.normal(0, 1, 3)
+        mu = rng.uniform(1, 4)
+        for _ in range(size):
+            rows.append(feat)
+            ys.append(mu + rng.normal(0, sigma))
+    return np.asarray(rows), np.asarray(ys)
+
+
+class TestBessel:
+    def test_factor_values(self):
+        assert bessel_correction_factor(2) == pytest.approx(np.sqrt(2.0))
+        assert bessel_correction_factor(10) == pytest.approx(np.sqrt(10 / 9))
+
+    def test_size_one_raises(self):
+        with pytest.raises(ValueError):
+            bessel_correction_factor(1)
+
+    def test_correction_restores_sigma(self):
+        """Pairs: raw residual std is σ/√2; corrected must be σ."""
+        X, y = _synthetic_duplicates(n_sets=4000, size=2, sigma=0.05)
+        dups = find_duplicate_sets(X)
+        raw = pooled_residuals(y, dups.sets, correct=False)
+        corrected = pooled_residuals(y, dups.sets, correct=True)
+        assert np.std(raw) == pytest.approx(0.05 / np.sqrt(2), rel=0.05)
+        assert np.std(corrected) == pytest.approx(0.05, rel=0.05)
+
+
+class TestTFit:
+    def test_recovers_normal_sigma(self):
+        rng = np.random.default_rng(0)
+        fit = fit_t_distribution(rng.normal(0, 0.03, 20000))
+        assert fit.sigma == pytest.approx(0.03, rel=0.08)
+
+    def test_band_math(self):
+        fit = fit_t_distribution(np.random.default_rng(1).normal(0, 0.0241, 20000))
+        # σ = 0.0241 dex ⇒ ±5.7 % at 68 % coverage (the paper's Theta value)
+        assert fit.band(0.68) == pytest.approx(5.71, abs=0.8)
+        assert fit.band(0.95) > fit.band(0.68)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            fit_t_distribution(np.zeros(4))
+
+    def test_heavy_tails_get_low_df(self):
+        rng = np.random.default_rng(2)
+        heavy = rng.standard_t(3, 20000) * 0.02
+        normal = rng.normal(0, 0.02, 20000)
+        assert fit_t_distribution(heavy).df < fit_t_distribution(normal).df
+
+
+class TestApplicationBound:
+    def test_recovers_injected_sigma(self):
+        X, y = _synthetic_duplicates(n_sets=2000, size=3, sigma=0.04)
+        bound = application_bound(X, y)
+        # median |N(0, σ)| = 0.6745 σ
+        assert bound.median_abs_dex == pytest.approx(0.6745 * 0.04, rel=0.08)
+
+    def test_counts(self):
+        X, y = _synthetic_duplicates(n_sets=10, size=4)
+        bound = application_bound(X, y)
+        assert bound.n_sets == 10
+        assert bound.n_duplicates == 40
+        assert bound.duplicate_fraction == pytest.approx(1.0)
+
+    def test_no_duplicates_raises(self):
+        X = np.arange(20.0).reshape(10, 2)
+        with pytest.raises(ValueError, match="no duplicate sets"):
+            application_bound(X, np.zeros(10))
+
+    def test_model_app_error_clipped(self):
+        X, y = _synthetic_duplicates(n_sets=50, size=2)
+        bound = application_bound(X, y)
+        assert bound.model_app_error_pct(bound.median_abs_pct - 1.0) == 0.0
+        assert bound.model_app_error_pct(bound.median_abs_pct + 2.0) == pytest.approx(2.0)
+
+    def test_reuses_provided_census(self):
+        X, y = _synthetic_duplicates(n_sets=30, size=2)
+        dups = find_duplicate_sets(X)
+        bound = application_bound(X, y, dups=dups)
+        assert bound.n_sets == dups.n_sets
+
+
+class TestNoiseBound:
+    def _dataset(self, sigma=0.03, n_sets=600, seed=0):
+        rng = np.random.default_rng(seed)
+        rows, ys, ts = [], [], []
+        for s in range(n_sets):
+            feat = rng.normal(0, 1, 2)
+            mu = rng.uniform(1, 3)
+            t0 = rng.uniform(0, 1e6)
+            size = 2 if rng.random() < 0.7 else int(rng.integers(3, 7))
+            for k in range(size):
+                rows.append(feat)
+                ys.append(mu + rng.normal(0, sigma))
+                ts.append(t0 + rng.uniform(0, 0.5))
+        return np.asarray(rows), np.asarray(ys), np.asarray(ts)
+
+    def test_recovers_sigma_despite_small_sets(self):
+        X, y, t = self._dataset(sigma=0.0241)
+        dups = find_duplicate_sets(X)
+        nb = noise_bound(y, dups, t)
+        assert nb.sigma_dex == pytest.approx(0.0241, rel=0.12)
+        assert nb.band_68_pct == pytest.approx(5.71, rel=0.15)
+
+    def test_set_size_statistics(self):
+        X, y, t = self._dataset()
+        nb = noise_bound(y, find_duplicate_sets(X), t)
+        assert 0.55 < nb.set_size_share_2 < 0.85
+        assert nb.set_size_share_le6 > 0.95
+
+    def test_exclusion_mask(self):
+        X, y, t = self._dataset(n_sets=100)
+        dups = find_duplicate_sets(X)
+        exclude = np.zeros(len(y), dtype=bool)
+        exclude[:] = False
+        nb_all = noise_bound(y, dups, t)
+        exclude[: len(y) // 2] = True
+        nb_half = noise_bound(y, dups, t, exclude=exclude)
+        assert nb_half.n_concurrent_jobs < nb_all.n_concurrent_jobs
+
+    def test_no_concurrent_raises(self):
+        X = np.ones((4, 2))
+        y = np.zeros(4)
+        t = np.array([0.0, 1e5, 2e5, 3e5])  # same features, never concurrent
+        with pytest.raises(ValueError, match="no concurrent"):
+            noise_bound(y, find_duplicate_sets(X), t)
+
+
+class TestOodAttribution:
+    def _decomp(self, n=1000, n_ood=20, seed=0):
+        rng = np.random.default_rng(seed)
+        eu = np.abs(rng.normal(0.02, 0.005, n))
+        eu[:n_ood] = rng.uniform(0.3, 0.5, n_ood)  # clear OoD cluster
+        mean = np.zeros(n)
+        y = rng.normal(0, 0.05, n)
+        y[:n_ood] += rng.choice([-1, 1], n_ood) * 0.4  # OoD jobs badly predicted
+        decomp = UncertaintyDecomposition(mean=mean, aleatory=np.full(n, 1e-4), epistemic=eu**2)
+        return decomp, y
+
+    def test_tags_planted_ood(self):
+        decomp, y = self._decomp()
+        ood = ood_attribution(decomp, y, quantile=0.98)
+        assert ood.is_ood[:20].all()
+        assert ood.ood_fraction == pytest.approx(0.02, abs=0.005)
+
+    def test_error_share_enriched(self):
+        """Paper: tagged jobs carry ~3x the average error."""
+        decomp, y = self._decomp()
+        ood = ood_attribution(decomp, y, quantile=0.98)
+        assert ood.enrichment > 3.0
+        assert ood.error_share > ood.ood_fraction
+
+    def test_explicit_threshold(self):
+        decomp, y = self._decomp()
+        ood = ood_attribution(decomp, y, threshold=0.24)
+        assert ood.threshold == 0.24
+        assert ood.is_ood.sum() == 20
+
+    def test_shoulder_threshold_quantile(self):
+        eu = np.linspace(0, 1, 101)
+        thr = shoulder_threshold(eu, np.ones(101), quantile=0.9)
+        assert thr == pytest.approx(0.9)
+
+
+class TestErrorBreakdown:
+    def _breakdown(self):
+        return ErrorBreakdown(
+            platform="theta",
+            baseline_error_pct=16.0,
+            application_pct_of_total=20.0,
+            system_pct_of_total=10.0,
+            ood_pct_of_total=2.5,
+            aleatory_pct_of_total=25.0,
+            removed_by_tuning_pct_of_total=15.0,
+            tuned_error_pct=13.0,
+            application_bound_pct=11.0,
+            system_bound_pct=9.0,
+            noise_bound_pct=4.0,
+        )
+
+    def test_unexplained_complement(self):
+        b = self._breakdown()
+        assert b.unexplained_pct_of_total == pytest.approx(100 - 20 - 10 - 2.5 - 25)
+
+    def test_segments_keys(self):
+        assert set(self._breakdown().segments()) == {
+            "application_modeling", "system_modeling", "out_of_distribution",
+            "aleatory (contention+noise)", "unexplained",
+        }
+
+    def test_validate_rejects_nonsense(self):
+        b = self._breakdown()
+        b.application_pct_of_total = 400.0
+        with pytest.raises(ValueError):
+            b.validate()
+
+    def test_render_contains_anchors(self):
+        text = render_breakdown(self._breakdown())
+        assert "theta" in text
+        assert "application bound" in text
+        assert "unexplained" in text

@@ -1,0 +1,206 @@
+"""Tests for the telemetry generators (Darshan POSIX, MPI-IO, Cobalt, LMT)."""
+
+import numpy as np
+import pytest
+
+from repro.config import cori_config, theta_config
+from repro.rng import RngFactory, generator_from
+from repro.simulator import simulate
+from repro.simulator.applications import sample_variants
+from repro.simulator.job import LATENT_COLUMNS
+from repro.telemetry import (
+    COBALT_FEATURES,
+    LMT_FEATURES,
+    MPIIO_FEATURES,
+    POSIX_FEATURES,
+    cobalt_features,
+    lmt_features,
+    mpiio_features,
+    posix_features,
+)
+from repro.telemetry.darshan import size_histogram
+from repro.telemetry.schema import SIZE_BUCKETS
+
+
+def _variant_params(n=100, family="qb", seed=0):
+    return sample_variants(family, generator_from(seed), n)
+
+
+class TestSchema:
+    def test_paper_feature_counts(self):
+        """§V: 48 POSIX, 48 MPI-IO, 37 LMT, 5 Cobalt."""
+        assert len(POSIX_FEATURES) == 48
+        assert len(MPIIO_FEATURES) == 48
+        assert len(LMT_FEATURES) == 37
+        assert len(COBALT_FEATURES) == 5
+
+    def test_unique_names(self):
+        allnames = POSIX_FEATURES + MPIIO_FEATURES + LMT_FEATURES + COBALT_FEATURES
+        assert len(set(allnames)) == len(allnames)
+
+    def test_no_timing_features_in_posix(self):
+        """The paper removes Darshan timing (F_) counters (§VI.C)."""
+        assert not any("_F_" in n or "TIME" in n for n in POSIX_FEATURES)
+
+
+class TestSizeHistogram:
+    def test_total_ops_preserved_approximately(self):
+        ops = np.array([1000.0])
+        hist = size_histogram(ops, np.array([2.0**20]))
+        assert abs(hist.sum() - 1000.0) <= 3  # floor() rounding only
+
+    def test_home_bucket_dominates(self):
+        hist = size_histogram(np.array([1000.0]), np.array([2.0**20]))  # 1 MiB
+        labels = [b[0] for b in SIZE_BUCKETS]
+        assert hist[0, labels.index("1M_4M")] == pytest.approx(720.0)
+
+    def test_smallest_bucket_gets_headers(self):
+        hist = size_histogram(np.array([1000.0]), np.array([2.0**20]))
+        assert hist[0, 0] >= 100.0 - 1
+
+
+class TestPosix:
+    def test_shape_and_order(self):
+        X = posix_features(_variant_params(64))
+        assert X.shape == (64, 48)
+
+    def test_deterministic(self):
+        p = _variant_params(32)
+        np.testing.assert_array_equal(posix_features(p), posix_features(p))
+
+    def test_duplicates_identical_rows(self):
+        """Two jobs with the same latent config must be feature-identical."""
+        p = _variant_params(8)
+        doubled = {k: np.concatenate([v, v]) for k, v in p.items()}
+        X = posix_features(doubled)
+        np.testing.assert_array_equal(X[:8], X[8:])
+
+    def test_bytes_sum_to_total(self):
+        p = _variant_params(40)
+        X = posix_features(p)
+        br = X[:, POSIX_FEATURES.index("POSIX_BYTES_READ")]
+        bw = X[:, POSIX_FEATURES.index("POSIX_BYTES_WRITTEN")]
+        np.testing.assert_allclose(br + bw, p["total_bytes"], rtol=1e-12)
+
+    def test_nonnegative_counters(self):
+        X = posix_features(_variant_params(100, family="pwx"))
+        assert X.min() >= 0
+
+    def test_seq_counts_bounded_by_ops(self):
+        X = posix_features(_variant_params(100, family="montage"))
+        reads = X[:, POSIX_FEATURES.index("POSIX_READS")]
+        seq_reads = X[:, POSIX_FEATURES.index("POSIX_SEQ_READS")]
+        assert np.all(seq_reads <= reads + 1)
+
+    def test_collective_shifts_histogram_to_large_buckets(self):
+        """Post-aggregation POSIX view: collective jobs show >=4MiB accesses."""
+        base = _variant_params(1, family="pwx", seed=3)
+        for key in base:
+            base[key] = base[key][:1]
+        base["uses_mpiio"] = np.array([True])
+        base["xfer_write"] = np.array([4096.0])
+        base["read_frac"] = np.array([0.0])
+        labels = [b[0] for b in SIZE_BUCKETS]
+        col = POSIX_FEATURES.index(f"POSIX_SIZE_WRITE_{labels[6]}")  # 4M_10M
+
+        direct = dict(base, collective_frac=np.array([0.0]))
+        coll = dict(base, collective_frac=np.array([1.0]))
+        assert posix_features(coll)[0, col] > posix_features(direct)[0, col]
+        assert posix_features(coll)[0, col] > 0
+
+
+class TestMpiio:
+    def test_zero_rows_without_mpiio(self):
+        p = _variant_params(50, family="montage")  # never MPI-IO
+        X = mpiio_features(p)
+        np.testing.assert_array_equal(X, 0.0)
+
+    def test_bytes_match_posix_for_mpiio_jobs(self):
+        """All MPI-IO requests are visible at the POSIX level (§V)."""
+        p = _variant_params(200, family="qb")
+        Xm = mpiio_features(p)
+        Xp = posix_features(p)
+        uses = p["uses_mpiio"]
+        bm = Xm[uses, MPIIO_FEATURES.index("MPIIO_BYTES_READ")]
+        bp = Xp[uses, POSIX_FEATURES.index("POSIX_BYTES_READ")]
+        np.testing.assert_allclose(bm, bp, rtol=1e-12)
+
+    def test_coll_plus_indep_equals_total(self):
+        p = _variant_params(200, family="qb")
+        X = mpiio_features(p)
+        uses = p["uses_mpiio"]
+        idx = lambda n: MPIIO_FEATURES.index(n)
+        total = (
+            X[uses, idx("MPIIO_INDEP_READS")] + X[uses, idx("MPIIO_COLL_READS")]
+        )
+        assert np.all(total > 0)
+
+    def test_shape(self):
+        assert mpiio_features(_variant_params(10)).shape == (10, 48)
+
+
+class TestCobalt:
+    def test_shape_and_content(self):
+        res = simulate(theta_config(n_jobs=500))
+        X = cobalt_features(res.jobs, generator_from(0))
+        assert X.shape == (len(res.jobs), 5)
+        start = X[:, COBALT_FEATURES.index("COBALT_START_TIMESTAMP")]
+        end = X[:, COBALT_FEATURES.index("COBALT_END_TIMESTAMP")]
+        assert np.all(end > start)
+        placement = X[:, COBALT_FEATURES.index("COBALT_PLACEMENT_SCORE")]
+        assert np.all((placement >= 0) & (placement <= 1))
+
+    def test_end_time_breaks_duplicates(self):
+        """Realized end timestamps differ even for identical jobs (§VI.C)."""
+        res = simulate(theta_config(n_jobs=2000))
+        X = cobalt_features(res.jobs, generator_from(0))
+        counts = np.bincount(res.jobs.variant_id)
+        vid = int(np.argmax(counts))
+        members = np.flatnonzero(res.jobs.variant_id == vid)
+        ends = X[members, COBALT_FEATURES.index("COBALT_END_TIMESTAMP")]
+        assert np.unique(ends).size == members.size
+
+
+class TestLmt:
+    def setup_method(self):
+        cfg = cori_config(n_jobs=800)
+        self.res = simulate(cfg)
+        self.cfg = cfg
+
+    def _features(self, noise=0.08):
+        return lmt_features(
+            self.res.jobs, self.res.weather, self.res.timeline, self.res.background,
+            self.res.platform, self.cfg.workload.start_epoch,
+            RngFactory(0).get("lmt"), measurement_noise=noise,
+        )
+
+    def test_shape(self):
+        assert self._features().shape == (len(self.res.jobs), 37)
+
+    def test_min_le_mean_le_max(self):
+        X = self._features()
+        i = LMT_FEATURES.index
+        assert np.all(X[:, i("LMT_OSS_CPU_PCT_MIN")] <= X[:, i("LMT_OSS_CPU_PCT_MEAN")] + 1e-9)
+        assert np.all(X[:, i("LMT_OSS_CPU_PCT_MEAN")] <= X[:, i("LMT_OSS_CPU_PCT_MAX")] + 1e-9)
+
+    def test_fullness_percent_range(self):
+        X = self._features()
+        f = X[:, LMT_FEATURES.index("LMT_FULLNESS_PCT_MEAN")]
+        assert np.all((f >= 0) & (f <= 100))
+
+    def test_lmt_observes_weather(self):
+        """OSS CPU must correlate with the true global state ζg(t)."""
+        X = self._features(noise=0.0)
+        cpu = X[:, LMT_FEATURES.index("LMT_OSS_CPU_PCT_MEAN")]
+        fg = self.res.jobs.fg_dex
+        r = np.corrcoef(cpu, fg)[0, 1]
+        assert r < -0.3  # bad weather (negative fg) -> high server CPU
+
+    def test_server_counts_constant(self):
+        X = self._features()
+        assert np.unique(X[:, LMT_FEATURES.index("LMT_N_OSS_ACTIVE")]).size == 1
+
+    def test_measurement_noise_changes_values(self):
+        a = self._features(noise=0.0)
+        b = self._features(noise=0.2)
+        assert not np.allclose(a[:, 2], b[:, 2])

@@ -1,0 +1,190 @@
+"""Tests for the binned tree and gradient boosting machine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.binning import QuantileBinner
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.tree import BinnedTree
+
+
+def _binned(X, bins=32):
+    binner = QuantileBinner(bins).fit(X)
+    return binner.transform(X)
+
+
+class TestBinnedTree:
+    def test_pure_partition_fit_exact(self):
+        """A single split must recover a two-level step function."""
+        X = np.linspace(0, 1, 200)[:, None]
+        y = np.where(X[:, 0] < 0.5, -1.0, 1.0)
+        codes = _binned(X)
+        tree = BinnedTree(max_depth=2, min_child_weight=1.0, reg_lambda=1e-9)
+        tree.fit(codes, grad=-y)  # grad = pred - y with pred = 0
+        pred = tree.predict(codes)
+        np.testing.assert_allclose(pred, y, atol=1e-6)
+
+    def test_max_depth_zero_is_stump(self):
+        X = np.random.default_rng(0).normal(0, 1, (100, 3))
+        y = X[:, 0]
+        tree = BinnedTree(max_depth=0).fit(_binned(X), grad=-y)
+        assert tree.nodes_.n_nodes == 1
+        assert tree.nodes_.depth == 0
+
+    def test_depth_respected(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (500, 5))
+        y = rng.normal(0, 1, 500)
+        tree = BinnedTree(max_depth=3, min_child_weight=1.0).fit(_binned(X), grad=-y)
+        assert tree.nodes_.depth <= 3
+
+    def test_min_child_weight_blocks_splits(self):
+        X = np.arange(10.0)[:, None]
+        y = np.arange(10.0)
+        tree = BinnedTree(max_depth=5, min_child_weight=100.0).fit(_binned(X), grad=-y)
+        assert tree.nodes_.n_leaves == 1  # cannot split: children would be < 100
+
+    def test_feature_mask_restricts(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (300, 2))
+        y = X[:, 0]  # only feature 0 is informative
+        mask = np.array([False, True])
+        tree = BinnedTree(max_depth=4, min_child_weight=1.0).fit(_binned(X), -y, None, mask)
+        used = tree.nodes_.feature[tree.nodes_.feature >= 0]
+        assert np.all(used == 1) or used.size == 0
+
+    def test_empty_feature_mask_raises(self):
+        X = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            BinnedTree().fit(_binned(X), np.zeros(10), None, np.array([False, False]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BinnedTree().predict(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_leaf_values_are_newton_steps(self):
+        """With unit hessians and λ=0, a stump's value is mean(-grad)."""
+        grad = np.array([1.0, 2.0, 3.0])
+        codes = np.zeros((3, 1), dtype=np.uint8)
+        tree = BinnedTree(max_depth=0, reg_lambda=0.0).fit(codes, grad)
+        assert tree.predict(codes)[0] == pytest.approx(-2.0)
+
+    def test_explicit_hessians(self):
+        grad = np.array([1.0, 1.0])
+        hess = np.array([1.0, 3.0])
+        codes = np.zeros((2, 1), dtype=np.uint8)
+        tree = BinnedTree(max_depth=0, reg_lambda=0.0).fit(codes, grad, hess)
+        assert tree.predict(codes)[0] == pytest.approx(-2.0 / 4.0)
+
+
+class TestGBM:
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        self.X = rng.normal(0, 1, (1500, 8))
+        self.y = (
+            np.sin(2 * self.X[:, 0])
+            + 0.5 * self.X[:, 1] ** 2
+            + self.X[:, 2] * self.X[:, 3]
+            + 0.05 * rng.normal(0, 1, 1500)
+        )
+
+    def test_beats_mean_baseline(self):
+        m = GradientBoostingRegressor(n_estimators=60, max_depth=5, loss="squared")
+        m.fit(self.X[:1200], self.y[:1200])
+        pred = m.predict(self.X[1200:])
+        mae = np.mean(np.abs(pred - self.y[1200:]))
+        baseline = np.mean(np.abs(self.y[1200:] - self.y[:1200].mean()))
+        assert mae < 0.5 * baseline
+
+    def test_train_curve_decreases(self):
+        m = GradientBoostingRegressor(n_estimators=40, max_depth=4, loss="squared")
+        m.fit(self.X, self.y)
+        curve = np.asarray(m.train_curve_)
+        assert curve[-1] < curve[0]
+        assert np.all(np.diff(curve) <= 1e-9)
+
+    def test_staged_predict_matches_final(self):
+        m = GradientBoostingRegressor(n_estimators=15, max_depth=4, loss="squared")
+        m.fit(self.X[:500], self.y[:500])
+        staged = m.staged_predict(self.X[500:600])
+        np.testing.assert_allclose(staged[-1], m.predict(self.X[500:600]))
+
+    def test_early_stopping_truncates(self):
+        m = GradientBoostingRegressor(
+            n_estimators=200, max_depth=3, learning_rate=0.5,
+            early_stopping_rounds=5, loss="squared",
+        )
+        m.fit(self.X[:800], self.y[:800], eval_set=(self.X[800:], self.y[800:]))
+        assert len(m.trees_) < 200
+
+    def test_feature_importances_find_signal(self):
+        m = GradientBoostingRegressor(n_estimators=30, max_depth=4, loss="squared")
+        m.fit(self.X, self.y)
+        imp = m.feature_importances()
+        assert imp.sum() == pytest.approx(1.0)
+        # informative features (0-3) must dominate the noise features (4-7)
+        assert imp[:4].sum() > imp[4:].sum()
+
+    def test_huber_more_robust_than_squared(self):
+        """With gross outliers in y, Huber's test error should not explode."""
+        rng = np.random.default_rng(1)
+        y = self.y.copy()
+        idx = rng.choice(1200, 30, replace=False)
+        y[idx] += 50.0
+        kw = dict(n_estimators=80, max_depth=5, learning_rate=0.1)
+        m_sq = GradientBoostingRegressor(loss="squared", **kw).fit(self.X[:1200], y[:1200])
+        m_hu = GradientBoostingRegressor(loss="huber", huber_delta=0.2, **kw).fit(self.X[:1200], y[:1200])
+        err_sq = np.median(np.abs(m_sq.predict(self.X[1200:]) - self.y[1200:]))
+        err_hu = np.median(np.abs(m_hu.predict(self.X[1200:]) - self.y[1200:]))
+        assert err_hu < err_sq
+
+    def test_subsample_colsample_run(self):
+        m = GradientBoostingRegressor(
+            n_estimators=10, max_depth=3, subsample=0.5, colsample_bytree=0.5, loss="squared"
+        )
+        m.fit(self.X[:300], self.y[:300])
+        assert np.isfinite(m.predict(self.X[:10])).all()
+
+    def test_reproducible_with_seed(self):
+        kw = dict(n_estimators=10, max_depth=3, subsample=0.7, random_state=5, loss="squared")
+        p1 = GradientBoostingRegressor(**kw).fit(self.X[:300], self.y[:300]).predict(self.X[:20])
+        p2 = GradientBoostingRegressor(**kw).fit(self.X[:300], self.y[:300]).predict(self.X[:20])
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_invalid_subsample_raises(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0).fit(self.X[:50], self.y[:50])
+
+    def test_invalid_loss_raises(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(loss="absolute")
+
+    def test_row_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor().fit(self.X[:10], self.y[:9])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(self.X[:2])
+
+    def test_get_set_params_roundtrip(self):
+        m = GradientBoostingRegressor(max_depth=9)
+        params = m.get_params()
+        assert params["max_depth"] == 9
+        m.set_params(max_depth=4)
+        assert m.max_depth == 4
+        with pytest.raises(ValueError):
+            m.set_params(bogus=1)
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(min_value=1, max_value=4))
+    def test_stump_depth_property(self, depth):
+        """Predictions of a squared-loss GBM stay within the target range."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (200, 3))
+        y = rng.uniform(-1, 1, 200)
+        m = GradientBoostingRegressor(n_estimators=5, max_depth=depth, loss="squared")
+        m.fit(X, y)
+        pred = m.predict(X)
+        assert pred.min() >= y.min() - 0.5 and pred.max() <= y.max() + 0.5

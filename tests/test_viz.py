@@ -1,0 +1,56 @@
+"""Tests for the text-mode visualization helpers."""
+
+import numpy as np
+
+from repro.viz import ascii_heatmap, ascii_histogram, ascii_scatter, format_table
+
+
+class TestHistogram:
+    def test_contains_counts(self):
+        out = ascii_histogram(np.random.default_rng(0).normal(0, 1, 500), bins=10, title="T")
+        assert out.startswith("T")
+        assert out.count("\n") == 10
+
+    def test_empty_data(self):
+        assert "(no data)" in ascii_histogram(np.array([np.nan]))
+
+
+class TestHeatmap:
+    def test_labels_present(self):
+        M = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = ascii_heatmap(M, x_labels=["a", "b"], y_labels=["r1", "r2"], title="H")
+        assert "r1" in out and "a" in out and "H" in out
+
+    def test_handles_inf(self):
+        M = np.array([[1.0, np.inf]])
+        out = ascii_heatmap(M)
+        assert "··" in out
+
+
+class TestScatter:
+    def test_dimensions(self):
+        x = np.random.default_rng(0).uniform(1, 100, 300)
+        y = np.random.default_rng(1).normal(0, 1, 300)
+        out = ascii_scatter(x, y, width=40, height=8, logx=True)
+        lines = out.splitlines()
+        assert len(lines) == 9  # 8 rows + footer
+        assert "(log10)" in lines[-1]
+
+    def test_empty(self):
+        assert "(no data)" in ascii_scatter(np.array([]), np.array([]))
+
+
+class TestTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "paper", "measured"],
+            [["bound", 10.01, 11.2], ["noise", 5.71, 5.6]],
+            title="rows",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "rows"
+        assert "10.01" in out and "bound" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out

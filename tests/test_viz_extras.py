@@ -1,0 +1,41 @@
+"""Tests for the segment-bar renderer (Fig. 7 text-mode pie)."""
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_segment_bar
+
+
+class TestSegmentBar:
+    def test_labels_and_values_present(self):
+        out = ascii_segment_bar({"application": 26.9, "aleatory": 21.3})
+        assert "application" in out
+        assert "26.9%" in out
+        assert "21.3%" in out
+
+    def test_unexplained_remainder_shown(self):
+        out = ascii_segment_bar({"a": 30.0, "b": 20.0})
+        assert "unexplained" in out
+        assert "50.0%" in out
+
+    def test_no_remainder_when_full(self):
+        out = ascii_segment_bar({"a": 60.0, "b": 40.0})
+        assert "unexplained" not in out
+
+    def test_bar_width_respected(self):
+        out = ascii_segment_bar({"a": 100.0}, width=30)
+        bar_line = [l for l in out.splitlines() if l.strip().startswith("[")][0]
+        assert len(bar_line.strip()) == 32  # 30 cells + brackets
+
+    def test_negative_values_clipped(self):
+        out = ascii_segment_bar({"a": -5.0, "b": 50.0})
+        assert "  0.0%" in out
+
+    def test_oversubscribed_normalizes(self):
+        out = ascii_segment_bar({"a": 80.0, "b": 80.0}, width=40)
+        bar_line = [l for l in out.splitlines() if l.strip().startswith("[")][0]
+        assert len(bar_line.strip()) == 42
+
+    def test_title_prepended(self):
+        out = ascii_segment_bar({"a": 10.0}, title="Theta")
+        assert out.splitlines()[0] == "Theta"

@@ -1,0 +1,99 @@
+"""Property tests for the ζg(t) weather process (I/O climate + weather)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SECONDS_PER_YEAR, WeatherConfig
+from repro.simulator.weather import Weather
+
+SPAN = 3.0 * SECONDS_PER_YEAR
+
+
+def _weather(seed=0, **over):
+    return Weather(WeatherConfig(**over), SPAN, seed)
+
+
+class TestComponents:
+    def test_degradations_only_hurt(self):
+        w = _weather(seed=1)
+        t = np.linspace(0.0, SPAN, 20_000)
+        assert np.all(w.degradation(t) >= 0.0)  # depth, subtracted in log_factor
+        assert np.all(w.log_factor(t) <= w.log_factor(t) + w.degradation(t))
+
+    def test_fullness_is_a_fraction(self):
+        w = _weather(seed=2)
+        t = np.linspace(0.0, SPAN, 10_000)
+        f = w.fullness(t)
+        assert np.all((0.0 <= f) & (f <= 1.0))
+
+    def test_fullness_sawtooth_purges(self):
+        """Fullness must drop at purge boundaries, not grow without bound."""
+        w = _weather(seed=3)
+        t = np.linspace(0.0, SPAN, 50_000)
+        f = w.fullness(t)
+        drops = np.diff(f) < -0.02
+        assert drops.any()
+
+    def test_epoch_offsets_piecewise_constant(self):
+        w = _weather(seed=4)
+        t = np.linspace(0.0, SPAN, 5_000)
+        off = w.epoch_offset(t)
+        # limited number of distinct values = epochs (+ deployment epoch)
+        assert np.unique(off).size <= w.config.epoch_count + 1
+
+    def test_seasonal_amplitude_bounded(self):
+        # seasonal() bundles the annual cycle with the slow aging drift
+        cfg_amp = 0.02
+        w = _weather(seed=5, seasonal_amplitude=cfg_amp)
+        t = np.linspace(0.0, SPAN, 10_000)
+        years = SPAN / SECONDS_PER_YEAR
+        bound = cfg_amp + abs(w.config.aging_slope) * years
+        assert np.abs(w.seasonal(t)).max() <= bound + 1e-12
+
+    def test_ou_wander_scale(self):
+        w = _weather(seed=6, ou_sigma=0.05)
+        t = np.linspace(0.0, SPAN, 20_000)
+        sd = np.std(w.ou(t))
+        assert 0.01 < sd < 0.12  # order of the configured sigma
+
+
+class TestRealization:
+    def test_deterministic_given_seed(self):
+        t = np.linspace(0.0, SPAN, 1_000)
+        np.testing.assert_array_equal(
+            _weather(seed=7).log_factor(t), _weather(seed=7).log_factor(t)
+        )
+
+    def test_seed_changes_realization(self):
+        t = np.linspace(0.0, SPAN, 1_000)
+        assert not np.allclose(_weather(seed=8).log_factor(t), _weather(seed=9).log_factor(t))
+
+    def test_log_factor_has_plausible_scale(self):
+        """ζg stays within tens of percent — weather, not catastrophe."""
+        w = _weather(seed=10)
+        t = np.linspace(0.0, SPAN, 30_000)
+        lf = w.log_factor(t)
+        assert np.abs(np.mean(lf)) < 0.1
+        assert np.abs(lf).max() < 0.8
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_finite_everywhere(self, seed):
+        w = _weather(seed=seed)
+        t = np.linspace(0.0, SPAN, 2_000)
+        assert np.all(np.isfinite(w.log_factor(t)))
+
+    def test_deployment_epoch_shift_exists(self):
+        """The guaranteed post-cutoff epoch must move the mean level (Fig 1d)."""
+        w = Weather(WeatherConfig(), SPAN, 11, deployment_epoch_at=0.85)
+        t_pre = np.linspace(0.70 * SPAN, 0.84 * SPAN, 4_000)
+        t_post = np.linspace(0.86 * SPAN, 0.99 * SPAN, 4_000)
+        gap = abs(np.mean(w.epoch_offset(t_post)) - np.mean(w.epoch_offset(t_pre)))
+        assert gap > 0.5 * WeatherConfig().epoch_sigma
+
+    def test_describe_reports_event_count(self):
+        w = _weather(seed=12)
+        info = w.describe()
+        assert "n_degradations" in info or len(info) > 0

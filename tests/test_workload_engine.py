@@ -1,0 +1,178 @@
+"""Tests for workload synthesis, applications, and the simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import theta_config
+from repro.rng import generator_from
+from repro.simulator import simulate
+from repro.simulator.applications import (
+    FAMILIES,
+    OOD_FAMILIES,
+    family_index,
+    family_names,
+    sample_variants,
+)
+from repro.simulator.workload import build_workload
+
+
+class TestApplications:
+    def test_family_names_order_stable(self):
+        names = family_names()
+        assert names == family_names()
+        assert set(FAMILIES) <= set(names)
+        # OoD families come last
+        assert names[-len(OOD_FAMILIES):] == list(OOD_FAMILIES)
+
+    def test_family_index(self):
+        assert family_names()[family_index("ior")] == "ior"
+
+    def test_sample_variant_columns(self):
+        params = sample_variants("hacc", generator_from(0), 50)
+        assert params["nprocs"].shape == (50,)
+        assert params["total_bytes"].min() > 0
+        assert np.all((params["read_frac"] >= 0) & (params["read_frac"] <= 1))
+
+    def test_unit_params_snapped_to_lattice(self):
+        params = sample_variants("qb", generator_from(0), 200)
+        vals = np.unique(params["seq_frac"])
+        lattice = np.round(vals * 8) / 8
+        np.testing.assert_allclose(vals, lattice)
+
+    def test_collective_zero_without_mpiio(self):
+        params = sample_variants("writer", generator_from(0), 300)
+        assert np.all(params["collective_frac"][~params["uses_mpiio"]] == 0.0)
+
+    def test_montage_never_mpiio(self):
+        params = sample_variants("montage", generator_from(0), 100)
+        assert not params["uses_mpiio"].any()
+
+    def test_ood_nprocs_outside_training_support(self):
+        """lammps_novel runs at scales no in-distribution family reaches."""
+        novel = sample_variants("lammps_novel", generator_from(0), 50)
+        regular_max = max(
+            sample_variants(name, generator_from(1), 200)["nprocs"].max()
+            for name in FAMILIES
+        )
+        assert novel["nprocs"].min() >= regular_max
+
+    def test_sensitivity_ordering_for_fig1b(self):
+        """Writer must be the most contention-sensitive family, IOR the least."""
+        s = {n: FAMILIES[n].sensitivity_base for n in FAMILIES}
+        assert s["writer"] == max(s.values())
+        assert s["ior"] == min(s.values())
+
+    def test_sample_zero_returns_empty(self):
+        params = sample_variants("ior", generator_from(0), 0)
+        assert all(v.shape[0] == 0 for v in params.values())
+
+
+class TestWorkload:
+    def setup_method(self):
+        self.cfg = theta_config(n_jobs=4000).workload
+        self.plan = build_workload(self.cfg, generator_from(0))
+
+    def test_job_count(self):
+        assert abs(self.plan.n_jobs - 4000) < 400
+
+    def test_start_times_sorted_within_span(self):
+        t = self.plan.start_time
+        assert np.all(np.diff(t) >= 0)
+        assert t.min() >= 0 and t.max() < self.cfg.span_years * 365.25 * 86400
+
+    def test_duplicate_fraction_near_target(self):
+        counts = np.bincount(self.plan.job_variant)
+        dup_jobs = counts[counts >= 2].sum()
+        frac = dup_jobs / self.plan.n_jobs
+        assert abs(frac - self.cfg.duplicate_fraction) < 0.08
+
+    def test_ood_variants_only_after_cutoff(self):
+        cutoff = self.cfg.deployment_cutoff * self.cfg.span_years * 365.25 * 86400
+        ood_jobs = self.plan.variant_is_ood[self.plan.job_variant]
+        assert ood_jobs.any()
+        assert self.plan.start_time[ood_jobs].min() >= cutoff
+
+    def test_batched_sets_exist(self):
+        """Some duplicate sets must contain Δt<1s members (§IX batches)."""
+        t = self.plan.start_time
+        v = self.plan.job_variant
+        order = np.lexsort((t, v))
+        same_variant = np.diff(v[order]) == 0
+        dt = np.diff(t[order])
+        assert np.any(same_variant & (dt < 1.0))
+
+    def test_variant_params_cover_all_variants(self):
+        for key, arr in self.plan.variant_params.items():
+            assert arr.shape[0] == self.plan.n_variants, key
+
+    def test_min_bytes_enforced(self):
+        assert self.plan.variant_params["total_bytes"].min() >= self.cfg.min_bytes_gib * 1024**3
+
+    def test_tiny_workload_raises(self):
+        from dataclasses import replace
+        with pytest.raises(ValueError):
+            build_workload(replace(self.cfg, n_jobs=5), generator_from(0))
+
+    def test_reproducible(self):
+        plan2 = build_workload(self.cfg, generator_from(0))
+        np.testing.assert_array_equal(self.plan.job_variant, plan2.job_variant)
+        np.testing.assert_array_equal(self.plan.start_time, plan2.start_time)
+
+
+class TestEngine:
+    def setup_method(self):
+        self.res = simulate(theta_config(n_jobs=2500, seed=11))
+
+    def test_validates(self):
+        self.res.jobs.validate()
+
+    def test_decomposition_reconstructs_throughput(self):
+        """Eq. 3: log φ = fa + fg + fl + fn, exactly."""
+        j = self.res.jobs
+        np.testing.assert_allclose(
+            j.log_throughput, j.fa_dex + j.fg_dex + j.fl_dex + j.fn_dex, atol=1e-9
+        )
+
+    def test_end_after_start(self):
+        j = self.res.jobs
+        assert np.all(j.end_time > j.start_time)
+
+    def test_io_time_consistent(self):
+        j = self.res.jobs
+        np.testing.assert_allclose(
+            j.io_time, (j.total_bytes / 1024**2) / j.throughput_mibps, rtol=1e-9
+        )
+
+    def test_seed_reproducibility(self):
+        res2 = simulate(theta_config(n_jobs=2500, seed=11))
+        np.testing.assert_array_equal(self.res.jobs.throughput_mibps, res2.jobs.throughput_mibps)
+
+    def test_seed_sensitivity(self):
+        res2 = simulate(theta_config(n_jobs=2500, seed=12))
+        assert not np.array_equal(self.res.jobs.throughput_mibps, res2.jobs.throughput_mibps)
+
+    def test_duplicates_share_fa(self):
+        """Members of a duplicate set share the application term exactly."""
+        j = self.res.jobs
+        counts = np.bincount(j.variant_id)
+        vid = int(np.argmax(counts))
+        members = np.flatnonzero(j.variant_id == vid)
+        assert members.size >= 2
+        assert np.unique(j.fa_dex[members]).size == 1
+
+    def test_contention_nonpositive(self):
+        assert np.all(self.res.jobs.fl_dex <= 0)
+
+    def test_nodes_cover_cores(self):
+        j = self.res.jobs
+        cores_per_node = self.res.config.platform.cores_per_node
+        assert np.all(j.nodes * cores_per_node >= j.cores)
+
+    def test_take_subset(self):
+        sub = self.res.jobs.take(np.arange(10))
+        assert len(sub) == 10
+        sub.validate()
+
+    def test_result_span_properties(self):
+        assert self.res.span > 0
+        assert 0 < self.res.deployment_cutoff_time < self.res.span
