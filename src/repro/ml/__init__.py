@@ -3,6 +3,7 @@
 * :mod:`repro.ml.metrics`   — the paper's Eq. 6 log-ratio error and friends
 * :mod:`repro.ml.gbm`       — histogram gradient boosting (XGBoost algorithm)
 * :mod:`repro.ml.tree`      — binned regression trees (GBM building block)
+* :mod:`repro.ml.predictor` — packed-forest arena (vectorized ensemble predict)
 * :mod:`repro.ml.linear`    — ridge / lasso / elastic-net baselines
 * :mod:`repro.ml.forest`    — random-forest regression (bagged binned trees)
 * :mod:`repro.ml.neighbors` — kNN regression + distance-based novelty scores
@@ -32,12 +33,14 @@ from repro.ml.metrics import (
     pct_to_dex,
 )
 from repro.ml.nn import MLPRegressor
+from repro.ml.predictor import PackedForest
 
 __all__ = [
     "Estimator",
     "Pipeline",
     "clone",
     "GradientBoostingRegressor",
+    "PackedForest",
     "RandomForestRegressor",
     "RidgeRegression",
     "LassoRegression",

@@ -4,13 +4,91 @@ Features are discretized once into at most 255 integer codes via quantile
 edges (LightGBM/XGBoost-hist style).  Split search then runs on integer
 codes with ``bincount`` kernels — the optimization that makes a pure-NumPy
 GBM fast enough for the paper's sweeps.
+
+Sweep-path caching
+------------------
+The paper's model sweeps (``hpo``/``agebo``/``model_selection``) fit
+thousands of estimators on the *same* training matrix, and every fit used
+to re-quantile and re-discretize it from scratch.  Two small module-level
+LRU caches remove that redundancy:
+
+* the **edge cache** maps ``(id(X), n_bins)`` → fitted quantile edges, and
+* the **code cache** maps ``(id(X), id(edges))`` → the uint8 code matrix.
+
+Keys are array *identities*: a weak reference to ``X`` is stored and
+verified on lookup, so a recycled ``id`` after garbage collection can never
+alias a stale entry, and the cache itself keeps no array alive.  Only
+arrays marked **read-only** (``X.flags.writeable is False``) participate:
+NumPy then guarantees the cached codes can never go stale through in-place
+mutation (e.g. ``permutation_importance`` shuffling one column of the same
+array object between predicts).  Sweep drivers opt in by freezing their
+private copy once — see ``hpo._make_objective`` — after which thousands of
+configs bin the shared matrix a single time.  Cached code matrices are
+returned read-only and shared.  Binning is deterministic, hence cache hits
+are byte-identical to recomputation.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
+
 import numpy as np
 
 __all__ = ["QuantileBinner"]
+
+_CACHE_MAX = 8
+_cache_lock = threading.Lock()
+#: (id(X), n_bins) -> (weakref(X), shape, edges)
+_edge_cache: OrderedDict = OrderedDict()
+#: (id(X), id(edges)) -> (weakref(X), shape, edges, codes)
+_code_cache: OrderedDict = OrderedDict()
+
+
+def _is_frozen(X: np.ndarray) -> bool:
+    """True when ``X`` is immutable all the way down.
+
+    ``writeable=False`` on a view is not enough — a read-only view of a
+    writable base can still change under the cache.  Walk the base chain and
+    require every ndarray link to be read-only, ending in owned memory.
+    """
+    a = X
+    while isinstance(a, np.ndarray):
+        if a.flags.writeable:
+            return False
+        a = a.base
+    return a is None
+
+
+def _cache_get(cache: OrderedDict, key: tuple, X: np.ndarray):
+    """Return the cached entry if its weakly-referenced array is ``X``."""
+    with _cache_lock:
+        entry = cache.get(key)
+        if entry is None:
+            return None
+        if entry[0]() is not X or entry[1] != X.shape:
+            del cache[key]
+            return None
+        cache.move_to_end(key)
+        return entry
+
+
+def _cache_put(cache: OrderedDict, key: tuple, X: np.ndarray, payload: tuple) -> None:
+    """Insert ``(weakref(X), X.shape, *payload)``, purging the entry when
+    ``X`` dies so the cache never pins edges/codes past the array's life."""
+
+    def _purge(ref: weakref.ref) -> None:
+        with _cache_lock:
+            entry = cache.get(key)
+            if entry is not None and entry[0] is ref:  # not a reused-id newcomer
+                del cache[key]
+
+    with _cache_lock:
+        cache[key] = (weakref.ref(X, _purge), X.shape, *payload)
+        cache.move_to_end(key)
+        while len(cache) > _CACHE_MAX:
+            cache.popitem(last=False)
 
 
 class QuantileBinner:
@@ -29,12 +107,22 @@ class QuantileBinner:
 
     def fit(self, X: np.ndarray) -> "QuantileBinner":
         X = np.asarray(X, dtype=float)
+        cacheable = _is_frozen(X)  # immutable arrays cannot go stale
+        if cacheable:
+            hit = _cache_get(_edge_cache, (id(X), self.n_bins), X)
+            if hit is not None:
+                self.edges_ = hit[2]
+                return self
         qs = np.linspace(0.0, 1.0, self.n_bins + 1)[1:-1]
-        edges: list[np.ndarray] = []
-        for f in range(X.shape[1]):
-            col_edges = np.unique(np.quantile(X[:, f], qs))
-            edges.append(col_edges)
+        d = X.shape[1]
+        if d and X.shape[0]:
+            quantiles = np.quantile(X, qs, axis=0)  # (len(qs), d), one pass
+            edges = [np.unique(quantiles[:, f]) for f in range(d)]
+        else:
+            edges = [np.unique(np.quantile(X[:, f], qs)) for f in range(d)]
         self.edges_ = edges
+        if cacheable:
+            _cache_put(_edge_cache, (id(X), self.n_bins), X, (edges,))
         return self
 
     def transform(self, X: np.ndarray) -> np.ndarray:
@@ -45,9 +133,18 @@ class QuantileBinner:
             raise ValueError(
                 f"feature count mismatch: fitted {len(self.edges_)}, got {X.shape[1]}"
             )
+        cacheable = _is_frozen(X)
+        if cacheable:
+            hit = _cache_get(_code_cache, (id(X), id(self.edges_)), X)
+            if hit is not None and hit[2] is self.edges_:
+                return hit[3]
         codes = np.empty(X.shape, dtype=np.uint8)
         for f, edges in enumerate(self.edges_):
             codes[:, f] = np.searchsorted(edges, X[:, f], side="left")
+        if cacheable:
+            # shared across cache hits → hand out read-only
+            codes.setflags(write=False)
+            _cache_put(_code_cache, (id(X), id(self.edges_)), X, (self.edges_, codes))
         return codes
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:

@@ -15,15 +15,24 @@ the paper notes diversity beyond seeds sharpens the EU signal, which the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.data.preprocessing import Standardizer
 from repro.ml.base import BaseEstimator, Pipeline
 from repro.ml.nn import MLPRegressor
+from repro.parallel.pool import parallel_map
 from repro.rng import generator_from
 
 __all__ = ["DeepEnsemble", "UncertaintyDecomposition"]
+
+
+def _fit_member(config: dict, X: np.ndarray, y_scaled: np.ndarray) -> Pipeline:
+    """Train one ensemble member; module-level for process-pool pickling."""
+    model = Pipeline([("scale", Standardizer()), ("mlp", MLPRegressor(**config))])
+    model.fit(X, y_scaled)
+    return model
 
 
 @dataclass
@@ -70,6 +79,7 @@ class DeepEnsemble(BaseEstimator):
         diversity: str = "arch",
         members: list[dict] | None = None,
         epochs: int = 40,
+        n_jobs: int | None = 1,
         random_state: int = 0,
     ):
         if diversity not in ("seed", "arch"):
@@ -78,6 +88,7 @@ class DeepEnsemble(BaseEstimator):
         self.diversity = diversity
         self.members = members
         self.epochs = int(epochs)
+        self.n_jobs = n_jobs
         self.random_state = int(random_state)
         self.models_: list[Pipeline] = []
 
@@ -114,11 +125,13 @@ class DeepEnsemble(BaseEstimator):
         self._y_mean = float(y.mean())
         self._y_std = float(max(y.std(), 1e-9))
         y_scaled = (y - self._y_mean) / self._y_std
-        self.models_ = []
-        for config in self._member_configs():
-            model = Pipeline([("scale", Standardizer()), ("mlp", MLPRegressor(**config))])
-            model.fit(X, y_scaled)
-            self.models_.append(model)
+        # members carry their own seeds in their configs, so training them
+        # through parallel_map is order-independent and n_jobs-invariant
+        self.models_ = parallel_map(
+            partial(_fit_member, X=np.asarray(X, dtype=float), y_scaled=y_scaled),
+            self._member_configs(),
+            workers=self.n_jobs,
+        )
         return self
 
     def _member_predictions(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -17,14 +17,54 @@ Beyond point predictions the forest exposes
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 
 from repro.ml.base import BaseEstimator
 from repro.ml.binning import QuantileBinner
+from repro.ml.predictor import CHUNK_PAIRS, PackedForest, ensure_pack
 from repro.ml.tree import BinnedTree
+from repro.parallel.pool import parallel_map
 from repro.rng import generator_from
 
 __all__ = ["RandomForestRegressor"]
+
+
+def _fit_one_tree(
+    seed: np.random.SeedSequence,
+    codes: np.ndarray,
+    y: np.ndarray,
+    n_feats: int,
+    bootstrap: bool,
+    tree_params: dict,
+) -> tuple[BinnedTree, np.ndarray | None, np.ndarray | None]:
+    """Train one forest member from its own spawned seed stream.
+
+    Module-level (not a closure) so the parallel path can ship it to
+    worker processes; with the thread backend ``codes``/``y`` are shared.
+    Returns the tree, its feature mask, and its in-bag membership packed
+    to bits (n/8 bytes instead of an n-length index array) for the OOB
+    pass.
+    """
+    rng = generator_from(seed)
+    n, d = codes.shape
+    mask = None
+    if n_feats < d:
+        mask = np.zeros(d, dtype=bool)
+        mask[rng.choice(d, n_feats, replace=False)] = True
+    if bootstrap:
+        rows = rng.integers(0, n, n)
+        in_bag = np.zeros(n, dtype=bool)
+        in_bag[rows] = True
+        bag_bits = np.packbits(in_bag)
+    else:
+        rows = np.arange(n)
+        bag_bits = None
+    tree = BinnedTree(**tree_params)
+    # Newton tree on grad=-y, unit hessians ⇒ leaves are shrunk means
+    tree.fit(codes[rows], -y[rows], None, mask)
+    return tree, mask, bag_bits
 
 
 class RandomForestRegressor(BaseEstimator):
@@ -51,6 +91,16 @@ class RandomForestRegressor(BaseEstimator):
         Leaf-mean shrinkage (0 reproduces exact leaf means).
     n_bins:
         Histogram resolution shared by all trees.
+    n_jobs:
+        Worker count for tree training via :func:`repro.parallel.pool
+        .parallel_map` (thread backend — the histogram kernels are NumPy
+        bound).  Every tree draws from its own ``SeedSequence``-spawned
+        stream, so results are identical for any ``n_jobs``.
+
+    Prediction packs all trees into a :class:`~repro.ml.predictor
+    .PackedForest` (built lazily at first use) and evaluates the whole
+    ensemble in one vectorized pass; the per-tree matrix is bit-identical
+    to looping ``tree.predict``.
     """
 
     def __init__(
@@ -62,6 +112,7 @@ class RandomForestRegressor(BaseEstimator):
         bootstrap: bool = True,
         reg_lambda: float = 0.0,
         n_bins: int = 64,
+        n_jobs: int | None = 1,
         random_state: int = 0,
     ):
         if not 0.0 < max_features <= 1.0:
@@ -73,6 +124,7 @@ class RandomForestRegressor(BaseEstimator):
         self.bootstrap = bool(bootstrap)
         self.reg_lambda = float(reg_lambda)
         self.n_bins = int(n_bins)
+        self.n_jobs = n_jobs
         self.random_state = int(random_state)
 
         self.binner_: QuantileBinner | None = None
@@ -80,6 +132,11 @@ class RandomForestRegressor(BaseEstimator):
         self.feature_masks_: list[np.ndarray] = []
         self.oob_prediction_: np.ndarray | None = None
         self.oob_mae_: float | None = None
+        self._pack: PackedForest | None = None
+
+    def _ensure_pack(self) -> PackedForest:
+        self._pack = ensure_pack(self._pack, self.trees_)
+        return self._pack
 
     # ------------------------------------------------------------------ #
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
@@ -90,64 +147,72 @@ class RandomForestRegressor(BaseEstimator):
         n, d = X.shape
         if n < 2:
             raise ValueError("need at least 2 samples")
-        rng = generator_from(self.random_state)
 
-        self.binner_ = QuantileBinner(self.n_bins).fit(X)
-        codes = self.binner_.transform(X)
+        self.binner_ = QuantileBinner(self.n_bins)
+        codes = self.binner_.fit_transform(X)  # identity-cached across sweeps
         n_feats = max(1, int(round(self.max_features * d)))
+        self._pack = None
 
-        self.trees_ = []
-        self.feature_masks_ = []
-        oob_sum = np.zeros(n)
-        oob_count = np.zeros(n)
-
-        for _ in range(self.n_estimators):
-            mask = None
-            if n_feats < d:
-                mask = np.zeros(d, dtype=bool)
-                mask[rng.choice(d, n_feats, replace=False)] = True
-            if self.bootstrap:
-                rows = rng.integers(0, n, n)
-            else:
-                rows = np.arange(n)
-
-            tree = BinnedTree(
+        # one independent child stream per tree: results do not depend on
+        # training order, so any n_jobs produces identical forests
+        seeds = np.random.SeedSequence(self.random_state).spawn(self.n_estimators)
+        fit_one = partial(
+            _fit_one_tree,
+            codes=codes,
+            y=y,
+            n_feats=n_feats,
+            bootstrap=self.bootstrap,
+            tree_params=dict(
                 max_depth=self.max_depth,
                 min_child_weight=self.min_child_weight,
                 reg_lambda=self.reg_lambda,
                 n_bins=self.n_bins,
-            )
-            # Newton tree on grad=-y, unit hessians ⇒ leaves are shrunk means
-            tree.fit(codes[rows], -y[rows], None, mask)
-            self.trees_.append(tree)
-            self.feature_masks_.append(mask if mask is not None else np.ones(d, dtype=bool))
+            ),
+        )
+        results = parallel_map(fit_one, seeds, workers=self.n_jobs, backend="thread")
 
-            if self.bootstrap:
-                in_bag = np.zeros(n, dtype=bool)
-                in_bag[rows] = True
-                out = ~in_bag
-                if np.any(out):
-                    oob_sum[out] += tree.predict(codes[out])
-                    oob_count[out] += 1
+        self.trees_ = [tree for tree, _, _ in results]
+        self.feature_masks_ = [
+            mask if mask is not None else np.ones(d, dtype=bool) for _, mask, _ in results
+        ]
 
-        if self.bootstrap and np.any(oob_count > 0):
+        self.oob_prediction_ = None
+        self.oob_mae_ = None
+        if self.bootstrap and self.trees_:
+            # vectorized OOB pass, done once at the end: the packed matrix
+            # gives every (tree, sample) prediction, and the bit-packed
+            # in-bag masks unpack per sample block — peak memory stays
+            # O(T·n/8 + T·block) instead of a full (T, n) float matrix
+            T = len(self.trees_)
+            pack = self._ensure_pack()
+            bag_bits = np.stack([bits for _, _, bits in results])       # (T, ⌈n/8⌉)
+            oob_sum = np.zeros(n)
+            oob_count = np.zeros(n, dtype=np.int64)
+            block = max(8, (CHUNK_PAIRS // T) & ~7)                     # byte-aligned
+            for s in range(0, n, block):
+                e = min(n, s + block)
+                mat_b = pack.predict_matrix(codes[s:e])
+                in_bag_b = np.unpackbits(
+                    bag_bits[:, s // 8 : (e + 7) // 8], axis=1, count=e - s
+                ).astype(bool)
+                oob_b = ~in_bag_b
+                oob_count[s:e] = oob_b.sum(axis=0)
+                oob_sum[s:e] = np.sum(mat_b, axis=0, where=oob_b)
             seen = oob_count > 0
-            oob = np.full(n, np.nan)
-            oob[seen] = oob_sum[seen] / oob_count[seen]
-            self.oob_prediction_ = oob
-            self.oob_mae_ = float(np.mean(np.abs(oob[seen] - y[seen])))
+            if np.any(seen):
+                oob = np.full(n, np.nan)
+                oob[seen] = oob_sum[seen] / oob_count[seen]
+                self.oob_prediction_ = oob
+                self.oob_mae_ = float(np.mean(np.abs(oob[seen] - y[seen])))
         return self
 
     # ------------------------------------------------------------------ #
     def _tree_matrix(self, X: np.ndarray) -> np.ndarray:
-        """(n_trees, n_samples) per-tree predictions."""
+        """(n_trees, n_samples) per-tree predictions (packed evaluation)."""
         if self.binner_ is None or not self.trees_:
             raise RuntimeError("predict called before fit")
         codes = self.binner_.transform(np.asarray(X, dtype=float))
-        out = np.empty((len(self.trees_), codes.shape[0]))
-        for i, tree in enumerate(self.trees_):
-            out[i] = tree.predict(codes)
-        return out
+        return self._ensure_pack().predict_matrix(codes)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         return self._tree_matrix(X).mean(axis=0)

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.ml.base import BaseEstimator
 from repro.ml.binning import QuantileBinner
+from repro.ml.predictor import CHUNK_PAIRS, PackedForest, ensure_pack
 from repro.ml.tree import BinnedTree
 from repro.rng import generator_from
 
@@ -45,6 +46,14 @@ class GradientBoostingRegressor(BaseEstimator):
     early_stopping_rounds:
         If set and an eval set is supplied to :meth:`fit`, stop when eval
         MAE has not improved for that many rounds.
+    hist_subtraction:
+        Use the LightGBM-style sibling-histogram subtraction inside each
+        tree fit (see :mod:`repro.ml.tree`); ``False`` restores the direct
+        per-child histogram path (same trees up to float tie-breaking).
+
+    Prediction goes through a :class:`~repro.ml.predictor.PackedForest`
+    built lazily at the first :meth:`predict`/:meth:`staged_predict` call;
+    outputs are bit-identical to the per-tree loop.
     """
 
     def __init__(
@@ -61,6 +70,7 @@ class GradientBoostingRegressor(BaseEstimator):
         huber_delta: float = 0.10,
         quantile_alpha: float = 0.5,
         early_stopping_rounds: int | None = None,
+        hist_subtraction: bool = True,
         random_state: int = 0,
     ):
         if loss not in ("squared", "huber", "quantile"):
@@ -79,6 +89,7 @@ class GradientBoostingRegressor(BaseEstimator):
         self.huber_delta = float(huber_delta)
         self.quantile_alpha = float(quantile_alpha)
         self.early_stopping_rounds = early_stopping_rounds
+        self.hist_subtraction = bool(hist_subtraction)
         self.random_state = int(random_state)
 
         self.binner_: QuantileBinner | None = None
@@ -86,6 +97,12 @@ class GradientBoostingRegressor(BaseEstimator):
         self.base_score_: float = 0.0
         self.train_curve_: list[float] = []
         self.eval_curve_: list[float] = []
+        self._pack: PackedForest | None = None
+
+    def _ensure_pack(self) -> PackedForest:
+        """Build (or rebuild after truncation) the flat prediction arena."""
+        self._pack = ensure_pack(self._pack, self.trees_)
+        return self._pack
 
     # ------------------------------------------------------------------ #
     def fit(
@@ -102,9 +119,10 @@ class GradientBoostingRegressor(BaseEstimator):
             raise ValueError("subsample and colsample_bytree must be in (0, 1]")
         rng = generator_from(self.random_state)
 
-        self.binner_ = QuantileBinner(self.n_bins).fit(X)
-        codes = self.binner_.transform(X)
+        self.binner_ = QuantileBinner(self.n_bins)
+        codes = self.binner_.fit_transform(X)  # identity-cached across sweeps
         n, d = codes.shape
+        self._pack = None
 
         if self.loss == "huber":
             self.base_score_ = float(np.median(y))
@@ -150,6 +168,7 @@ class GradientBoostingRegressor(BaseEstimator):
                 min_child_weight=self.min_child_weight,
                 reg_lambda=self.reg_lambda,
                 n_bins=self.n_bins,
+                hist_subtraction=self.hist_subtraction,
             )
             if n_rows < n:
                 rows = rng.choice(n, n_rows, replace=False)
@@ -171,7 +190,11 @@ class GradientBoostingRegressor(BaseEstimator):
                         best_eval = eval_mae
                         best_round = it
                     elif it - best_round >= self.early_stopping_rounds:
+                        # roll back to the best round: trees AND both curves,
+                        # so len(trees_) == len(train_curve_) == len(eval_curve_)
                         self.trees_ = self.trees_[: best_round + 1]
+                        self.train_curve_ = self.train_curve_[: best_round + 1]
+                        self.eval_curve_ = self.eval_curve_[: best_round + 1]
                         break
         return self
 
@@ -180,9 +203,19 @@ class GradientBoostingRegressor(BaseEstimator):
         if self.binner_ is None:
             raise RuntimeError("predict called before fit")
         codes = self.binner_.transform(np.asarray(X, dtype=float))
-        pred = np.full(codes.shape[0], self.base_score_)
-        for tree in self.trees_:
-            pred += self.learning_rate * tree.predict(codes)
+        n = codes.shape[0]
+        pack = self._ensure_pack()
+        pred = np.empty(n, dtype=np.float64)
+        # chunk so the transient (n_trees, block) matrix stays small; the
+        # per-tree accumulation order matches the old loop bit-for-bit
+        block = max(1, CHUNK_PAIRS // max(1, len(self.trees_)))
+        for s in range(0, n, block):
+            e = min(n, s + block)
+            mat = pack.predict_matrix(codes[s:e])
+            p = np.full(e - s, self.base_score_)
+            for row in mat:
+                p += self.learning_rate * row
+            pred[s:e] = p
         return pred
 
     def staged_predict(self, X: np.ndarray) -> np.ndarray:
@@ -190,10 +223,10 @@ class GradientBoostingRegressor(BaseEstimator):
         if self.binner_ is None:
             raise RuntimeError("staged_predict called before fit")
         codes = self.binner_.transform(np.asarray(X, dtype=float))
-        out = np.empty((len(self.trees_), codes.shape[0]))
+        out = self._ensure_pack().predict_matrix(codes)
         pred = np.full(codes.shape[0], self.base_score_)
-        for i, tree in enumerate(self.trees_):
-            pred = pred + self.learning_rate * tree.predict(codes)
+        for i in range(out.shape[0]):
+            pred = pred + self.learning_rate * out[i]
             out[i] = pred
         return out
 

@@ -40,6 +40,18 @@ def _make_objective(
     y_val: np.ndarray,
     metric: Callable[[np.ndarray, np.ndarray], float],
 ):
+    # Private contiguous float64 copies, frozen ONCE outside the per-config
+    # closure: estimators' internal ``np.asarray(X, dtype=float)`` then
+    # returns these exact objects, and the read-only flag opts them into the
+    # identity-keyed QuantileBinner cache — the sweep's shared matrices are
+    # binned a single time instead of per configuration.
+    X_train = np.array(X_train, dtype=np.float64, order="C")
+    X_val = np.array(X_val, dtype=np.float64, order="C")
+    X_train.setflags(write=False)
+    X_val.setflags(write=False)
+    y_train = np.asarray(y_train, dtype=np.float64)
+    y_val = np.asarray(y_val, dtype=np.float64)
+
     def objective(**params: Any):
         model = factory(**params)
         model.fit(X_train, y_train)

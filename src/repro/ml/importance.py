@@ -48,7 +48,10 @@ def permutation_importance(
     Negative values (shuffling *helped*) are reported as-is — they are a
     useful smell for features the model fits noise through.
     """
-    X = np.asarray(X, dtype=float)
+    # private writable copy: the shuffle loop below mutates columns in
+    # place, which must neither touch caller memory nor crash on read-only
+    # (cache-frozen) inputs
+    X = np.array(X, dtype=float)
     y = np.asarray(y, dtype=float)
     if n_repeats < 1:
         raise ValueError("n_repeats must be >= 1")

@@ -10,6 +10,15 @@ Split gain is XGBoost's:
     gain = GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ)
 
 and leaf values are the Newton step ``−G/(H+λ)``.
+
+Histogram subtraction (LightGBM/XGBoost trick): a node's histogram is the
+sum of its children's, so after the root level only the *smaller* child of
+each split is histogrammed directly and the sibling is derived by
+subtracting it from the cached parent histogram — at most half the frontier
+samples are binned per level.  Totals derived this way can differ from a
+direct ``bincount`` in the last ulp (float summation order), which may move
+leaf values by ~1e-16 relative but does not change tree structure on
+continuous data; ``hist_subtraction=False`` restores the direct path.
 """
 
 from __future__ import annotations
@@ -23,7 +32,14 @@ __all__ = ["BinnedTree", "TreeNodes"]
 
 @dataclass
 class TreeNodes:
-    """Flat array representation of a fitted tree."""
+    """Flat array representation of a fitted tree.
+
+    Layout invariants (relied on by :class:`repro.ml.predictor.PackedForest`):
+    ``feature`` is int32 (-1 for leaves), ``threshold`` is uint8 (go left when
+    code <= threshold), ``left``/``right`` are int32 with ``right == left + 1``
+    for every internal node (children are always appended adjacently), and
+    ``value`` is float64.
+    """
 
     feature: np.ndarray      # int32, -1 for leaves
     threshold: np.ndarray    # uint8 bin id: go left when code <= threshold
@@ -64,11 +80,13 @@ class BinnedTree:
         min_child_weight: float = 5.0,
         reg_lambda: float = 1.0,
         n_bins: int = 64,
+        hist_subtraction: bool = True,
     ):
         self.max_depth = int(max_depth)
         self.min_child_weight = float(min_child_weight)
         self.reg_lambda = float(reg_lambda)
         self.n_bins = int(n_bins)
+        self.hist_subtraction = bool(hist_subtraction)
         self.nodes_: TreeNodes | None = None
 
     # ------------------------------------------------------------------ #
@@ -109,35 +127,75 @@ class BinnedTree:
         value: list[float] = [0.0]
         node_of_sample = np.zeros(n, dtype=np.int64)   # tree-node index per sample
         active = [0]                                   # frontier node ids
+        rows_act = np.arange(n, dtype=np.int64)        # rows still in the frontier
+        # (kept sorted: routing filters it, so histogram accumulation order —
+        # and hence every float sum — matches the uncompacted implementation)
+
+        # histogram-subtraction state: previous level's histograms plus, for
+        # each child pair of the current frontier, its parent's frontier slot
+        prev_g: np.ndarray | None = None               # (d_sel, k_prev, nb)
+        prev_h: np.ndarray | None = None
+        pair_parent: np.ndarray | None = None          # (k // 2,) prev slots
 
         for _ in range(self.max_depth):
             if not active:
                 break
             k = len(active)
+            m = rows_act.shape[0]
+            if m == 0:
+                break
             # compact frontier ids to 0..k-1
             remap = np.full(len(feature), -1, dtype=np.int64)
             remap[np.asarray(active)] = np.arange(k)
-            local = remap[node_of_sample]              # -1 for settled samples
-            in_frontier = local >= 0
-            loc = local[in_frontier]
-            sub_codes = codes_sel[:, in_frontier]      # (d_sel, m)
-            g = grad[in_frontier]
-            h = hess_arr[in_frontier]
-            m = loc.shape[0]
-            if m == 0:
-                break
+            loc = remap[node_of_sample[rows_act]]      # ≥ 0: rows_act tracks the frontier
 
-            # composite key: ((feature * k) + node) * nb + bin
-            base = (np.arange(d_sel, dtype=np.int64)[:, None] * k + loc[None, :]) * nb
-            flat = (base + sub_codes).ravel()
             size = d_sel * k * nb
-            g_hist = np.bincount(flat, weights=np.broadcast_to(g, (d_sel, m)).ravel(), minlength=size)
-            if unit_hess:
-                h_hist = np.bincount(flat, minlength=size).astype(np.float64)
+            if self.hist_subtraction and prev_g is not None and pair_parent is not None:
+                # frontier nodes come in (left, right) pairs at slots (2i, 2i+1);
+                # bin only the smaller child of each pair, derive the sibling
+                counts = np.bincount(loc, minlength=k)
+                left_slots = np.arange(0, k, 2)
+                right_slots = left_slots + 1
+                small_is_left = counts[left_slots] <= counts[right_slots]
+                small_slots = np.where(small_is_left, left_slots, right_slots)
+                large_slots = np.where(small_is_left, right_slots, left_slots)
+                in_small = np.zeros(k, dtype=bool)
+                in_small[small_slots] = True
+                sm = in_small[loc]
+                loc_sm = loc[sm]
+                rows_sm = rows_act[sm]
+                codes_sm = codes_sel[:, rows_sm]       # gather ONLY small children
+                m_sm = loc_sm.shape[0]
+                base = (np.arange(d_sel, dtype=np.int64)[:, None] * k + loc_sm[None, :]) * nb
+                flat = (base + codes_sm).ravel()
+                g_hist = np.bincount(
+                    flat, weights=np.broadcast_to(grad[rows_sm], (d_sel, m_sm)).ravel(), minlength=size
+                )
+                if unit_hess:
+                    h_hist = np.bincount(flat, minlength=size).astype(np.float64)
+                else:
+                    h_hist = np.bincount(
+                        flat, weights=np.broadcast_to(hess_arr[rows_sm], (d_sel, m_sm)).ravel(), minlength=size
+                    )
+                g_hist = g_hist.reshape(d_sel, k, nb)
+                h_hist = h_hist.reshape(d_sel, k, nb)
+                g_hist[:, large_slots, :] = prev_g[:, pair_parent, :] - g_hist[:, small_slots, :]
+                h_hist[:, large_slots, :] = prev_h[:, pair_parent, :] - h_hist[:, small_slots, :]
             else:
-                h_hist = np.bincount(flat, weights=np.broadcast_to(h, (d_sel, m)).ravel(), minlength=size)
-            g_hist = g_hist.reshape(d_sel, k, nb)
-            h_hist = h_hist.reshape(d_sel, k, nb)
+                # composite key: ((feature * k) + node) * nb + bin
+                sub_codes = codes_sel[:, rows_act]     # (d_sel, m)
+                g = grad[rows_act]
+                h = hess_arr[rows_act]
+                base = (np.arange(d_sel, dtype=np.int64)[:, None] * k + loc[None, :]) * nb
+                flat = (base + sub_codes).ravel()
+                g_hist = np.bincount(flat, weights=np.broadcast_to(g, (d_sel, m)).ravel(), minlength=size)
+                if unit_hess:
+                    h_hist = np.bincount(flat, minlength=size).astype(np.float64)
+                else:
+                    h_hist = np.bincount(flat, weights=np.broadcast_to(h, (d_sel, m)).ravel(), minlength=size)
+                g_hist = g_hist.reshape(d_sel, k, nb)
+                h_hist = h_hist.reshape(d_sel, k, nb)
+            prev_g, prev_h = g_hist, h_hist
 
             # cumulative over bins -> left-side aggregates for each threshold
             GL = np.cumsum(g_hist, axis=2)
@@ -155,14 +213,22 @@ class BinnedTree:
                     GL**2 / (HL + lam) + GR**2 / (HR + lam) - (G**2 / (H + lam))[:, :, None],
                     -np.inf,
                 )
-            flat_gain = gain.reshape(d_sel * k, nb).max(axis=1)
-            flat_arg = gain.reshape(d_sel * k, nb).argmax(axis=1)
-            per_node_gain = flat_gain.reshape(d_sel, k)
-            best_feat_local = per_node_gain.argmax(axis=0)          # (k,)
+            # tie-canonicalized argmax: take the *first* candidate within a
+            # tiny tolerance of the max, so equal-gain plateaus (and the ulp
+            # noise of derived histograms) always resolve to the same split
+            gain_mat = gain.reshape(d_sel * k, nb)
+            row_max = gain_mat.max(axis=1)
+            row_tol = 1e-9 * np.abs(row_max) + 1e-12
+            flat_arg = (gain_mat >= (row_max - row_tol)[:, None]).argmax(axis=1)
+            per_node_gain = row_max.reshape(d_sel, k)
+            col_max = per_node_gain.max(axis=0)                     # (k,)
+            col_tol = 1e-9 * np.abs(col_max) + 1e-12
+            best_feat_local = (per_node_gain >= (col_max - col_tol)[None, :]).argmax(axis=0)
             best_gain = per_node_gain[best_feat_local, np.arange(k)]
             best_bin = flat_arg.reshape(d_sel, k)[best_feat_local, np.arange(k)]
 
             new_active: list[int] = []
+            new_pair_parent: list[int] = []
             split_feat_of = np.full(k, -1, dtype=np.int64)
             split_bin_of = np.zeros(k, dtype=np.int64)
             for ki in range(k):
@@ -187,21 +253,27 @@ class BinnedTree:
                     right.append(-1)
                     value.append(0.0)
                 new_active.extend([left[node_id], right[node_id]])
+                new_pair_parent.append(ki)
 
-            # route samples of split nodes to children (vectorized)
+            # route samples of split nodes to children (vectorized); samples
+            # in settled nodes drop out of the compacted frontier rows
             split_mask_per_node = split_feat_of >= 0
             if np.any(split_mask_per_node):
                 is_split_sample = split_mask_per_node[loc]
-                rows = np.flatnonzero(in_frontier)[is_split_sample]
+                rows = rows_act[is_split_sample]
                 loc_s = loc[is_split_sample]
                 f_of_s = split_feat_of[loc_s]
-                code_at = sub_codes[f_of_s, np.flatnonzero(is_split_sample)]
+                code_at = codes_sel[f_of_s, rows]
                 go_left = code_at <= split_bin_of[loc_s]
                 parents = np.asarray(active, dtype=np.int64)[loc_s]
                 lefts = np.asarray(left, dtype=np.int64)[parents]
                 rights = np.asarray(right, dtype=np.int64)[parents]
                 node_of_sample[rows] = np.where(go_left, lefts, rights)
+                rows_act = rows
+            else:
+                rows_act = rows_act[:0]
             active = new_active
+            pair_parent = np.asarray(new_pair_parent, dtype=np.int64)
 
         # settle remaining frontier nodes as leaves
         if active:
@@ -217,7 +289,7 @@ class BinnedTree:
 
         self.nodes_ = TreeNodes(
             feature=np.asarray(feature, dtype=np.int32),
-            threshold=np.asarray(threshold, dtype=np.int64),
+            threshold=np.asarray(threshold, dtype=np.uint8),
             left=np.asarray(left, dtype=np.int32),
             right=np.asarray(right, dtype=np.int32),
             value=np.asarray(value, dtype=np.float64),

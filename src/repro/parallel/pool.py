@@ -9,7 +9,7 @@ call sites can be written once in the parallel style.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -50,22 +50,32 @@ def parallel_map(
     items: Iterable[T],
     workers: int | None = None,
     chunks_per_worker: int = 4,
+    backend: str = "process",
 ) -> list[R]:
     """Apply ``fn`` to every item, preserving order.
 
     Parameters
     ----------
     fn:
-        Pure function of one argument.  Must be picklable when ``workers > 1``.
+        Pure function of one argument.  Must be picklable when ``workers > 1``
+        with the process backend.
     items:
         Work items; materialized once.
     workers:
-        Process count; ``None`` → :func:`effective_workers`.  ``1`` runs
+        Worker count; ``None`` → :func:`effective_workers`.  ``1`` runs
         serially in-process (no pickling, easy to debug and profile).
     chunks_per_worker:
         Over-decomposition factor for load balancing, as in classic
         block-cyclic work distribution.
+    backend:
+        ``"process"`` (default) isolates workers and suits pure-Python
+        objectives; ``"thread"`` shares memory — the right choice for
+        NumPy-bound kernels (bincount/cumsum/gather release the GIL) such
+        as forest tree training, where pickling the binned matrix per
+        chunk would dwarf the compute.
     """
+    if backend not in ("process", "thread"):
+        raise ValueError("backend must be 'process' or 'thread'")
     seq = list(items)
     if not seq:
         return []
@@ -74,8 +84,9 @@ def parallel_map(
         return [fn(item) for item in seq]
 
     chunked = _chunks(seq, n_workers * max(1, chunks_per_worker))
+    executor_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
     results: list[R] = []
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+    with executor_cls(max_workers=n_workers) as pool:
         for part in pool.map(_apply_chunk, [fn] * len(chunked), chunked):
             results.extend(part)
     return results

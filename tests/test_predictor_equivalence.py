@@ -1,0 +1,299 @@
+"""Equivalence suite for the packed-forest engine and the training kernels.
+
+The perf layer's contract is that none of it changes any number:
+
+* :class:`~repro.ml.predictor.PackedForest` must reproduce the per-tree
+  prediction loop **bit-for-bit** (``np.array_equal`` on float64),
+* histogram subtraction must grow the same trees as the direct histogram
+  path, and
+* the binning cache and parallel tree training must be invisible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.binning import QuantileBinner
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.predictor import PackedForest
+from repro.ml.tree import BinnedTree
+
+
+def _data(n=1500, d=8, seed=7):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, d))
+    y = (
+        np.sin(2 * X[:, 0])
+        + 0.5 * X[:, 1] ** 2
+        + X[:, 2] * X[:, 3]
+        + 0.05 * rng.normal(0, 1, n)
+    )
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def data():
+    return _data()
+
+
+@pytest.fixture(scope="module")
+def gbm(data):
+    X, y = data
+    return GradientBoostingRegressor(n_estimators=30, max_depth=5, loss="squared").fit(X, y)
+
+
+@pytest.fixture(scope="module")
+def forest(data):
+    X, y = data
+    return RandomForestRegressor(n_estimators=40, max_depth=10, random_state=3).fit(X, y)
+
+
+class TestPackedForestEquivalence:
+    def test_gbm_predict_bitwise(self, data, gbm):
+        X, _ = data
+        Xt = np.random.default_rng(1).normal(0, 1, (400, X.shape[1]))
+        codes = gbm.binner_.transform(np.asarray(Xt, dtype=float))
+        ref = np.full(Xt.shape[0], gbm.base_score_)
+        for tree in gbm.trees_:
+            ref += gbm.learning_rate * tree.predict(codes)
+        assert np.array_equal(gbm.predict(Xt), ref)
+
+    def test_gbm_staged_predict_bitwise(self, data, gbm):
+        X, _ = data
+        Xt = X[:300]
+        codes = gbm.binner_.transform(np.asarray(Xt, dtype=float))
+        staged = gbm.staged_predict(Xt)
+        pred = np.full(Xt.shape[0], gbm.base_score_)
+        ref = np.empty((len(gbm.trees_), Xt.shape[0]))
+        for i, tree in enumerate(gbm.trees_):
+            pred = pred + gbm.learning_rate * tree.predict(codes)
+            ref[i] = pred
+        assert np.array_equal(staged, ref)
+        assert np.array_equal(staged[-1], gbm.predict(Xt))
+
+    def test_forest_matrix_bitwise(self, data, forest):
+        X, _ = data
+        Xt = np.random.default_rng(2).normal(0, 1, (350, X.shape[1]))
+        codes = forest.binner_.transform(np.asarray(Xt, dtype=float))
+        ref = np.stack([tree.predict(codes) for tree in forest.trees_])
+        assert np.array_equal(forest._tree_matrix(Xt), ref)
+
+    def test_forest_predict_dist_bitwise(self, data, forest):
+        X, _ = data
+        Xt = X[:250]
+        codes = forest.binner_.transform(np.asarray(Xt, dtype=float))
+        ref = np.stack([tree.predict(codes) for tree in forest.trees_])
+        mean, var = forest.predict_dist(Xt)
+        assert np.array_equal(mean, ref.mean(axis=0))
+        assert np.array_equal(var, ref.var(axis=0))
+        assert np.array_equal(forest.predict(Xt), ref.mean(axis=0))
+
+    def test_pack_matrix_matches_tree_loop(self, data):
+        """Direct PackedForest vs BinnedTree.predict, incl. stumps."""
+        X, y = data
+        codes = QuantileBinner(32).fit_transform(X)
+        trees = [
+            BinnedTree(max_depth=depth, min_child_weight=2.0).fit(codes, -y)
+            for depth in (0, 1, 4, 9)
+        ]
+        pack = PackedForest.from_trees(trees)
+        mat = pack.predict_matrix(codes)
+        for i, tree in enumerate(trees):
+            assert np.array_equal(mat[i], tree.predict(codes))
+
+    def test_empty_pack(self):
+        pack = PackedForest.from_trees([])
+        assert pack.n_trees == 0 and pack.max_depth == 0
+        assert pack.predict_matrix(np.zeros((5, 3), dtype=np.uint8)).shape == (0, 5)
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(RuntimeError):
+            PackedForest.from_trees([BinnedTree()])
+
+
+class TestPackedLayoutDtypes:
+    def test_tree_nodes_small_dtypes(self, data):
+        X, y = data
+        codes = QuantileBinner(64).fit_transform(X)
+        nd = BinnedTree(max_depth=6, min_child_weight=2.0).fit(codes, -y).nodes_
+        assert nd.threshold.dtype == np.uint8
+        assert nd.feature.dtype == np.int32
+        assert nd.left.dtype == np.int32
+        assert nd.right.dtype == np.int32
+        assert nd.value.dtype == np.float64
+        internal = nd.feature >= 0
+        assert np.array_equal(nd.right[internal], nd.left[internal] + 1)
+
+    def test_arena_small_dtypes(self, forest):
+        pack = forest._ensure_pack()
+        assert pack.threshold.dtype == np.uint8
+        assert pack.feature.dtype == np.int32
+        assert pack.left.dtype == np.int32
+        assert pack.roots.dtype == np.int32
+        assert pack.value.dtype == np.float64
+        # leaves self-loop with an always-false test (codes are < 255)
+        leaf = pack.left == np.arange(pack.n_nodes, dtype=np.int32)
+        assert np.all(pack.threshold[leaf] == 255)
+
+    def test_arena_depth_is_actual_depth(self, data):
+        X, y = data
+        codes = QuantileBinner(32).fit_transform(X)
+        tree = BinnedTree(max_depth=12, min_child_weight=200.0).fit(codes, -y)
+        pack = PackedForest.from_trees([tree])
+        assert pack.max_depth == tree.nodes_.depth
+        assert pack.max_depth < 12  # min_child_weight stops growth early
+
+
+class TestHistogramSubtraction:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("unit_hess", [True, False])
+    def test_tree_structure_identity(self, seed, unit_hess):
+        """Subtraction-derived histograms grow the same trees as direct ones."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 1, (1200, 8))
+        y = np.sin(X[:, 0]) + X[:, 1] * X[:, 2] + 0.5 * X[:, 3] + rng.normal(0, 0.1, 1200)
+        codes = QuantileBinner(32).fit_transform(X)
+        hess = None if unit_hess else np.abs(y) + 0.5
+        kw = dict(max_depth=9, min_child_weight=5.0)
+        t_sub = BinnedTree(hist_subtraction=True, **kw).fit(codes, -y, hess)
+        t_ref = BinnedTree(hist_subtraction=False, **kw).fit(codes, -y, hess)
+        assert np.array_equal(t_sub.nodes_.feature, t_ref.nodes_.feature)
+        assert np.array_equal(t_sub.nodes_.threshold, t_ref.nodes_.threshold)
+        assert np.array_equal(t_sub.nodes_.left, t_ref.nodes_.left)
+        assert np.array_equal(t_sub.nodes_.right, t_ref.nodes_.right)
+        np.testing.assert_allclose(t_sub.nodes_.value, t_ref.nodes_.value, rtol=1e-8, atol=1e-12)
+
+    @pytest.mark.parametrize("loss", ["squared", "huber", "quantile"])
+    def test_gbm_losses_equivalent(self, data, loss):
+        """Full-model check across losses: same structures, ~same predictions."""
+        X, y = data
+        kw = dict(n_estimators=12, max_depth=8, min_child_weight=5.0, loss=loss)
+        m_sub = GradientBoostingRegressor(hist_subtraction=True, **kw).fit(X, y)
+        m_ref = GradientBoostingRegressor(hist_subtraction=False, **kw).fit(X, y)
+        for t_sub, t_ref in zip(m_sub.trees_, m_ref.trees_):
+            assert np.array_equal(t_sub.nodes_.feature, t_ref.nodes_.feature)
+            assert np.array_equal(t_sub.nodes_.threshold, t_ref.nodes_.threshold)
+        np.testing.assert_allclose(m_sub.predict(X[:200]), m_ref.predict(X[:200]), rtol=1e-9)
+
+
+class TestEarlyStoppingCurves:
+    def test_curves_truncated_with_trees(self, data):
+        X, y = data
+        m = GradientBoostingRegressor(
+            n_estimators=200, max_depth=3, learning_rate=0.5,
+            early_stopping_rounds=5, loss="squared",
+        )
+        m.fit(X[:800], y[:800], eval_set=(X[800:], y[800:]))
+        assert len(m.trees_) < 200
+        assert len(m.train_curve_) == len(m.trees_)
+        assert len(m.eval_curve_) == len(m.trees_)
+        # the retained eval curve ends at its minimum (the rolled-back best)
+        assert m.eval_curve_[-1] == min(m.eval_curve_)
+
+
+def _frozen(X):
+    X = np.asarray(X, dtype=float)
+    X.setflags(write=False)
+    return X
+
+
+class TestBinningCache:
+    def test_fit_transform_cached_on_frozen_identity(self):
+        X = _frozen(np.random.default_rng(0).normal(0, 1, (300, 4)))
+        c1 = QuantileBinner(32).fit_transform(X)
+        c2 = QuantileBinner(32).fit_transform(X)
+        assert c1 is c2  # same array object: binned once
+        assert not c1.flags.writeable
+
+    def test_writable_arrays_never_cached(self):
+        """Mutable inputs must be re-binned: in-place edits (e.g. permutation
+        importance shuffling a column) must be visible to the next predict."""
+        X = np.random.default_rng(4).normal(0, 1, (300, 4))
+        binner = QuantileBinner(32)
+        c1 = binner.fit_transform(X)
+        assert c1.flags.writeable  # fresh, caller-owned
+        X[:, 2] = X[::-1, 2].copy()
+        c2 = binner.fit(X).transform(X)
+        assert c2 is not c1
+        assert not np.array_equal(c2[:, 2], c1[:, 2])
+
+    def test_readonly_view_of_writable_base_not_cached(self):
+        """writeable=False on a view is not immutability: the base can still
+        change underneath, so such arrays must bypass the cache."""
+        X = np.random.default_rng(5).normal(0, 1, (200, 3))
+        v = X.view()
+        v.setflags(write=False)
+        c1 = QuantileBinner(16).fit_transform(v)
+        X[:, 0] = -X[:, 0]
+        c2 = QuantileBinner(16).fit_transform(v)
+        assert c2 is not c1
+        assert not np.array_equal(c1[:, 0], c2[:, 0])
+
+    def test_permutation_importance_works_on_frozen_arrays(self):
+        """The documented sweep opt-in (frozen X) must not break mutating
+        consumers: permutation importance shuffles a private copy."""
+        from repro.ml.importance import permutation_importance
+
+        X = _frozen(np.random.default_rng(6).normal(0, 1, (400, 4)))
+        y = X[:, 0] + 0.05 * np.random.default_rng(7).normal(0, 1, 400)
+        m = GradientBoostingRegressor(n_estimators=25, max_depth=3, loss="squared").fit(X, y)
+        imp = permutation_importance(m, X, y, n_repeats=2)
+        assert imp[0] > max(imp[1:].max(), 0.0)
+        assert not X.flags.writeable  # caller memory untouched
+
+    def test_cache_keyed_on_bins_and_identity(self):
+        X = _frozen(np.random.default_rng(1).normal(0, 1, (300, 4)))
+        c32 = QuantileBinner(32).fit_transform(X)
+        c16 = QuantileBinner(16).fit_transform(X)
+        assert c16 is not c32
+        X_copy = _frozen(X.copy())
+        c_copy = QuantileBinner(32).fit_transform(X_copy)
+        assert c_copy is not c32
+        assert np.array_equal(c_copy, c32)  # equal content, recomputed
+
+    def test_eval_transform_shares_edges(self):
+        X = _frozen(np.random.default_rng(2).normal(0, 1, (300, 4)))
+        Xe = _frozen(np.random.default_rng(3).normal(0, 1, (100, 4)))
+        b1 = QuantileBinner(32).fit(X)
+        b2 = QuantileBinner(32).fit(X)
+        assert b1.edges_ is b2.edges_  # edge cache hit
+        assert b1.transform(Xe) is b2.transform(Xe)  # code cache hit
+
+
+class TestForestParallelTraining:
+    def test_n_jobs_invariant(self, data):
+        X, y = data
+        kw = dict(n_estimators=20, max_depth=8, random_state=5)
+        f1 = RandomForestRegressor(n_jobs=1, **kw).fit(X, y)
+        f2 = RandomForestRegressor(n_jobs=4, **kw).fit(X, y)
+        assert np.array_equal(f1.predict(X[:100]), f2.predict(X[:100]))
+        assert f1.oob_mae_ == f2.oob_mae_
+        assert np.array_equal(
+            np.asarray(f1.oob_prediction_), np.asarray(f2.oob_prediction_), equal_nan=True
+        )
+
+    def test_oob_matches_per_tree_reference(self, data):
+        """Vectorized OOB equals the old per-tree accumulation (allclose)."""
+        X, y = data
+        f = RandomForestRegressor(n_estimators=15, max_depth=8, random_state=2).fit(X, y)
+        n = X.shape[0]
+        codes = f.binner_.transform(np.asarray(X, dtype=float))
+        # re-derive each tree's bootstrap rows from its spawned seed stream
+        seeds = np.random.SeedSequence(f.random_state).spawn(f.n_estimators)
+        oob_sum = np.zeros(n)
+        oob_count = np.zeros(n)
+        d = X.shape[1]
+        n_feats = max(1, int(round(f.max_features * d)))
+        for seed, tree in zip(seeds, f.trees_):
+            rng = np.random.default_rng(seed)
+            if n_feats < d:
+                rng.choice(d, n_feats, replace=False)
+            rows = rng.integers(0, n, n)
+            in_bag = np.zeros(n, dtype=bool)
+            in_bag[rows] = True
+            out = ~in_bag
+            oob_sum[out] += tree.predict(codes[out])
+            oob_count[out] += 1
+        seen = oob_count > 0
+        ref = oob_sum[seen] / oob_count[seen]
+        np.testing.assert_allclose(np.asarray(f.oob_prediction_)[seen], ref, rtol=1e-12)
