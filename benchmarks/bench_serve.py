@@ -1,0 +1,76 @@
+"""Serving-path benchmark: micro-batched vs direct single-row predicts.
+
+Streams single-row requests at a registered forest and GBM three ways
+(direct per-request ``predict``, micro-batched through
+:class:`~repro.serve.service.InferenceService`, cached replay) and records
+the throughput/latency trajectory — one entry per run, like
+``BENCH_kernels.json`` — into ``benchmarks/results/BENCH_serve.json``.
+Bit-identity across the three paths is asserted inside the bench core
+before any number is written.
+
+Runs standalone (``python benchmarks/bench_serve.py``) or via an explicit
+pytest path (``pytest benchmarks/bench_serve.py``); the same comparison is
+reachable as ``repro serve-bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.serve.bench import run_serve_bench
+
+RESULTS_DIR = Path(__file__).parent / "results"
+TRAJECTORY = RESULTS_DIR / "BENCH_serve.json"
+
+N_REQUESTS = 2000
+N_TREES = 150
+MAX_BATCH = 256
+MAX_DELAY = 0.002
+
+
+def run() -> dict:
+    entry: dict = {"timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds")}
+    for kind in ("forest", "gbm"):
+        t0 = time.perf_counter()
+        entry[kind] = run_serve_bench(
+            kind=kind,
+            n_trees=N_TREES,
+            n_requests=N_REQUESTS,
+            max_batch=MAX_BATCH,
+            max_delay=MAX_DELAY,
+        )
+        entry[kind]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trajectory = []
+    if TRAJECTORY.exists():
+        trajectory = json.loads(TRAJECTORY.read_text())
+    trajectory.append(entry)
+    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    lines = ["SERVE (micro-batched vs direct, 1-row request streams)"]
+    for kind in ("forest", "gbm"):
+        r = entry[kind]
+        lines.append(
+            f"{kind}: {r['n_requests']} reqs x {r['n_trees']} trees: "
+            f"{r['unbatched_rps']:.0f} -> {r['batched_rps']:.0f} req/s "
+            f"({r['speedup_batched']:.2f}x batched, {r['speedup_cached']:.2f}x cached, "
+            f"mean batch {r['mean_batch_rows']:.0f} rows)"
+        )
+    table = "\n".join(lines)
+    print("\n" + table)
+    (RESULTS_DIR / "serve.txt").write_text(table + "\n")
+    return entry
+
+
+def test_serve_bench():
+    entry = run()
+    assert entry["forest"]["speedup_batched"] >= 3.0
+    assert entry["gbm"]["speedup_batched"] >= 3.0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run(), indent=2))

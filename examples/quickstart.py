@@ -44,6 +44,10 @@ def main() -> None:
     top = sorted(zip(imp, names), reverse=True)[:5]
     print("top features:", ", ".join(f"{n} ({v * 100:.1f}%)" for v, n in top))
 
+    # next step: serve this model against live job streams — registry,
+    # micro-batching, and cached staged rollout in examples/serving_demo.py
+    print("see examples/serving_demo.py for the batched inference service")
+
 
 if __name__ == "__main__":
     main()

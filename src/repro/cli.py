@@ -9,6 +9,7 @@ Every major capability is reachable without writing Python::
     repro cluster   --dataset theta.npz --clusters 10
     repro export-darshan --dataset theta.npz --out logs/ --limit 100
     repro drift     --dataset theta.npz
+    repro serve-bench --models forest gbm --requests 2000
 
 Commands accept either ``--dataset file.npz`` (a saved dataset) or
 ``--platform/--jobs/--seed`` to simulate one on the fly.
@@ -143,6 +144,33 @@ def cmd_drift(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import run_serve_bench
+
+    rows = []
+    for kind in args.models:
+        r = run_serve_bench(
+            kind=kind,
+            n_trees=args.trees,
+            n_requests=args.requests,
+            max_batch=args.batch,
+            max_delay=args.deadline_ms / 1e3,
+            seed=args.seed,
+        )
+        rows.append([
+            r["model"], r["n_requests"],
+            f"{r['unbatched_rps']:.0f}", f"{r['batched_rps']:.0f}",
+            f"{r['cached_rps']:.0f}", f"{r['speedup_batched']:.1f}x",
+            f"{r['mean_batch_rows']:.0f}", f"{r['cache_hit_rate']:.0%}",
+        ])
+    print(format_table(
+        ["model", "requests", "req/s direct", "req/s batched", "req/s cached",
+         "speedup", "batch rows", "hit rate"],
+        rows,
+        title="Serving throughput — 1-row request stream (micro-batched vs direct)"))
+    return 0
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     from repro.scheduler import BatchScheduler, Dragonfly, PlacementPolicy
 
@@ -209,6 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cutoff", type=float, default=0.8, help="training fraction of the span")
     p.add_argument("--top", type=int, default=8, help="features to list")
     p.set_defaults(func=cmd_drift)
+
+    p = sub.add_parser("serve-bench", help="micro-batched serving throughput vs direct predicts")
+    p.add_argument("--models", nargs="+", default=["forest", "gbm"], choices=("forest", "gbm"))
+    p.add_argument("--trees", type=int, default=150, help="ensemble size to serve")
+    p.add_argument("--requests", type=int, default=2000, help="single-row requests to stream")
+    p.add_argument("--batch", type=int, default=256, help="micro-batch size trigger (rows)")
+    p.add_argument("--deadline-ms", type=float, default=2.0, help="max queueing delay per request")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("schedule", help="compare placement policies on a dragonfly")
     p.add_argument("--jobs", type=int, default=200)

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.data.preprocessing import Standardizer
 from repro.ml.base import Pipeline
+from repro.ml.binning import frozen_copy
 from repro.ml.linear import RidgeRegression
 from repro.ml.metrics import median_abs_log_ratio
 from repro.ml.nn import MLPRegressor
@@ -152,6 +153,16 @@ class AgingEvolutionSearch:
         X_val: np.ndarray,
         y_val: np.ndarray,
     ) -> "AgingEvolutionSearch":
+        # Private copies, frozen ONCE for the whole search (the
+        # ``hpo._make_objective`` pattern): every generation's fit sees the
+        # same immutable matrices, so tree-model configs opt into the
+        # identity-keyed binning cache and staleness is impossible by
+        # construction.
+        X_train = frozen_copy(X_train)
+        X_val = frozen_copy(X_val)
+        y_train = np.asarray(y_train, dtype=np.float64)
+        y_val = np.asarray(y_val, dtype=np.float64)
+
         rng = generator_from(self.seed)
         pool: list[tuple[dict[str, Any], float]] = []
 

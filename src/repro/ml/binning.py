@@ -36,7 +36,20 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["QuantileBinner"]
+__all__ = ["QuantileBinner", "frozen_copy"]
+
+
+def frozen_copy(X: np.ndarray) -> np.ndarray:
+    """A private, contiguous, read-only float64 copy of ``X``.
+
+    The sweep-driver opt-in gesture in one place: the returned array owns
+    its memory and is immutable, so binding it repeatedly (``hpo``'s
+    per-config closures, ``agebo``'s generations) makes every fit hit the
+    identity-keyed caches below, and staleness is impossible.
+    """
+    X = np.array(X, dtype=np.float64, order="C")
+    X.setflags(write=False)
+    return X
 
 _CACHE_MAX = 8
 _cache_lock = threading.Lock()

@@ -21,9 +21,9 @@ from functools import partial
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator
+from repro.ml.base import BaseEstimator, clone
 from repro.ml.binning import QuantileBinner
-from repro.ml.predictor import CHUNK_PAIRS, PackedForest, ensure_pack
+from repro.ml.predictor import CHUNK_PAIRS, PackedForest, concat_apply_split, ensure_pack
 from repro.ml.tree import BinnedTree
 from repro.parallel.pool import parallel_map
 from repro.rng import generator_from
@@ -221,6 +221,47 @@ class RandomForestRegressor(BaseEstimator):
         """(mean, across-tree variance) — tree disagreement as a UQ signal."""
         mat = self._tree_matrix(X)
         return mat.mean(axis=0), mat.var(axis=0)
+
+    def _tree_matrix_many(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Per-block (n_trees, m) matrices from one transform + arena pass."""
+        return concat_apply_split(blocks, self._tree_matrix, axis=1)
+
+    def predict_many(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Batch-of-batches: many small requests, one packed-arena pass.
+
+        Transform, routing, and the across-tree reductions are all
+        per-sample/per-column, so every returned vector is bit-identical
+        to ``predict(block)`` — the contract the serving micro-batcher
+        relies on.
+        """
+        return [m.mean(axis=0) for m in self._tree_matrix_many(blocks)]
+
+    def predict_dist_many(
+        self, blocks: list[np.ndarray]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched :meth:`predict_dist`, one arena pass for all blocks."""
+        return [(m.mean(axis=0), m.var(axis=0)) for m in self._tree_matrix_many(blocks)]
+
+    def truncated(self, n_trees: int) -> "RandomForestRegressor":
+        """A view keeping only the first ``n_trees`` members.
+
+        Shares the binner and tree objects and *reuses* the packed arena
+        (roots sliced, node arrays shared).  At least one tree must remain
+        — a forest mean over zero trees is undefined (unlike a GBM, which
+        falls back to its base score).  OOB statistics are not carried
+        over — they describe the full ensemble, not the prefix.
+        """
+        if self.binner_ is None:
+            raise RuntimeError("truncated called before fit")
+        n_trees = int(n_trees)
+        if not 1 <= n_trees <= len(self.trees_):
+            raise ValueError(f"n_trees must be in [1, {len(self.trees_)}], got {n_trees}")
+        out = clone(self, n_estimators=n_trees)
+        out.binner_ = self.binner_
+        out.trees_ = self.trees_[:n_trees]
+        out.feature_masks_ = self.feature_masks_[:n_trees]
+        out._pack = self._ensure_pack().truncated(n_trees)
+        return out
 
     def feature_importances(self, n_features: int | None = None) -> np.ndarray:
         """Split-count importance, normalized to sum to one."""

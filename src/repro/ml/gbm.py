@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator
+from repro.ml.base import BaseEstimator, clone
 from repro.ml.binning import QuantileBinner
-from repro.ml.predictor import CHUNK_PAIRS, PackedForest, ensure_pack
+from repro.ml.predictor import CHUNK_PAIRS, PackedForest, concat_apply_split, ensure_pack
 from repro.ml.tree import BinnedTree
+from repro.parallel.pool import parallel_map
 from repro.rng import generator_from
 
 __all__ = ["GradientBoostingRegressor"]
@@ -217,6 +218,92 @@ class GradientBoostingRegressor(BaseEstimator):
                 p += self.learning_rate * row
             pred[s:e] = p
         return pred
+
+    def predict_many(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Batch-of-batches: predict many small requests in one arena pass.
+
+        The serving micro-batcher hands the coalesced requests here.  All
+        blocks are concatenated and scored with a single :meth:`predict`
+        (one binning transform, one arena walk, one accumulation loop);
+        since transform, routing, and accumulation are all per-sample
+        operations, each returned slice is bit-identical to
+        ``predict(block)`` on its own — paying the Python/NumPy dispatch
+        cost once instead of once per request.
+        """
+        if self.binner_ is None:
+            raise RuntimeError("predict_many called before fit")
+        return concat_apply_split(blocks, self.predict)
+
+    def truncated(self, n_trees: int) -> "GradientBoostingRegressor":
+        """A view of this model keeping only the first ``n_trees`` rounds.
+
+        Shares the fitted binner and tree objects; the packed arena is
+        *reused* (roots sliced via :meth:`PackedForest.truncated`, node
+        arrays shared) rather than rebuilt, so registry versions that are
+        stage-truncated variants of one parent cost no extra pack memory.
+        """
+        if self.binner_ is None:
+            raise RuntimeError("truncated called before fit")
+        n_trees = int(n_trees)
+        if not 0 <= n_trees <= len(self.trees_):
+            raise ValueError(f"n_trees must be in [0, {len(self.trees_)}], got {n_trees}")
+        out = clone(self, n_estimators=n_trees)
+        out.binner_ = self.binner_
+        out.trees_ = self.trees_[:n_trees]
+        out.base_score_ = self.base_score_
+        out.train_curve_ = self.train_curve_[:n_trees]
+        out.eval_curve_ = self.eval_curve_[:n_trees]
+        out._pack = self._ensure_pack().truncated(n_trees)
+        return out
+
+    def staged_scores(
+        self,
+        eval_sets: list[tuple[np.ndarray, np.ndarray]],
+        n_jobs: int | None = 1,
+        block: int = 8192,
+    ) -> list[np.ndarray]:
+        """MAE after every boosting round on each eval set, thread-parallel.
+
+        Scoring decomposes over fixed row blocks (size ``block``, independent
+        of ``n_jobs``): each block walks the packed arena once, accumulates
+        the staged predictions, and returns per-round absolute-error *sums*.
+        Blocks run through :func:`~repro.parallel.pool.parallel_map` with the
+        thread backend and recombine in block order, so the returned curves
+        are identical for every ``n_jobs`` — the same invariance contract as
+        forest tree training.
+        """
+        if self.binner_ is None:
+            raise RuntimeError("staged_scores called before fit")
+        pack = self._ensure_pack()
+        T = len(self.trees_)
+        codes_y: list[tuple[np.ndarray, np.ndarray]] = []
+        items: list[tuple[int, int, int]] = []
+        for si, (Xe, ye) in enumerate(eval_sets):
+            codes = self.binner_.transform(np.asarray(Xe, dtype=float))
+            ye = np.asarray(ye, dtype=np.float64)
+            if codes.shape[0] != ye.shape[0]:
+                raise ValueError("eval set X and y row counts differ")
+            if ye.shape[0] == 0:
+                raise ValueError(f"eval set {si} is empty — its MAE curve is undefined")
+            codes_y.append((codes, ye))
+            items.extend((si, s, min(codes.shape[0], s + block)) for s in range(0, codes.shape[0], block))
+
+        def _score_block(item: tuple[int, int, int]) -> tuple[int, np.ndarray]:
+            si, s, e = item
+            codes, ye = codes_y[si]
+            mat = pack.predict_matrix(codes[s:e])
+            pred = np.full(e - s, self.base_score_)
+            sums = np.empty(T)
+            for i in range(T):
+                pred = pred + self.learning_rate * mat[i]
+                sums[i] = np.sum(np.abs(pred - ye[s:e]))
+            return si, sums
+
+        parts = parallel_map(_score_block, items, workers=n_jobs, backend="thread")
+        curves = [np.zeros(T) for _ in eval_sets]
+        for si, sums in parts:  # fixed block order ⇒ n_jobs-invariant float sums
+            curves[si] += sums
+        return [c / cy[1].shape[0] for c, cy in zip(curves, codes_y)]
 
     def staged_predict(self, X: np.ndarray) -> np.ndarray:
         """(n_trees, n_samples) predictions after each boosting round."""

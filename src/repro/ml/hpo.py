@@ -13,6 +13,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.ml.binning import frozen_copy
 from repro.ml.metrics import median_abs_log_ratio
 from repro.parallel.sweep import ParamGrid, SweepResult, run_grid, run_random_search
 
@@ -40,15 +41,13 @@ def _make_objective(
     y_val: np.ndarray,
     metric: Callable[[np.ndarray, np.ndarray], float],
 ):
-    # Private contiguous float64 copies, frozen ONCE outside the per-config
-    # closure: estimators' internal ``np.asarray(X, dtype=float)`` then
-    # returns these exact objects, and the read-only flag opts them into the
+    # Private copies, frozen ONCE outside the per-config closure:
+    # estimators' internal ``np.asarray(X, dtype=float)`` then returns
+    # these exact objects, and the read-only flag opts them into the
     # identity-keyed QuantileBinner cache — the sweep's shared matrices are
     # binned a single time instead of per configuration.
-    X_train = np.array(X_train, dtype=np.float64, order="C")
-    X_val = np.array(X_val, dtype=np.float64, order="C")
-    X_train.setflags(write=False)
-    X_val.setflags(write=False)
+    X_train = frozen_copy(X_train)
+    X_val = frozen_copy(X_val)
     y_train = np.asarray(y_train, dtype=np.float64)
     y_val = np.asarray(y_val, dtype=np.float64)
 

@@ -31,9 +31,24 @@ def cross_val_error(model_factory, X: np.ndarray, y: np.ndarray, k: int = 5, met
     from repro.ml.metrics import median_abs_log_ratio
 
     metric = metric or median_abs_log_ratio
+    # Hand estimators read-only VIEWS of private fold copies: they cannot
+    # mutate the fold data, but — unlike truly frozen arrays — a read-only
+    # view of a writable base fails the binning cache's ``_is_frozen``
+    # walk, so these throwaway per-fold identities never enter (and never
+    # churn) the 8-entry module-level LRU a concurrent sweep relies on.
+    # Cache hits are impossible here anyway: fold slices are fresh objects
+    # every call, and the cache is identity-keyed.
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+
+    def _guarded(a: np.ndarray) -> np.ndarray:
+        v = a.view()
+        v.setflags(write=False)
+        return v
+
     scores = []
     for train, test in kfold_indices(len(y), k, rng):
         model = model_factory()
-        model.fit(X[train], y[train])
-        scores.append(metric(y[test], model.predict(X[test])))
+        model.fit(_guarded(X[train]), y[train])
+        scores.append(metric(y[test], model.predict(_guarded(X[test]))))
     return float(np.mean(scores))

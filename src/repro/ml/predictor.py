@@ -45,7 +45,26 @@ import numpy as np
 
 from repro.ml.tree import TreeNodes
 
-__all__ = ["PackedForest", "ensure_pack"]
+__all__ = ["PackedForest", "concat_apply_split", "ensure_pack"]
+
+
+def concat_apply_split(
+    blocks: Sequence[np.ndarray], fn, axis: int = 0
+) -> list[np.ndarray]:
+    """Concatenate row blocks, apply ``fn`` once, split the result back.
+
+    The batch-of-batches skeleton shared by every ``*_many`` entry point:
+    one call to the scalar path amortizes its dispatch cost over all
+    blocks, and because those paths are per-sample, each split slice is
+    bit-identical to ``fn(block)`` alone.  ``axis`` selects the sample
+    axis of ``fn``'s result (1 for per-tree matrices).
+    """
+    blocks = [np.asarray(b) for b in blocks]
+    if not blocks:
+        return []
+    sizes = [b.shape[0] for b in blocks]
+    stacked = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+    return np.split(fn(stacked), np.cumsum(sizes)[:-1], axis=axis)
 
 
 def ensure_pack(pack: "PackedForest | None", trees: Sequence) -> "PackedForest":
@@ -202,3 +221,36 @@ class PackedForest:
             codes_flat = np.ascontiguousarray(codes[s:e].T).reshape(-1)
             self._eval_block(codes_flat, e - s, codes.shape[1], out[:, s:e])
         return out
+
+    def predict_matrix_many(self, code_blocks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Evaluate many small code blocks in one arena pass (batch-of-batches).
+
+        The serving micro-batcher coalesces single-row requests into a call
+        like this one: all blocks are concatenated, walked with a single
+        :meth:`predict_matrix` pass, and split back per block.  Each sample
+        is routed independently, so every returned slice is bit-identical to
+        calling :meth:`predict_matrix` on its block alone.
+        """
+        return concat_apply_split(code_blocks, self.predict_matrix, axis=1)
+
+    def truncated(self, n_trees: int) -> "PackedForest":
+        """A pack over the first ``n_trees`` trees, sharing the arena arrays.
+
+        Trees never reference nodes outside their own arena range, so a
+        prefix ensemble only needs its ``roots`` sliced — node arrays are
+        shared, not copied, which is what makes staged registry rollouts of
+        truncated variants free.  ``max_depth`` is kept at the full pack's
+        value: extra depth iterations leave settled rows on their
+        self-looping leaves, so results stay bit-identical.
+        """
+        n_trees = int(n_trees)
+        if not 0 <= n_trees <= self.n_trees:
+            raise ValueError(f"n_trees must be in [0, {self.n_trees}], got {n_trees}")
+        return PackedForest(
+            feature=self.feature,
+            threshold=self.threshold,
+            left=self.left,
+            value=self.value,
+            roots=self.roots[:n_trees],
+            max_depth=self.max_depth,
+        )

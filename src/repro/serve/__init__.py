@@ -1,0 +1,32 @@
+"""Batched inference serving: registry, micro-batcher, prediction cache.
+
+The layer that turns the packed-forest kernels into a continuously-queried
+service: models live in a :class:`ModelRegistry` (frozen on register,
+promoted/rolled back in stages), traffic coalesces through a
+:class:`MicroBatcher` into single packed-arena calls with bit-identical
+results, and duplicate requests — pervasive in HPC I/O telemetry (§VI.A)
+— are answered from a version-keyed :class:`PredictionCache`.
+:class:`InferenceService` wires the three together behind one ``submit``.
+"""
+
+from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.bench import make_serve_model, run_serve_bench
+from repro.serve.cache import PredictionCache, request_digest
+from repro.serve.registry import ModelRegistry, ModelVersion, freeze_arrays
+from repro.serve.service import CompletedTicket, InferenceService
+from repro.serve.stats import ServerStats
+
+__all__ = [
+    "CompletedTicket",
+    "InferenceService",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ModelVersion",
+    "PredictionCache",
+    "ServerStats",
+    "Ticket",
+    "freeze_arrays",
+    "make_serve_model",
+    "request_digest",
+    "run_serve_bench",
+]

@@ -1,0 +1,121 @@
+"""Reusable serving benchmark core (CLI ``repro serve-bench`` + benches).
+
+Replays a stream of single-row prediction requests three ways against the
+same registered model:
+
+* **unbatched** — one ``model.predict`` call per request (the naive
+  serving loop the micro-batcher replaces),
+* **batched** — through an :class:`~repro.serve.service.InferenceService`
+  with size/deadline coalescing (cold cache, all-distinct rows), and
+* **cached replay** — the identical stream again, now answered from the
+  prediction cache.
+
+Results are asserted bit-identical across paths before any number is
+reported, so the speedups can never come from a numerics shortcut.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import InferenceService
+
+__all__ = ["run_serve_bench", "make_serve_model"]
+
+
+def _synth(n: int, d: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, d))
+    y = (
+        np.sin(2 * X[:, 0])
+        + 0.5 * X[:, 1] ** 2
+        + X[:, 2] * X[:, 3]
+        + 0.1 * rng.normal(0, 1, n)
+    )
+    return X, y
+
+
+def make_serve_model(kind: str, n_train: int, n_features: int, n_trees: int, seed: int):
+    """Train the estimator a serving bench registers."""
+    X, y = _synth(n_train, n_features, seed)
+    if kind == "forest":
+        from repro.ml.forest import RandomForestRegressor
+
+        return RandomForestRegressor(
+            n_estimators=n_trees, max_depth=12, random_state=seed
+        ).fit(X, y)
+    if kind == "gbm":
+        from repro.ml.gbm import GradientBoostingRegressor
+
+        return GradientBoostingRegressor(
+            n_estimators=n_trees, max_depth=6, loss="squared", random_state=seed
+        ).fit(X, y)
+    raise ValueError(f"kind must be 'forest' or 'gbm', got {kind!r}")
+
+
+def run_serve_bench(
+    kind: str = "forest",
+    n_train: int = 3000,
+    n_features: int = 12,
+    n_trees: int = 150,
+    n_requests: int = 2000,
+    max_batch: int = 256,
+    max_delay: float = 0.002,
+    seed: int = 0,
+) -> dict:
+    """One serving comparison; returns a flat result dict for tables/JSON."""
+    model = make_serve_model(kind, n_train, n_features, n_trees, seed)
+    rows, _ = _synth(n_requests, n_features, seed + 1)
+
+    registry = ModelRegistry()
+    registry.register(kind, model, promote=True)
+
+    t0 = time.perf_counter()
+    ref = np.array([model.predict(row[None, :])[0] for row in rows])
+    t_unbatched = time.perf_counter() - t0
+
+    with InferenceService(
+        registry, kind, max_batch=max_batch, max_delay=max_delay,
+        cache_entries=2 * n_requests,
+    ) as svc:
+        t0 = time.perf_counter()
+        tickets = [svc.submit(row) for row in rows]
+        svc.flush()
+        batched = np.array([t.result(timeout=30.0) for t in tickets])
+        t_batched = time.perf_counter() - t0
+
+        if not np.array_equal(batched, ref):  # hard gate: survives python -O
+            raise RuntimeError("micro-batched results are not bit-identical")
+
+        t0 = time.perf_counter()
+        cached = np.array([svc.predict(row, timeout=30.0) for row in rows])
+        t_cached = time.perf_counter() - t0
+        if not np.array_equal(cached, ref):
+            raise RuntimeError("cached results are not bit-identical")
+
+        stats = svc.stats()
+
+    return {
+        "model": kind,
+        "n_trees": n_trees,
+        "n_requests": n_requests,
+        "max_batch": max_batch,
+        "max_delay_ms": round(1e3 * max_delay, 3),
+        "unbatched_s": round(t_unbatched, 4),
+        "batched_s": round(t_batched, 4),
+        "cached_s": round(t_cached, 4),
+        "unbatched_rps": round(n_requests / t_unbatched, 1),
+        "batched_rps": round(n_requests / t_batched, 1),
+        "cached_rps": round(n_requests / t_cached, 1),
+        "speedup_batched": round(t_unbatched / t_batched, 2),
+        "speedup_cached": round(t_unbatched / t_cached, 2),
+        "batches": stats.batches,
+        "mean_batch_rows": round(stats.mean_batch_rows, 1),
+        "size_flushes": stats.size_flushes,
+        "deadline_flushes": stats.deadline_flushes,
+        "cache_hit_rate": round(stats.hit_rate, 4),
+        "mean_latency_ms": round(stats.mean_latency_ms, 3),
+    }

@@ -1,0 +1,234 @@
+"""Versioned model registry with freeze-on-register and staged rollout.
+
+The serving layer never mutates a model and never lets anyone else mutate
+one either: :func:`freeze_arrays` walks every ndarray an estimator owns
+(tree node arrays, packed-arena arrays, binner edges, scaler statistics)
+and marks it read-only.  Immutability is what makes the rest of the stack
+safe — the :mod:`repro.ml.binning` identity-keyed LRU requires frozen
+arrays to rule out staleness, the micro-batcher can score one model from
+many threads without locks, and a registered version can be promoted or
+rolled back at any time knowing it is exactly the artifact that was
+validated.
+
+Rollout is staged: :meth:`ModelRegistry.register` only stores a version;
+traffic moves when :meth:`~ModelRegistry.promote` points the production
+alias at it.  Promotions push the previous production version onto a
+history stack, so :meth:`~ModelRegistry.rollback` is O(1) and loses
+nothing.  Listeners (the prediction cache) are notified on every stage
+change.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["ModelRegistry", "ModelVersion", "freeze_arrays"]
+
+
+def freeze_arrays(obj: Any) -> int:
+    """Recursively mark every ndarray reachable from ``obj`` read-only.
+
+    Walks attribute dicts of repro-owned objects (estimators, tree nodes,
+    packs, binners) plus plain containers; foreign objects are left alone
+    so the walk stays bounded.  Returns the number of arrays frozen.
+    Freezing is idempotent and never copies.
+    """
+    frozen = 0
+    seen: set[int] = set()
+    stack = [obj]
+    while stack:
+        cur = stack.pop()
+        if id(cur) in seen:
+            continue
+        seen.add(id(cur))
+        if isinstance(cur, np.ndarray):
+            if cur.flags.writeable:
+                cur.setflags(write=False)
+                frozen += 1
+        elif isinstance(cur, dict):
+            stack.extend(cur.values())
+        elif isinstance(cur, (list, tuple, set)):
+            stack.extend(cur)
+        elif type(cur).__module__.startswith("repro") and hasattr(cur, "__dict__"):
+            stack.extend(vars(cur).values())
+    return frozen
+
+
+def _seal_fit(model: Any) -> None:
+    """Make ``fit`` on a registered model raise instead of silently
+    rebinding fresh arrays past the frozen ones.
+
+    ``freeze_arrays`` protects the arrays a version holds *now*; a refit
+    would swap in brand-new trees/binner under the registered version —
+    and the version-keyed prediction cache would keep serving pre-refit
+    numbers for it.  Shadow the instance's ``fit`` so the mistake fails
+    loudly; train a :func:`repro.ml.base.clone` instead.  Best-effort: a
+    model without a settable attribute dict keeps its fit.
+    """
+    if not callable(getattr(model, "fit", None)):
+        return
+
+    def _refuse(*_a: Any, **_k: Any) -> None:
+        raise RuntimeError(
+            "model is registered and immutable — refit a clone(), then "
+            "register it as a new version"
+        )
+
+    try:
+        model.fit = _refuse
+    except AttributeError:
+        pass
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable registry entry."""
+
+    name: str
+    version: int
+    model: Any
+    n_frozen_arrays: int
+
+
+@dataclass
+class _Entry:
+    versions: dict[int, ModelVersion] = field(default_factory=dict)
+    next_version: int = 1
+    production: int | None = None
+    history: list[int] = field(default_factory=list)  # previous production versions
+
+
+class ModelRegistry:
+    """Thread-safe store of fitted estimators under versioned names.
+
+    ``register`` freezes the model (see :func:`freeze_arrays`) and, when
+    the estimator has a lazy packed arena, builds it eagerly so serving
+    threads never race on first-use construction.  ``promote``/``rollback``
+    move the production alias; listeners registered via ``add_listener``
+    are called as ``fn(name, version, action)`` after every move — the
+    prediction cache uses this to invalidate.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: dict[str, _Entry] = {}
+        self._listeners: list[Callable[[str, int, str], None]] = []
+
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, model: Any, promote: bool = False) -> int:
+        """Store ``model`` under ``name``; returns the new version number.
+
+        The model must already be fitted (it needs a ``predict``); the
+        registry takes ownership — every array it holds becomes read-only.
+        """
+        if not callable(getattr(model, "predict", None)):
+            raise TypeError(f"model {type(model).__name__} has no predict()")
+        ensure = getattr(model, "_ensure_pack", None)
+        if callable(ensure):
+            ensure()  # pre-warm the arena before it is frozen and shared
+        n_frozen = freeze_arrays(model)
+        _seal_fit(model)
+        with self._lock:
+            entry = self._entries.setdefault(name, _Entry())
+            version = entry.next_version
+            entry.next_version += 1
+            entry.versions[version] = ModelVersion(name, version, model, n_frozen)
+        if promote:
+            self.promote(name, version)
+        return version
+
+    def promote(self, name: str, version: int) -> None:
+        """Point production traffic for ``name`` at ``version``."""
+        with self._lock:
+            entry = self._get_entry(name)
+            if version not in entry.versions:
+                raise LookupError(f"{name!r} has no version {version}")
+            if entry.production == version:
+                return
+            if entry.production is not None:
+                entry.history.append(entry.production)
+            entry.production = version
+        self._notify(name, version, "promote")
+
+    def rollback(self, name: str) -> int:
+        """Revert ``name`` to the previous production version; returns it."""
+        with self._lock:
+            entry = self._get_entry(name)
+            if not entry.history:
+                raise LookupError(f"{name!r} has no previous production version")
+            version = entry.history.pop()
+            entry.production = version
+        self._notify(name, version, "rollback")
+        return version
+
+    def unregister(self, name: str, version: int) -> None:
+        """Drop a retired version so continuous retrain loops don't leak.
+
+        The production version is refused (promote or rollback away from
+        it first); the dropped version also leaves the rollback history.
+        """
+        with self._lock:
+            entry = self._get_entry(name)
+            if version not in entry.versions:
+                raise LookupError(f"{name!r} has no version {version}")
+            if entry.production == version:
+                raise ValueError(f"cannot unregister production version {version} of {name!r}")
+            del entry.versions[version]
+            entry.history = [v for v in entry.history if v != version]
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str, version: int | None = None) -> Any:
+        """The production model for ``name`` (or a specific version)."""
+        return self.get_version(name, version).model
+
+    def get_version(self, name: str, version: int | None = None) -> ModelVersion:
+        with self._lock:
+            entry = self._get_entry(name)
+            if version is None:
+                if entry.production is None:
+                    raise LookupError(f"{name!r} has no production version (promote one)")
+                version = entry.production
+            if version not in entry.versions:
+                raise LookupError(f"{name!r} has no version {version}")
+            return entry.versions[version]
+
+    def production_version(self, name: str) -> int:
+        return self.get_version(name).version
+
+    def versions(self, name: str) -> list[int]:
+        with self._lock:
+            return sorted(self._get_entry(name).versions)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def add_listener(self, fn: Callable[[str, int, str], None]) -> None:
+        with self._lock:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[str, int, str], None]) -> None:
+        """Deregister a listener (no-op when absent) — services call this
+        on close so a long-lived registry never accumulates dead callbacks."""
+        with self._lock:
+            try:
+                self._listeners.remove(fn)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    def _get_entry(self, name: str) -> _Entry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise LookupError(f"unknown model name {name!r}")
+        return entry
+
+    def _notify(self, name: str, version: int, action: str) -> None:
+        with self._lock:
+            listeners = list(self._listeners)
+        for fn in listeners:
+            fn(name, version, action)

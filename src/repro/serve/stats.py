@@ -1,0 +1,48 @@
+"""Aggregated serving counters, snapshotted as one immutable value."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerStats"]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """One point-in-time view of a service's traffic and cache behaviour."""
+
+    requests: int           # submissions seen by the service (incl. cache hits)
+    rows: int               # rows that reached the batcher
+    batches: int            # flushes executed
+    size_flushes: int
+    deadline_flushes: int
+    manual_flushes: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_invalidations: int
+    cache_entries: int
+    total_latency_s: float  # summed enqueue→completion time of batched requests
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.cache_hits + self.cache_misses
+        return self.cache_hits / seen if seen else 0.0
+
+    @property
+    def mean_batch_rows(self) -> float:
+        return self.rows / self.batches if self.batches else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        batched = self.requests - self.cache_hits
+        return 1e3 * self.total_latency_s / batched if batched > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"requests={self.requests} batches={self.batches} "
+            f"(size={self.size_flushes} deadline={self.deadline_flushes} "
+            f"manual={self.manual_flushes}, mean {self.mean_batch_rows:.1f} rows) "
+            f"cache hit-rate={self.hit_rate:.1%} "
+            f"mean latency={self.mean_latency_ms:.2f}ms"
+        )

@@ -1,0 +1,13 @@
+"""Tier-1 test configuration.
+
+Registers the ``serve`` marker so the batched-inference-service tests can
+be selected (``-m serve``) or excluded (``-m "not serve"``) while still
+running in the default tier-1 sweep.
+"""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "serve: batched inference service tests (registry/micro-batcher/cache); tier-1",
+    )

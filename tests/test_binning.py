@@ -55,3 +55,77 @@ class TestQuantileBinner:
         for f in range(X.shape[1]):
             order = np.argsort(X[:, f], kind="stable")
             assert np.all(np.diff(codes[order, f].astype(int)) >= 0)
+
+
+class TestCacheStalenessRegression:
+    """The LRU opt-in is immutability; a writeable array must NEVER hit.
+
+    Regression for the wrong way to opt in: keeping the array writeable,
+    binning it (no cache entry may be created), mutating it in place, and
+    binning again — the second pass must see the mutation.  Sweep drivers
+    opt in correctly by freezing a private copy once (``hpo._make_objective``,
+    ``agebo.run``, ``model_selection.cross_val_error``).
+    """
+
+    def test_writable_array_mutated_after_binning_no_stale_hit(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (400, 3))  # writeable: the wrong way to opt in
+        binner = QuantileBinner(32)
+        codes_before = binner.fit(X).transform(X).copy()
+        X[:, 1] = rng.normal(5, 0.1, 400)  # in-place mutation (permutation-importance style)
+        # same binner, same array object: a stale code-cache hit would
+        # return codes_before — the mutated column must be re-discretized
+        codes_after = binner.transform(X)
+        assert not np.array_equal(codes_after[:, 1], codes_before[:, 1])
+        assert np.all(codes_after[:, 1] >= codes_before[:, 1].max())  # shifted above old edges
+        # refitting must also see the new quantiles, not cached edges
+        refit = QuantileBinner(32).fit(X)
+        assert not np.array_equal(refit.edges_[1], binner.edges_[1])
+
+    def test_agebo_freezes_private_copies(self):
+        """``agebo.run`` must freeze its matrices the ``hpo`` way — caller
+        arrays stay writeable, search-internal fits see immutable data."""
+        from repro.ml.agebo import AgingEvolutionSearch
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(0, 1, (60, 4))
+        y = X[:, 0] + 0.1 * rng.normal(0, 1, 60)
+        seen_writeable = []
+
+        class Probe(AgingEvolutionSearch):
+            def _evaluate(self, config, X_train, y_train, X_val, y_val, member_seed):
+                seen_writeable.append(X_train.flags.writeable or X_val.flags.writeable)
+                return float(member_seed)  # skip the MLP fit: we only probe the arrays
+
+        Probe(population=3, generations=2, epochs=1, seed=0).run(X[:40], y[:40], X[40:], y[40:])
+        assert seen_writeable and not any(seen_writeable)
+        assert X.flags.writeable  # caller memory untouched
+
+    def test_cross_val_error_guards_fold_slices(self):
+        """Fold slices handed to estimators are read-only (no estimator can
+        mutate the caller's X through them) but deliberately NOT
+        cache-eligible — throwaway per-fold identities must not churn the
+        small module-level binning LRU."""
+        from repro.ml.binning import _is_frozen
+        from repro.ml.model_selection import cross_val_error
+
+        rng = np.random.default_rng(2)
+        X = rng.normal(0, 1, (80, 3))
+        y = X[:, 0]
+        seen = []
+
+        class Probe:
+            def fit(self, Xf, yf):
+                seen.append((Xf.flags.writeable, _is_frozen(Xf)))
+                self.mean = float(np.mean(yf))
+                return self
+
+            def predict(self, Xf):
+                seen.append((Xf.flags.writeable, _is_frozen(Xf)))
+                return np.full(Xf.shape[0], self.mean)
+
+        cross_val_error(Probe, X, y, k=4)
+        assert len(seen) == 8
+        assert not any(w for w, _ in seen)       # read-only for the estimator
+        assert not any(f for _, f in seen)       # but never enters the LRU
+        assert X.flags.writeable

@@ -11,6 +11,7 @@ The perf layer's contract is that none of it changes any number:
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.ml.binning import QuantileBinner
 from repro.ml.forest import RandomForestRegressor
@@ -101,6 +102,32 @@ class TestPackedForestEquivalence:
         for i, tree in enumerate(trees):
             assert np.array_equal(mat[i], tree.predict(codes))
 
+    def test_predict_matrix_many_bitwise(self, data, forest):
+        """Batch-of-batches: split results equal per-block arena calls."""
+        X, _ = data
+        codes = forest.binner_.transform(np.asarray(X, dtype=float))
+        pack = forest._ensure_pack()
+        bounds = [0, 1, 4, 100, 101, 230]
+        blocks = [codes[s:e] for s, e in zip(bounds[:-1], bounds[1:])]
+        many = pack.predict_matrix_many(blocks)
+        assert len(many) == len(blocks)
+        for block, mat in zip(blocks, many):
+            assert np.array_equal(mat, pack.predict_matrix(block))
+        assert pack.predict_matrix_many([]) == []
+
+    def test_predict_many_bitwise(self, data, gbm, forest):
+        """Estimator-level batch-of-batches equals per-block predicts."""
+        X, _ = data
+        blocks = [X[:1], X[1:4], X[4:60], X[60:61]]
+        for out, block in zip(gbm.predict_many(blocks), blocks):
+            assert np.array_equal(out, gbm.predict(block))
+        for out, block in zip(forest.predict_many(blocks), blocks):
+            assert np.array_equal(out, forest.predict(block))
+        for (m, v), block in zip(forest.predict_dist_many(blocks), blocks):
+            ref_m, ref_v = forest.predict_dist(block)
+            assert np.array_equal(m, ref_m)
+            assert np.array_equal(v, ref_v)
+
     def test_empty_pack(self):
         pack = PackedForest.from_trees([])
         assert pack.n_trees == 0 and pack.max_depth == 0
@@ -142,6 +169,104 @@ class TestPackedLayoutDtypes:
         pack = PackedForest.from_trees([tree])
         assert pack.max_depth == tree.nodes_.depth
         assert pack.max_depth < 12  # min_child_weight stops growth early
+
+
+class TestArenaInvariantProperties:
+    """Property-based sweep of the layout invariants the arena relies on.
+
+    Randomized fitted ensembles (hyperparameters drawn by hypothesis) must
+    always satisfy: adjacent children (``right == left + 1``), self-looping
+    leaves with an always-false test (``left = self``, ``threshold = 255``),
+    and binned codes strictly below 255 — the three facts that make the
+    branch-free depth loop correct.
+    """
+
+    @staticmethod
+    def _random_model(kind, seed, depth, n_trees, mcw):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 1, (180, 4))
+        y = np.sin(X[:, 0]) + X[:, 1] * X[:, 2] + 0.1 * rng.normal(0, 1, 180)
+        if kind == "gbm":
+            model = GradientBoostingRegressor(
+                n_estimators=n_trees, max_depth=depth, min_child_weight=mcw,
+                subsample=0.8, colsample_bytree=0.8, loss="squared",
+                random_state=seed,
+            )
+        else:
+            model = RandomForestRegressor(
+                n_estimators=n_trees, max_depth=depth, min_child_weight=mcw,
+                random_state=seed,
+            )
+        return model.fit(X, y), X
+
+    @settings(deadline=None, max_examples=12)
+    @given(
+        kind=st.sampled_from(["gbm", "forest"]),
+        seed=st.integers(0, 2**16),
+        depth=st.integers(0, 8),
+        n_trees=st.integers(1, 8),
+        mcw=st.floats(1.0, 40.0),
+    )
+    def test_arena_invariants_hold_for_random_ensembles(self, kind, seed, depth, n_trees, mcw):
+        model, X = self._random_model(kind, seed, depth, n_trees, mcw)
+        # per-tree layout: children are always appended adjacently
+        for tree in model.trees_:
+            nd = tree.nodes_
+            internal = nd.feature >= 0
+            assert np.array_equal(nd.right[internal], nd.left[internal] + 1)
+            assert np.all(nd.left[internal] > np.flatnonzero(internal))  # parents precede children
+        # binned codes stay < 255 so the uint8-255 leaf sentinel is unreachable
+        codes = model.binner_.transform(np.asarray(X, dtype=float))
+        assert codes.max(initial=0) < 255
+        # arena rewrite: leaves self-loop with the always-false split test
+        pack = model._ensure_pack()
+        idx = np.arange(pack.n_nodes, dtype=np.int32)
+        leaf = pack.left == idx
+        assert np.all(pack.threshold[leaf] == 255)
+        assert np.all(pack.feature[leaf] == 0)
+        assert leaf.sum() == sum(t.nodes_.n_leaves for t in model.trees_)
+        # internal arena nodes point strictly forward, inside the arena
+        assert np.all(pack.left[~leaf] > idx[~leaf])
+        assert np.all(pack.left < pack.n_nodes)
+        assert np.array_equal(np.sort(pack.roots), pack.roots)
+        # and the packed matrix still matches the per-tree loop bit-for-bit
+        mat = pack.predict_matrix(codes)
+        for i, tree in enumerate(model.trees_):
+            assert np.array_equal(mat[i], tree.predict(codes))
+
+    @settings(deadline=None, max_examples=8)
+    @given(seed=st.integers(0, 2**16), n_keep=st.integers(0, 10))
+    def test_pack_invalidated_on_truncation(self, seed, n_keep):
+        """Dropping trees must invalidate the lazy pack, not serve stale trees."""
+        model, X = self._random_model("gbm", seed, depth=3, n_trees=10, mcw=2.0)
+        model.predict(X[:20])  # builds the 10-tree pack
+        model.trees_ = model.trees_[:n_keep]  # early-stop style truncation
+        codes = model.binner_.transform(np.asarray(X[:40], dtype=float))
+        ref = np.full(40, model.base_score_)
+        for tree in model.trees_:
+            ref += model.learning_rate * tree.predict(codes)
+        assert np.array_equal(model.predict(X[:40]), ref)
+        assert model._pack.n_trees == n_keep
+
+    @settings(deadline=None, max_examples=6)
+    @given(seed=st.integers(0, 2**16))
+    def test_pack_invalidated_on_refit(self, seed):
+        """A refit on different data must rebuild the arena from scratch."""
+        model, X = self._random_model("gbm", seed, depth=3, n_trees=5, mcw=2.0)
+        model.predict(X[:10])
+        stale_pack = model._pack
+        rng = np.random.default_rng(seed + 1)
+        X2 = rng.normal(0, 1, (150, 4))
+        y2 = X2[:, 0] ** 2 + 0.1 * rng.normal(0, 1, 150)
+        model.fit(X2, y2)
+        pred = model.predict(X2[:30])
+        assert model._pack is not stale_pack
+        fresh = GradientBoostingRegressor(
+            n_estimators=5, max_depth=3, min_child_weight=2.0,
+            subsample=0.8, colsample_bytree=0.8, loss="squared",
+            random_state=seed,
+        ).fit(X2, y2)
+        assert np.array_equal(pred, fresh.predict(X2[:30]))
 
 
 class TestHistogramSubtraction:

@@ -75,3 +75,49 @@ class TestQuantileLoss:
             n_estimators=200, max_depth=3, loss="huber"
         ).fit(X, y).predict(X)
         assert np.mean(np.abs(q50 - hub)) < 0.25
+
+
+class TestStagedEvalScoring:
+    """Thread-parallel eval-set scoring must be invisible in the numbers."""
+
+    def _fit(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0, 1, (1200, 6))
+        y = np.sin(2 * X[:, 0]) + X[:, 1] * X[:, 2] + 0.05 * rng.normal(0, 1, 1200)
+        model = GradientBoostingRegressor(n_estimators=30, max_depth=4, loss="squared")
+        model.fit(X[:800], y[:800], eval_set=(X[800:], y[800:]))
+        return model, X, y
+
+    def test_n_jobs_invariant(self):
+        """Fixed row blocks recombined in block order: identical curves for
+        any worker count (the forest-training invariance contract)."""
+        model, X, y = self._fit()
+        sets = [(X[800:], y[800:]), (X[:300], y[:300])]
+        s1 = model.staged_scores(sets, n_jobs=1, block=256)
+        s4 = model.staged_scores(sets, n_jobs=4, block=256)
+        for a, b in zip(s1, s4):
+            assert a.shape == (len(model.trees_),)
+            np.testing.assert_array_equal(a, b)
+
+    def test_matches_fit_eval_curve(self):
+        """Recomputed staged MAE agrees with the curve fit recorded online
+        (allclose: block sums vs one full-array mean)."""
+        model, X, y = self._fit()
+        curve = model.staged_scores([(X[800:], y[800:])], n_jobs=2, block=128)[0]
+        np.testing.assert_allclose(curve, np.asarray(model.eval_curve_), rtol=1e-12)
+
+    def test_row_mismatch_raises(self):
+        model, X, y = self._fit()
+        with pytest.raises(ValueError):
+            model.staged_scores([(X[:10], y[:9])])
+
+    def test_empty_eval_set_raises(self):
+        """An empty eval set has no MAE curve — reject it instead of
+        silently returning all zeros."""
+        model, X, y = self._fit()
+        with pytest.raises(ValueError):
+            model.staged_scores([(X[:0], y[:0])])
+
+    def test_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().staged_scores([(np.zeros((2, 2)), np.zeros(2))])

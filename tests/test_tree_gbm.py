@@ -78,6 +78,96 @@ class TestBinnedTree:
         assert tree.predict(codes)[0] == pytest.approx(-2.0 / 4.0)
 
 
+def _structure(tree: BinnedTree):
+    nd = tree.nodes_
+    return nd.feature, nd.threshold, nd.left, nd.right
+
+
+def _assert_same_structure(a: BinnedTree, b: BinnedTree):
+    for arr_a, arr_b in zip(_structure(a), _structure(b)):
+        np.testing.assert_array_equal(arr_a, arr_b)
+
+
+class TestHistSubtractionMetamorphic:
+    """Metamorphic relations for the sibling-subtraction training kernel.
+
+    Each transformed input is grown twice — subtraction-derived histograms
+    vs the full-rebin reference — and must yield *identical* structure;
+    where the transformation provably preserves the split search
+    (permutation, duplication with λ=0, appended constant feature), the
+    structure must also match the tree grown on the original input.  The
+    duplicated/tied cases land exactly on gain plateaus, exercising the
+    tie-canonicalized argmax that keeps the two histogram paths aligned.
+    """
+
+    def _base(self, seed=0, n=800, d=5):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(0, 1, (n, d))
+        y = np.sin(X[:, 0]) + X[:, 1] * X[:, 2] + 0.1 * rng.normal(0, 1, n)
+        return _binned(X), -y
+
+    def _pair(self, codes, grad, **kw):
+        sub = BinnedTree(hist_subtraction=True, **kw).fit(codes, grad)
+        full = BinnedTree(hist_subtraction=False, **kw).fit(codes, grad)
+        return sub, full
+
+    def test_row_permutation_preserves_structure(self):
+        codes, grad = self._base(seed=1)
+        kw = dict(max_depth=7, min_child_weight=4.0)
+        ref = BinnedTree(hist_subtraction=False, **kw).fit(codes, grad)
+        perm = np.random.default_rng(2).permutation(codes.shape[0])
+        sub_p, full_p = self._pair(codes[perm], grad[perm], **kw)
+        _assert_same_structure(sub_p, full_p)   # subtraction == full rebin
+        _assert_same_structure(sub_p, ref)      # and permutation is invisible
+        np.testing.assert_allclose(sub_p.nodes_.value, ref.nodes_.value, rtol=1e-9, atol=1e-12)
+
+    def test_duplicated_rows_preserve_structure(self):
+        """Tiling every row twice doubles each (G, H) histogram entry; with
+        λ=0 the gain is homogeneous of degree 1, so (with min_child_weight
+        doubled to keep the valid-split masks aligned) the split search
+        must resolve identically — up to the ulp plateau the
+        tie-canonicalization absorbs."""
+        codes, grad = self._base(seed=3)
+        ref = BinnedTree(
+            hist_subtraction=False, max_depth=6, min_child_weight=3.0, reg_lambda=0.0
+        ).fit(codes, grad)
+        codes2 = np.vstack([codes, codes])
+        grad2 = np.concatenate([grad, grad])
+        sub_d, full_d = self._pair(
+            codes2, grad2, max_depth=6, min_child_weight=6.0, reg_lambda=0.0
+        )
+        _assert_same_structure(sub_d, full_d)
+        _assert_same_structure(sub_d, ref)
+        # leaf values are means of the same rows → unchanged up to summation order
+        np.testing.assert_allclose(sub_d.nodes_.value, ref.nodes_.value, rtol=1e-9, atol=1e-12)
+
+    def test_constant_feature_is_inert(self):
+        """An all-constant column can never split (one child would be empty);
+        appending one must leave the grown tree untouched."""
+        codes, grad = self._base(seed=4)
+        kw = dict(max_depth=6, min_child_weight=3.0)
+        ref = BinnedTree(hist_subtraction=False, **kw).fit(codes, grad)
+        codes_c = np.hstack([codes, np.full((codes.shape[0], 1), 2, dtype=np.uint8)])
+        sub_c, full_c = self._pair(codes_c, grad, **kw)
+        _assert_same_structure(sub_c, full_c)
+        _assert_same_structure(sub_c, ref)  # appended column never chosen
+        np.testing.assert_allclose(sub_c.nodes_.value, ref.nodes_.value, rtol=1e-9, atol=1e-12)
+
+    def test_duplicated_feature_plateau_canonicalized(self):
+        """Two byte-identical columns tie on every split gain — the plateau
+        path must pick the first one in both histogram modes, at every
+        node of the tree."""
+        codes, grad = self._base(seed=5, d=3)
+        codes_dup = np.hstack([codes, codes])  # features j and j+3 identical
+        kw = dict(max_depth=6, min_child_weight=3.0)
+        sub, full = self._pair(codes_dup, grad, **kw)
+        _assert_same_structure(sub, full)
+        used = sub.nodes_.feature[sub.nodes_.feature >= 0]
+        assert used.size and np.all(used < 3)  # canonical: first of each tied pair
+        ref = BinnedTree(hist_subtraction=False, **kw).fit(codes, grad)
+        _assert_same_structure(sub, ref)
+
+
 class TestGBM:
     def setup_method(self):
         rng = np.random.default_rng(7)
