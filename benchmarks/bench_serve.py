@@ -5,8 +5,11 @@ Streams single-row requests at a registered forest and GBM three ways
 :class:`~repro.serve.service.InferenceService`, cached replay) and records
 the throughput/latency trajectory — one entry per run, like
 ``BENCH_kernels.json`` — into ``benchmarks/results/BENCH_serve.json``.
-Bit-identity across the three paths is asserted inside the bench core
-before any number is written.
+A fourth scenario routes one interleaved stream over *both* models
+through the multi-model :class:`~repro.serve.router.ServingGateway` with
+the adaptive batch tuner stepping between waves.  Bit-identity across
+every path is asserted inside the bench core before any number is
+written.
 
 Runs standalone (``python benchmarks/bench_serve.py``) or via an explicit
 pytest path (``pytest benchmarks/bench_serve.py``); the same comparison is
@@ -20,7 +23,7 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.serve.bench import run_serve_bench
+from repro.serve.bench import run_gateway_bench, run_serve_bench
 
 RESULTS_DIR = Path(__file__).parent / "results"
 TRAJECTORY = RESULTS_DIR / "BENCH_serve.json"
@@ -44,6 +47,16 @@ def run() -> dict:
         )
         entry[kind]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
 
+    t0 = time.perf_counter()
+    entry["gateway"] = run_gateway_bench(
+        kinds=("forest", "gbm"),
+        n_trees=N_TREES,
+        n_requests=N_REQUESTS,
+        max_batch=MAX_BATCH,
+        max_delay=MAX_DELAY,
+    )
+    entry["gateway"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+
     RESULTS_DIR.mkdir(exist_ok=True)
     trajectory = []
     if TRAJECTORY.exists():
@@ -60,6 +73,13 @@ def run() -> dict:
             f"({r['speedup_batched']:.2f}x batched, {r['speedup_cached']:.2f}x cached, "
             f"mean batch {r['mean_batch_rows']:.0f} rows)"
         )
+    g = entry["gateway"]
+    lines.append(
+        f"gateway: {g['n_requests']} reqs over {'+'.join(g['models'])}: "
+        f"{g['direct_rps']:.0f} -> {g['gateway_rps']:.0f} req/s "
+        f"({g['speedup_gateway']:.2f}x, mean batch {g['mean_batch_rows']:.0f} rows, "
+        f"adaptive-tuned)"
+    )
     table = "\n".join(lines)
     print("\n" + table)
     (RESULTS_DIR / "serve.txt").write_text(table + "\n")
@@ -70,6 +90,7 @@ def test_serve_bench():
     entry = run()
     assert entry["forest"]["speedup_batched"] >= 3.0
     assert entry["gbm"]["speedup_batched"] >= 3.0
+    assert entry["gateway"]["speedup_gateway"] >= 2.0
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ Every major capability is reachable without writing Python::
     repro export-darshan --dataset theta.npz --out logs/ --limit 100
     repro drift     --dataset theta.npz
     repro serve-bench --models forest gbm --requests 2000
+    repro serve-bench --gateway --target-ms 5
 
 Commands accept either ``--dataset file.npz`` (a saved dataset) or
 ``--platform/--jobs/--seed`` to simulate one on the fly.
@@ -145,7 +146,33 @@ def cmd_drift(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.serve.bench import run_serve_bench
+    from repro.serve.bench import run_gateway_bench, run_serve_bench
+
+    if args.gateway:
+        r = run_gateway_bench(
+            kinds=tuple(args.models),
+            n_trees=args.trees,
+            n_requests=args.requests,
+            max_batch=args.batch,
+            max_delay=args.deadline_ms / 1e3,
+            seed=args.seed,
+            target_latency_ms=args.target_ms,
+        )
+        rows = [
+            [name, p["requests"], p["batches"], f"{p['mean_batch_rows']:.0f}",
+             f"{p['mean_latency_ms']:.2f}", p["final_max_batch"],
+             f"{p['final_max_delay_ms']:.2f}"]
+            for name, p in sorted(r["per_model"].items())
+        ]
+        print(format_table(
+            ["model", "requests", "batches", "batch rows", "latency ms",
+             "tuned batch", "tuned delay ms"],
+            rows,
+            title=(f"Gateway serving — {r['n_requests']} requests over "
+                   f"{len(r['models'])} models: {r['direct_rps']:.0f} -> "
+                   f"{r['gateway_rps']:.0f} req/s ({r['speedup_gateway']:.1f}x, "
+                   f"target {args.target_ms:.1f}ms)")))
+        return 0
 
     rows = []
     for kind in args.models:
@@ -244,6 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=2000, help="single-row requests to stream")
     p.add_argument("--batch", type=int, default=256, help="micro-batch size trigger (rows)")
     p.add_argument("--deadline-ms", type=float, default=2.0, help="max queueing delay per request")
+    p.add_argument("--gateway", action="store_true",
+                   help="route one interleaved stream over all models through the "
+                        "multi-model ServingGateway with adaptive batch tuning")
+    p.add_argument("--target-ms", type=float, default=5.0,
+                   help="adaptive tuner latency target (gateway mode)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve_bench)
 

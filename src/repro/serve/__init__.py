@@ -1,4 +1,4 @@
-"""Batched inference serving: registry, micro-batcher, prediction cache.
+"""Batched inference serving: registry, micro-batcher, cache, gateway.
 
 The layer that turns the packed-forest kernels into a continuously-queried
 service: models live in a :class:`ModelRegistry` (frozen on register,
@@ -6,27 +6,37 @@ promoted/rolled back in stages), traffic coalesces through a
 :class:`MicroBatcher` into single packed-arena calls with bit-identical
 results, and duplicate requests — pervasive in HPC I/O telemetry (§VI.A)
 — are answered from a version-keyed :class:`PredictionCache`.
-:class:`InferenceService` wires the three together behind one ``submit``.
+:class:`InferenceService` wires the three together behind one ``submit``
+for a single name; :class:`ServingGateway` fronts the whole registry with
+lazily-created per-name services, and :class:`AdaptiveBatchTuner` steers
+every live batcher's ``max_batch``/``max_delay`` toward a latency target.
 """
 
+from repro.serve.adaptive import AdaptiveBatchTuner, TuningDecision
 from repro.serve.batcher import MicroBatcher, Ticket
-from repro.serve.bench import make_serve_model, run_serve_bench
+from repro.serve.bench import make_serve_model, run_gateway_bench, run_serve_bench
 from repro.serve.cache import PredictionCache, request_digest
 from repro.serve.registry import ModelRegistry, ModelVersion, freeze_arrays
+from repro.serve.router import ServingGateway
 from repro.serve.service import CompletedTicket, InferenceService
-from repro.serve.stats import ServerStats
+from repro.serve.stats import GatewayStats, ServerStats
 
 __all__ = [
+    "AdaptiveBatchTuner",
     "CompletedTicket",
+    "GatewayStats",
     "InferenceService",
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
     "PredictionCache",
     "ServerStats",
+    "ServingGateway",
     "Ticket",
+    "TuningDecision",
     "freeze_arrays",
     "make_serve_model",
     "request_digest",
+    "run_gateway_bench",
     "run_serve_bench",
 ]

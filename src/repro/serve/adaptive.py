@@ -1,0 +1,205 @@
+"""Adaptive micro-batch tuning: steer flush limits toward a latency target.
+
+Fixed ``max_batch``/``max_delay`` values are only right for one traffic
+shape.  Under sparse traffic a large ``max_delay`` is pure added tail
+latency; under a burst a small ``max_batch`` wastes the arena's
+batch-of-batches throughput.  :class:`AdaptiveBatchTuner` closes the loop
+using the counters every :class:`~repro.serve.batcher.MicroBatcher`
+already keeps: per window it computes the mean completed-request latency
+per name and applies an AIMD-style update —
+
+* **over target** → multiplicative backoff of both limits (latency is
+  hurting *now*, retreat fast),
+* **at/under target** → gentle growth (additive rows, multiplicative
+  delay) to re-harvest batching efficiency,
+
+with both limits clamped to configured bounds.  All writes go through
+:meth:`MicroBatcher.set_limits` — the only legal way to retune a live
+batcher — and the whole tuner is deterministic given an injected clock:
+``step()`` does no sleeping and reads no wall time of its own, so tests
+drive it with a fake clock and synthetic counters.
+
+Run one tuner per gateway (equivalently: per batcher).  Two tuners
+steering the same batcher would fight through read-modify-write updates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.serve.batcher import MicroBatcher
+
+__all__ = ["AdaptiveBatchTuner", "TuningDecision"]
+
+
+@dataclass(frozen=True)
+class TuningDecision:
+    """One per-name adjustment record (the tuner's audit trail)."""
+
+    name: str
+    at: float               # clock time of the step
+    window_completed: int   # requests completing in the window
+    window_latency_ms: float
+    max_batch: int          # limits after the adjustment
+    max_delay: float
+    direction: str          # "backoff" | "grow" | "hold"
+
+
+class AdaptiveBatchTuner:
+    """AIMD controller for per-name micro-batch limits.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.serve.router.ServingGateway` (its lazily-growing
+        ``batchers()`` view is re-read every step, so names that appear
+        after the tuner starts are picked up automatically), a mapping
+        ``{name: MicroBatcher}``, or a zero-arg callable returning one.
+    target_latency_ms:
+        Mean completed-request latency to steer each name toward.
+    interval_s:
+        Minimum clock time between :meth:`maybe_step` adjustments (and the
+        cadence of the optional background thread).
+    clock:
+        Monotonic time source; inject a fake for deterministic tests.
+    backoff, grow, batch_step:
+        Multiplicative decrease factor, delay growth factor, and additive
+        batch increment of the AIMD update.
+    batch_bounds, delay_bounds:
+        Inclusive clamps for ``max_batch`` (rows) and ``max_delay``
+        (seconds).
+    history_limit:
+        Most recent :class:`TuningDecision` records retained in
+        ``history`` (the tuner may run for the process lifetime).
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        target_latency_ms: float = 5.0,
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        backoff: float = 0.5,
+        grow: float = 1.25,
+        batch_step: int = 16,
+        batch_bounds: tuple[int, int] = (8, 4096),
+        delay_bounds: tuple[float, float] = (2e-4, 0.05),
+        history_limit: int = 1024,
+    ):
+        if target_latency_ms <= 0:
+            raise ValueError("target_latency_ms must be > 0")
+        if not (0.0 < backoff < 1.0):
+            raise ValueError("backoff must be in (0, 1)")
+        if grow <= 1.0:
+            raise ValueError("grow must be > 1")
+        if batch_bounds[0] < 1 or batch_bounds[0] > batch_bounds[1]:
+            raise ValueError("batch_bounds must satisfy 1 <= lo <= hi")
+        if delay_bounds[0] <= 0 or delay_bounds[0] > delay_bounds[1]:
+            raise ValueError("delay_bounds must satisfy 0 < lo <= hi")
+        if hasattr(source, "batchers"):
+            self._batchers: Callable[[], Mapping[str, MicroBatcher]] = source.batchers
+        elif callable(source):
+            self._batchers = source
+        else:
+            self._batchers = lambda: source
+        self.target_latency_ms = float(target_latency_ms)
+        self.interval_s = float(interval_s)
+        self._clock = clock
+        self.backoff = float(backoff)
+        self.grow = float(grow)
+        self.batch_step = int(batch_step)
+        self.batch_bounds = (int(batch_bounds[0]), int(batch_bounds[1]))
+        self.delay_bounds = (float(delay_bounds[0]), float(delay_bounds[1]))
+
+        self._seen: dict[str, dict[str, float]] = {}  # last counters per name
+        self._last_step: float | None = None
+        # bounded: a daemon-thread tuner steps forever, and an unbounded
+        # audit trail would be a slow leak in a long-lived serving process
+        self.history: deque[TuningDecision] = deque(maxlen=history_limit)
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    def limits(self) -> dict[str, tuple[int, float]]:
+        """Current ``(max_batch, max_delay)`` per known name."""
+        return {n: (b.max_batch, b.max_delay) for n, b in self._batchers().items()}
+
+    def step(self) -> list[TuningDecision]:
+        """One control pass: read every batcher's window, adjust its limits.
+
+        The first observation of a name only snapshots its counters (no
+        window to judge yet); a window with zero completed requests holds
+        — there is no latency evidence to act on.
+        """
+        now = self._clock()
+        decisions: list[TuningDecision] = []
+        for name, batcher in self._batchers().items():
+            cur = batcher.counters()
+            prev = self._seen.get(name)
+            self._seen[name] = cur
+            if prev is None:
+                continue
+            completed = int(cur["completed"] - prev["completed"])
+            if completed <= 0:
+                decisions.append(TuningDecision(
+                    name, now, 0, 0.0, batcher.max_batch, batcher.max_delay, "hold",
+                ))
+                continue
+            latency_ms = 1e3 * (cur["total_latency_s"] - prev["total_latency_s"]) / completed
+            if latency_ms > self.target_latency_ms:
+                direction = "backoff"
+                new_batch = int(batcher.max_batch * self.backoff)
+                new_delay = batcher.max_delay * self.backoff
+            else:
+                direction = "grow"
+                new_batch = batcher.max_batch + self.batch_step
+                new_delay = batcher.max_delay * self.grow
+            new_batch = min(max(new_batch, self.batch_bounds[0]), self.batch_bounds[1])
+            new_delay = min(max(new_delay, self.delay_bounds[0]), self.delay_bounds[1])
+            if (new_batch, new_delay) != (batcher.max_batch, batcher.max_delay):
+                batcher.set_limits(max_batch=new_batch, max_delay=new_delay)
+            decisions.append(TuningDecision(
+                name, now, completed, latency_ms, new_batch, new_delay, direction,
+            ))
+        self._last_step = now
+        self.history.extend(decisions)
+        return decisions
+
+    def maybe_step(self) -> list[TuningDecision] | None:
+        """Run :meth:`step` iff ``interval_s`` elapsed since the last one."""
+        if self._last_step is not None and self._clock() - self._last_step < self.interval_s:
+            return None
+        return self.step()
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn a daemon thread stepping every ``interval_s`` seconds
+        (the production mode; tests call :meth:`step` directly)."""
+        if self._thread is not None:
+            raise RuntimeError("tuner already started")
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.wait(self.interval_s):
+                self.step()
+
+        self._thread = threading.Thread(target=run, name="adaptive-batch-tuner", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "AdaptiveBatchTuner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -24,6 +24,7 @@ arena itself.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from collections import OrderedDict
@@ -34,6 +35,27 @@ import numpy as np
 from repro.parallel.pool import parallel_map
 
 __all__ = ["MicroBatcher", "Ticket"]
+
+
+def _private_exception(exc: BaseException) -> BaseException:
+    """A per-ticket copy of a shared failure.
+
+    When one failure (a model-resolution error) has to complete many
+    tickets, every ticket needs its *own* exception instance: ``raise``
+    assigns ``__traceback__`` on the instance being raised, so concurrent
+    ``Ticket.result()`` callers re-raising one shared instance would race
+    on that mutation.  Exceptions shallow-copy through their
+    ``__reduce__`` (fresh instance, no traceback); anything that refuses
+    is wrapped instead, chained to the original.
+    """
+    try:
+        clone = copy.copy(exc)
+        if clone is exc:  # a pathological __copy__ returning self
+            raise TypeError("copy returned the same instance")
+    except Exception:
+        clone = RuntimeError(f"{type(exc).__name__}: {exc}")
+        clone.__cause__ = exc
+    return clone
 
 
 class Ticket:
@@ -66,7 +88,9 @@ class Ticket:
         if not self._event.wait(timeout):
             raise TimeoutError("request not completed within timeout")
         if self._error is not None:
-            raise self._error
+            # a private copy per raise: concurrent result() callers on one
+            # shared ticket must not race on __traceback__ mutation
+            raise _private_exception(self._error)
         return self._value
 
     def _complete(self, value: Any, error: BaseException | None) -> None:
@@ -89,6 +113,8 @@ class MicroBatcher:
         Row-count flush threshold (size trigger).
     max_delay:
         Seconds the oldest request may wait before a deadline flush.
+        Both limits are mutable on a live batcher, but only through
+        :meth:`set_limits` (they are read under the queue lock).
     n_jobs:
         Workers for scoring the per-kind groups of one flush through
         ``parallel_map(backend="thread")``.
@@ -130,6 +156,7 @@ class MicroBatcher:
         self.requests = 0
         self.rows = 0
         self.batches = 0
+        self.completed = 0  # tickets whose flush finished scoring
         self.size_flushes = 0
         self.deadline_flushes = 0
         self.manual_flushes = 0
@@ -239,12 +266,49 @@ class MicroBatcher:
                     return False
             return True
 
+    def set_limits(
+        self, max_batch: int | None = None, max_delay: float | None = None
+    ) -> None:
+        """Retune the flush triggers on a live batcher (the adaptive tuner's
+        write path).
+
+        Both limits are read under ``_lock`` by ``submit`` and the deadline
+        timer, so they may only be written under it — never assign
+        ``max_batch``/``max_delay`` directly on a running batcher.  A new
+        ``max_delay`` retargets every pending ticket's deadline from its
+        enqueue time (deadlines stay FIFO-monotonic because enqueue times
+        are); a ``max_batch`` at or below the pending row count fires a size
+        flush immediately, scored inline by the caller.
+        """
+        # validate both before assigning either — a half-applied update
+        # would leave a satisfied size trigger that never fires
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay is not None and max_delay <= 0:
+            raise ValueError("max_delay must be > 0")
+        batch: list[Ticket] | None = None
+        with self._lock:
+            if max_batch is not None:
+                self.max_batch = int(max_batch)
+            if max_delay is not None:
+                self.max_delay = float(max_delay)
+                for t in self._pending:
+                    t.deadline = t.enqueued_at + self.max_delay
+            if self._pending_rows >= self.max_batch and self._pending:
+                batch = self._drain_locked()
+                self.size_flushes += 1
+            else:
+                self._cond.notify_all()  # timer re-reads the head deadline
+        if batch:
+            self._process(batch)
+
     def counters(self) -> dict[str, float]:
         with self._lock:
             return {
                 "requests": self.requests,
                 "rows": self.rows,
                 "batches": self.batches,
+                "completed": self.completed,
                 "size_flushes": self.size_flushes,
                 "deadline_flushes": self.deadline_flushes,
                 "manual_flushes": self.manual_flushes,
@@ -315,7 +379,9 @@ class MicroBatcher:
                 )
             except BaseException as exc:  # model resolution failed: everyone waits on it
                 for t in batch:
-                    t._complete(None, exc)
+                    # each ticket gets a private copy — concurrent result()
+                    # raisers must not share one mutable instance
+                    t._complete(None, _private_exception(exc))
                 return
             for tickets, outcomes in zip(groups.values(), scored):
                 for t, (value, error) in zip(tickets, outcomes):
@@ -332,6 +398,7 @@ class MicroBatcher:
         now = time.monotonic()
         with self._lock:
             self.batches += 1
+            self.completed += len(batch)
             self.total_latency_s += sum(now - t.enqueued_at for t in batch)
             self._in_flight -= 1
             self._cond.notify_all()  # close() may be waiting for in-flight == 0

@@ -23,7 +23,7 @@ import numpy as np
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import InferenceService
 
-__all__ = ["run_serve_bench", "make_serve_model"]
+__all__ = ["run_gateway_bench", "run_serve_bench", "make_serve_model"]
 
 
 def _synth(n: int, d: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
@@ -119,3 +119,102 @@ def run_serve_bench(
         "cache_hit_rate": round(stats.hit_rate, 4),
         "mean_latency_ms": round(stats.mean_latency_ms, 3),
     }
+
+
+def run_gateway_bench(
+    kinds: tuple[str, ...] = ("forest", "gbm"),
+    n_train: int = 3000,
+    n_features: int = 12,
+    n_trees: int = 150,
+    n_requests: int = 2000,
+    max_batch: int = 256,
+    max_delay: float = 0.002,
+    seed: int = 0,
+    tune: bool = True,
+    target_latency_ms: float = 5.0,
+    n_waves: int = 4,
+) -> dict:
+    """Multi-model comparison: one interleaved request stream, every
+    request routed by name through a :class:`ServingGateway`.
+
+    A seeded router assigns each request to one of the registered names;
+    the same stream is replayed directly (per-request ``predict`` on the
+    routed model) and through the gateway, and the per-name answers are
+    asserted bit-identical before any number is reported.  With
+    ``tune=True`` an :class:`AdaptiveBatchTuner` steps between waves, so
+    the recorded limits show the controller acting on real counters.
+    """
+    from repro.serve.adaptive import AdaptiveBatchTuner
+    from repro.serve.router import ServingGateway
+
+    models = {
+        kind: make_serve_model(kind, n_train, n_features, n_trees, seed + i)
+        for i, kind in enumerate(kinds)
+    }
+    rows, _ = _synth(n_requests, n_features, seed + 1)
+    route = np.random.default_rng(seed + 2).integers(0, len(kinds), n_requests)
+
+    registry = ModelRegistry()
+    for kind, model in models.items():
+        registry.register(kind, model, promote=True)
+
+    t0 = time.perf_counter()
+    ref: dict[str, list[float]] = {kind: [] for kind in kinds}
+    for row, r in zip(rows, route):
+        kind = kinds[r]
+        ref[kind].append(float(models[kind].predict(row[None, :])[0]))
+    t_direct = time.perf_counter() - t0
+
+    waves = np.array_split(np.arange(n_requests), max(1, n_waves))
+    with ServingGateway(
+        registry, max_batch=max_batch, max_delay=max_delay,
+        cache_entries=2 * n_requests,
+    ) as gw:
+        tuner = AdaptiveBatchTuner(gw, target_latency_ms=target_latency_ms)
+        t0 = time.perf_counter()
+        got: dict[str, list[float]] = {kind: [] for kind in kinds}
+        for wave in waves:
+            tickets = [(kinds[route[i]], gw.submit(kinds[route[i]], rows[i])) for i in wave]
+            gw.flush()
+            for kind, ticket in tickets:
+                got[kind].append(ticket.result(timeout=30.0))
+            if tune:
+                tuner.step()
+        t_gateway = time.perf_counter() - t0
+
+        for kind in kinds:  # hard gate: survives python -O
+            if not np.array_equal(np.array(got[kind]), np.array(ref[kind])):
+                raise RuntimeError(f"gateway results for {kind!r} are not bit-identical")
+
+        stats = gw.stats()
+        limits = tuner.limits()
+
+    total = stats.total
+    result = {
+        "models": list(kinds),
+        "n_trees": n_trees,
+        "n_requests": n_requests,
+        "max_batch": max_batch,
+        "max_delay_ms": round(1e3 * max_delay, 3),
+        "direct_s": round(t_direct, 4),
+        "gateway_s": round(t_gateway, 4),
+        "direct_rps": round(n_requests / t_direct, 1),
+        "gateway_rps": round(n_requests / t_gateway, 1),
+        "speedup_gateway": round(t_direct / t_gateway, 2),
+        "batches": total.batches,
+        "mean_batch_rows": round(total.mean_batch_rows, 1),
+        "mean_latency_ms": round(total.mean_latency_ms, 3),
+        "tuned": bool(tune),
+        "per_model": {
+            kind: {
+                "requests": s.requests,
+                "batches": s.batches,
+                "mean_batch_rows": round(s.mean_batch_rows, 1),
+                "mean_latency_ms": round(s.mean_latency_ms, 3),
+                "final_max_batch": limits[kind][0],
+                "final_max_delay_ms": round(1e3 * limits[kind][1], 3),
+            }
+            for kind, s in stats.per_name.items()
+        },
+    }
+    return result

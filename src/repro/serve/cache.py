@@ -74,8 +74,13 @@ class PredictionCache:
                 self._data.popitem(last=False)
                 self.evictions += 1
 
-    def invalidate(self, name: str | None = None) -> int:
-        """Drop entries for one model name (or everything); returns count."""
+    def invalidate(self, name: str | None = None, version: int | None = None) -> int:
+        """Drop entries for one model name (or everything); returns count.
+
+        With ``version``, only that version's entries go — the surgical
+        form ``unregister`` wants, which reclaims a dropped version's
+        memory without evicting the production version's warm hits.
+        """
         with self._lock:
             if name is None:
                 dropped = len(self._data)
@@ -84,7 +89,9 @@ class PredictionCache:
                 # only tuple keys carry a model name; foreign-keyed entries
                 # (the cache is usable standalone) are never name-matched
                 stale = [
-                    k for k in self._data if isinstance(k, tuple) and k and k[0] == name
+                    k for k in self._data
+                    if isinstance(k, tuple) and k and k[0] == name
+                    and (version is None or (len(k) > 1 and k[1] == version))
                 ]
                 for k in stale:
                     del self._data[k]

@@ -58,6 +58,20 @@ def freeze_arrays(obj: Any) -> int:
     return frozen
 
 
+def _refuse_fit(*_a: Any, **_k: Any) -> None:
+    """Module-level ``fit`` replacement for registered models.
+
+    Lives at module scope (not as a closure inside :func:`_seal_fit`) so a
+    sealed model stays picklable — snapshot/shard workflows serialize
+    registered versions, and pickle resolves this sentinel by qualified
+    name where a closure would fail the whole dump.
+    """
+    raise RuntimeError(
+        "model is registered and immutable — refit a clone(), then "
+        "register it as a new version"
+    )
+
+
 def _seal_fit(model: Any) -> None:
     """Make ``fit`` on a registered model raise instead of silently
     rebinding fresh arrays past the frozen ones.
@@ -71,15 +85,8 @@ def _seal_fit(model: Any) -> None:
     """
     if not callable(getattr(model, "fit", None)):
         return
-
-    def _refuse(*_a: Any, **_k: Any) -> None:
-        raise RuntimeError(
-            "model is registered and immutable — refit a clone(), then "
-            "register it as a new version"
-        )
-
     try:
-        model.fit = _refuse
+        model.fit = _refuse_fit
     except AttributeError:
         pass
 
@@ -109,8 +116,9 @@ class ModelRegistry:
     the estimator has a lazy packed arena, builds it eagerly so serving
     threads never race on first-use construction.  ``promote``/``rollback``
     move the production alias; listeners registered via ``add_listener``
-    are called as ``fn(name, version, action)`` after every move — the
-    prediction cache uses this to invalidate.
+    are called as ``fn(name, version, action)`` after every stage change
+    (``promote``, ``rollback``, ``unregister``) — the prediction cache
+    uses this to invalidate.
     """
 
     def __init__(self) -> None:
@@ -170,6 +178,10 @@ class ModelRegistry:
 
         The production version is refused (promote or rollback away from
         it first); the dropped version also leaves the rollback history.
+        Listeners are notified with action ``"unregister"`` — the
+        prediction cache reclaims the dropped version's entries, which
+        would otherwise linger until LRU eviction in exactly the
+        continuous-retrain loops this method exists for.
         """
         with self._lock:
             entry = self._get_entry(name)
@@ -179,6 +191,7 @@ class ModelRegistry:
                 raise ValueError(f"cannot unregister production version {version} of {name!r}")
             del entry.versions[version]
             entry.history = [v for v in entry.history if v != version]
+        self._notify(name, version, "unregister")
 
     # ------------------------------------------------------------------ #
     def get(self, name: str, version: int | None = None) -> Any:

@@ -1,0 +1,187 @@
+"""Multi-model serving gateway: one front door for the whole registry.
+
+The taxonomy paper's deployment findings (per-system drift, §VIII) mean a
+production deployment runs *many* models — one per system, per metric, per
+retrain generation — side by side.  :class:`ServingGateway` fronts all of
+them with a single ``submit(name, row, kind)``: the first request for a
+name lazily stands up a dedicated
+:class:`~repro.serve.service.InferenceService` (its own micro-batcher and
+prediction cache), so one name's traffic shape — or one name's malformed
+requests — never perturbs another's batches.  Per-name configuration
+overrides apply at service creation and, for the mutable batcher limits,
+to live services; :meth:`stats` rolls every service's counters into one
+:class:`~repro.serve.stats.GatewayStats`; :meth:`close` tears the fleet
+down in one call.
+
+The gateway adds no scoring path of its own — every numeric guarantee of
+the single-model stack (bit-identical micro-batching, version-keyed
+caching, promote/rollback at batch boundaries) holds per name, unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import CompletedTicket, InferenceService
+from repro.serve.stats import GatewayStats
+
+__all__ = ["ServingGateway"]
+
+# per-name override keys; the batcher limits stay mutable on a live
+# service (via MicroBatcher.set_limits), the structural ones do not
+_MUTABLE_KEYS = frozenset({"max_batch", "max_delay"})
+_CONFIG_KEYS = _MUTABLE_KEYS | {"cache_entries", "n_jobs"}
+
+
+class ServingGateway:
+    """Route requests for any registered name to a per-name service.
+
+    Parameters
+    ----------
+    registry:
+        The shared :class:`~repro.serve.registry.ModelRegistry`.  The
+        gateway never registers or promotes — rollout stays a registry
+        concern; it only reads.
+    max_batch, max_delay, cache_entries, n_jobs:
+        Defaults for every lazily-created per-name service; override
+        per name with :meth:`configure`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = 256,
+        max_delay: float = 0.005,
+        cache_entries: int = 4096,
+        n_jobs: int | None = 1,
+    ):
+        self.registry = registry
+        self._defaults: dict[str, Any] = {
+            "max_batch": int(max_batch),
+            "max_delay": float(max_delay),
+            "cache_entries": int(cache_entries),
+            "n_jobs": n_jobs,
+        }
+        self._overrides: dict[str, dict[str, Any]] = {}
+        self._services: dict[str, InferenceService] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def configure(self, name: str, **overrides: Any) -> None:
+        """Set per-name service options (``max_batch``, ``max_delay``,
+        ``cache_entries``, ``n_jobs``).
+
+        Overrides stick for the name's (re-)creation; on an already-live
+        service the mutable batcher limits apply immediately through
+        :meth:`MicroBatcher.set_limits`, while the structural options
+        (``cache_entries``, ``n_jobs``) are refused — they cannot change
+        under traffic.
+        """
+        bad = set(overrides) - _CONFIG_KEYS
+        if bad:
+            raise ValueError(f"unknown config keys {sorted(bad)}; valid: {sorted(_CONFIG_KEYS)}")
+        # validate values now — a bad override must fail here, not on the
+        # first request for the name (and never persist past a raise)
+        if overrides.get("max_batch") is not None and overrides["max_batch"] < 1:
+            raise ValueError("max_batch must be >= 1")
+        if overrides.get("max_delay") is not None and overrides["max_delay"] <= 0:
+            raise ValueError("max_delay must be > 0")
+        if overrides.get("cache_entries") is not None and overrides["cache_entries"] < 1:
+            raise ValueError("cache_entries must be >= 1")
+        with self._lock:
+            svc = self._services.get(name)
+            if svc is not None:
+                frozen = set(overrides) - _MUTABLE_KEYS
+                if frozen:
+                    raise ValueError(
+                        f"{sorted(frozen)} cannot change on the live service for {name!r}"
+                    )
+            self._overrides.setdefault(name, {}).update(overrides)
+        if svc is not None and overrides:
+            svc.batcher.set_limits(
+                max_batch=overrides.get("max_batch"),
+                max_delay=overrides.get("max_delay"),
+            )
+
+    def service(self, name: str) -> InferenceService:
+        """The per-name service, created on first use."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ServingGateway is closed")
+            svc = self._services.get(name)
+            if svc is None:
+                if name not in self.registry.names():
+                    raise LookupError(f"unknown model name {name!r}")
+                cfg = {**self._defaults, **self._overrides.get(name, {})}
+                svc = InferenceService(self.registry, name, **cfg)
+                self._services[name] = svc
+            return svc
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, name: str, row: np.ndarray, kind: str = "predict"
+    ) -> Ticket | CompletedTicket:
+        """Enqueue one request for ``name``; returns its ticket."""
+        return self.service(name).submit(row, kind=kind)
+
+    def predict(self, name: str, row: np.ndarray, timeout: float | None = None) -> Any:
+        return self.submit(name, row).result(timeout)
+
+    def predict_dist(self, name: str, row: np.ndarray, timeout: float | None = None) -> Any:
+        return self.submit(name, row, kind="predict_dist").result(timeout)
+
+    def flush(self, name: str | None = None) -> int:
+        """Force-score pending requests for one name (or every name).
+
+        Only live services flush — a name that never received traffic has
+        nothing pending, and flushing it must not stand up a service."""
+        with self._lock:
+            if name is not None:
+                services = [s for s in (self._services.get(name),) if s is not None]
+            else:
+                services = list(self._services.values())
+        # score outside the gateway lock: an inline flush must not block
+        # routing for every other name
+        return sum(svc.flush() for svc in services)
+
+    # ------------------------------------------------------------------ #
+    def names(self) -> list[str]:
+        """Names with a live service (a subset of the registry's names)."""
+        with self._lock:
+            return sorted(self._services)
+
+    def batchers(self) -> dict[str, MicroBatcher]:
+        """Live per-name batchers — the adaptive tuner's read/write view."""
+        with self._lock:
+            return {name: svc.batcher for name, svc in self._services.items()}
+
+    def stats(self) -> GatewayStats:
+        """Per-name snapshots plus their aggregate (see
+        :class:`~repro.serve.stats.GatewayStats`)."""
+        with self._lock:
+            services = dict(self._services)
+        return GatewayStats(per_name={n: s.stats() for n, s in services.items()})
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Flush and close every service; idempotent.  The registry stays
+        untouched — it usually outlives the gateway."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            services = list(self._services.values())
+        for svc in services:
+            svc.close()
+
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -74,7 +74,13 @@ class InferenceService:
         return mv.model
 
     def _on_stage_change(self, name: str, version: int, action: str) -> None:
-        if name == self.name:
+        if name != self.name:
+            return
+        if action == "unregister":
+            # surgical: reclaim only the dropped version's entries — the
+            # production version's warm hits survive the retrain loop
+            self.cache.invalidate(name, version)
+        else:
             self.cache.invalidate(name)
 
     def _insert_result(self, ticket: Ticket, value: Any) -> None:
@@ -141,6 +147,7 @@ class InferenceService:
             requests=int(c["requests"]) + self.cache.hits,
             rows=int(c["rows"]),
             batches=int(c["batches"]),
+            completed=int(c["completed"]),
             size_flushes=int(c["size_flushes"]),
             deadline_flushes=int(c["deadline_flushes"]),
             manual_flushes=int(c["manual_flushes"]),

@@ -1,10 +1,17 @@
-"""Aggregated serving counters, snapshotted as one immutable value."""
+"""Aggregated serving counters, snapshotted as immutable values.
+
+:class:`ServerStats` is one service's point-in-time view;
+:class:`GatewayStats` is the multi-model roll-up the
+:class:`~repro.serve.router.ServingGateway` exposes — per-name snapshots
+plus a field-wise total, so fleet dashboards and per-model debugging read
+from the same object.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-__all__ = ["ServerStats"]
+__all__ = ["GatewayStats", "ServerStats"]
 
 
 @dataclass(frozen=True)
@@ -14,6 +21,7 @@ class ServerStats:
     requests: int           # submissions seen by the service (incl. cache hits)
     rows: int               # rows that reached the batcher
     batches: int            # flushes executed
+    completed: int          # requests whose flush finished scoring
     size_flushes: int
     deadline_flushes: int
     manual_flushes: int
@@ -22,7 +30,7 @@ class ServerStats:
     cache_evictions: int
     cache_invalidations: int
     cache_entries: int
-    total_latency_s: float  # summed enqueue→completion time of batched requests
+    total_latency_s: float  # summed enqueue→completion time of completed requests
 
     @property
     def hit_rate(self) -> float:
@@ -35,8 +43,10 @@ class ServerStats:
 
     @property
     def mean_latency_ms(self) -> float:
-        batched = self.requests - self.cache_hits
-        return 1e3 * self.total_latency_s / batched if batched > 0 else 0.0
+        # total_latency_s only accumulates when a flush finishes, so the
+        # denominator must be the completed count — dividing by submitted
+        # requests would understate latency whenever tickets are pending
+        return 1e3 * self.total_latency_s / self.completed if self.completed > 0 else 0.0
 
     def summary(self) -> str:
         return (
@@ -46,3 +56,27 @@ class ServerStats:
             f"cache hit-rate={self.hit_rate:.1%} "
             f"mean latency={self.mean_latency_ms:.2f}ms"
         )
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """Per-name service snapshots plus their field-wise aggregate."""
+
+    per_name: dict[str, ServerStats]
+
+    @property
+    def total(self) -> ServerStats:
+        """Counter-wise sum across every served name (ratios recompute
+        from the summed counters, so e.g. ``total.hit_rate`` is the
+        traffic-weighted fleet rate, not a mean of per-name rates)."""
+        sums = {
+            f.name: sum(getattr(s, f.name) for s in self.per_name.values())
+            for f in fields(ServerStats)
+        }
+        sums["total_latency_s"] = float(sums["total_latency_s"])
+        return ServerStats(**sums)
+
+    def summary(self) -> str:
+        lines = [f"{name}: {s.summary()}" for name, s in sorted(self.per_name.items())]
+        lines.append(f"TOTAL ({len(self.per_name)} models): {self.total.summary()}")
+        return "\n".join(lines)

@@ -1,8 +1,8 @@
 """Tier-1 test configuration.
 
-Registers the ``serve`` marker so the batched-inference-service tests can
-be selected (``-m serve``) or excluded (``-m "not serve"``) while still
-running in the default tier-1 sweep.
+Registers the ``serve`` and ``gateway`` markers so the serving-layer
+tests can be selected (``-m serve``, ``-m gateway``) or excluded
+(``-m "not serve"``) while still running in the default tier-1 sweep.
 """
 
 
@@ -10,4 +10,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "serve: batched inference service tests (registry/micro-batcher/cache); tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "gateway: multi-model serving gateway + adaptive tuner tests; tier-1",
     )

@@ -77,3 +77,16 @@ class TestCommands:
         out = capsys.readouterr().out
         for policy in ("contiguous", "cluster", "random"):
             assert policy in out
+
+    @pytest.mark.serve
+    @pytest.mark.gateway
+    def test_serve_bench_gateway_mode(self, capsys):
+        """Small multi-model gateway run through the CLI — the bench core
+        asserts per-name bit-identity before printing anything."""
+        rc = main(["serve-bench", "--gateway", "--requests", "200",
+                   "--trees", "20", "--target-ms", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Gateway serving" in out
+        assert "forest" in out and "gbm" in out
+        assert "tuned batch" in out

@@ -1,0 +1,402 @@
+"""Tests for the multi-model serving gateway and adaptive batch tuner.
+
+The gateway adds routing, never arithmetic: every name's answers must be
+bit-identical (``np.array_equal``) to direct predicts on that name's
+production model, no matter how the per-name streams interleave or how
+badly one name's clients misbehave.  The tuner is exercised against fake
+batchers whose latency is a pure function of their limits, plus a fake
+clock — its AIMD trajectory is fully deterministic and sleeps nowhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.serve import (
+    AdaptiveBatchTuner,
+    GatewayStats,
+    ModelRegistry,
+    ServerStats,
+    ServingGateway,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.gateway]
+
+
+def _data(n=900, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, d))
+    y = np.sin(2 * X[:, 0]) + X[:, 1] * X[:, 2] + 0.05 * rng.normal(0, 1, n)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def data():
+    return _data()
+
+
+@pytest.fixture(scope="module")
+def gbm(data):
+    X, y = data
+    return GradientBoostingRegressor(n_estimators=25, max_depth=4, loss="squared").fit(X, y)
+
+
+@pytest.fixture(scope="module")
+def forest(data):
+    X, y = data
+    return RandomForestRegressor(n_estimators=30, max_depth=9, random_state=1).fit(X, y)
+
+
+def _registry(gbm, forest):
+    reg = ModelRegistry()
+    reg.register("gbm", gbm, promote=True)
+    reg.register("forest", forest, promote=True)
+    return reg
+
+
+# ---------------------------------------------------------------------- #
+class TestServingGateway:
+    def test_routes_two_names_bit_identical(self, data, gbm, forest):
+        """The acceptance gate: an interleaved two-name stream through the
+        gateway matches direct per-model predicts exactly."""
+        reg = _registry(gbm, forest)
+        models = {"gbm": gbm, "forest": forest}
+        rows = _data(n=120, seed=3)[0]
+        names = ["gbm" if i % 3 else "forest" for i in range(len(rows))]
+        with ServingGateway(reg, max_batch=32, max_delay=0.02) as gw:
+            tickets = [(n, gw.submit(n, r)) for n, r in zip(names, rows)]
+            gw.flush()
+            out = {"gbm": [], "forest": []}
+            for n, t in tickets:
+                out[n].append(t.result(timeout=10.0))
+            # independent per-name batchers, one per routed name
+            batchers = gw.batchers()
+            assert set(batchers) == {"gbm", "forest"}
+            assert batchers["gbm"] is not batchers["forest"]
+        for name in ("gbm", "forest"):
+            ref = np.array([
+                models[name].predict(r[None, :])[0]
+                for n, r in zip(names, rows) if n == name
+            ])
+            assert np.array_equal(np.array(out[name]), ref)
+
+    def test_lazy_creation_and_unknown_name(self, data, gbm, forest):
+        reg = _registry(gbm, forest)
+        row = _data(n=1, seed=4)[0][0]
+        with ServingGateway(reg, max_batch=4, max_delay=0.01) as gw:
+            assert gw.names() == []
+            gw.predict("gbm", row, timeout=10.0)
+            assert gw.names() == ["gbm"]  # only the touched name is live
+            with pytest.raises(LookupError):
+                gw.submit("nope", row)
+            assert gw.names() == ["gbm"]  # the failed route created nothing
+
+    def test_routing_isolation_of_malformed_traffic(self, data, gbm, forest):
+        """One name's wrong-width clients must fail alone: the other
+        name's co-scheduled stream stays bit-identical and error-free."""
+        reg = _registry(gbm, forest)
+        rows = _data(n=40, seed=5)[0]
+        with ServingGateway(reg, max_batch=10_000, max_delay=600.0) as gw:
+            good_f = [gw.submit("forest", r) for r in rows[:20]]
+            bad = [gw.submit("gbm", np.zeros(rows.shape[1] + 3)) for _ in range(4)]
+            good_g = [gw.submit("gbm", r) for r in rows[20:]]
+            gw.flush()
+            for t in bad:
+                with pytest.raises(ValueError):
+                    t.result(timeout=10.0)
+            out_f = np.array([t.result(timeout=10.0) for t in good_f])
+            out_g = np.array([t.result(timeout=10.0) for t in good_g])
+        assert np.array_equal(
+            out_f, np.array([forest.predict(r[None, :])[0] for r in rows[:20]])
+        )
+        assert np.array_equal(
+            out_g, np.array([gbm.predict(r[None, :])[0] for r in rows[20:]])
+        )
+
+    def test_configure_overrides_apply_at_creation(self, data, gbm, forest):
+        reg = _registry(gbm, forest)
+        with ServingGateway(reg, max_batch=256, max_delay=0.005) as gw:
+            gw.configure("gbm", max_batch=16, max_delay=0.5, cache_entries=32)
+            svc = gw.service("gbm")
+            assert svc.batcher.max_batch == 16
+            assert svc.batcher.max_delay == 0.5
+            assert svc.cache.max_entries == 32
+            assert gw.service("forest").batcher.max_batch == 256  # defaults intact
+
+    def test_configure_live_service_mutates_limits_only(self, data, gbm, forest):
+        reg = _registry(gbm, forest)
+        with ServingGateway(reg, max_batch=256, max_delay=0.005) as gw:
+            svc = gw.service("gbm")
+            gw.configure("gbm", max_batch=64, max_delay=0.01)
+            assert svc.batcher.max_batch == 64
+            assert svc.batcher.max_delay == 0.01
+            with pytest.raises(ValueError, match="live service"):
+                gw.configure("gbm", cache_entries=8)
+            with pytest.raises(ValueError, match="unknown config"):
+                gw.configure("forest", batch_size=8)
+
+    def test_configure_rejects_bad_values_eagerly(self, data, gbm, forest):
+        """Invalid overrides must fail at configure time, not on the first
+        request for the name — and must not persist past the raise."""
+        reg = _registry(gbm, forest)
+        with ServingGateway(reg, max_batch=32, max_delay=0.005) as gw:
+            with pytest.raises(ValueError, match="max_batch"):
+                gw.configure("gbm", max_batch=0)
+            with pytest.raises(ValueError, match="max_delay"):
+                gw.configure("gbm", max_delay=0.0)
+            with pytest.raises(ValueError, match="cache_entries"):
+                gw.configure("gbm", cache_entries=0)
+            assert gw.service("gbm").batcher.max_batch == 32  # defaults intact
+
+    def test_flush_of_idle_name_creates_no_service(self, data, gbm, forest):
+        reg = _registry(gbm, forest)
+        with ServingGateway(reg, max_batch=4, max_delay=0.01) as gw:
+            assert gw.flush("forest") == 0
+            assert gw.flush("never-registered") == 0
+            assert gw.names() == []  # nothing was stood up just to flush
+
+    def test_promote_rollback_through_gateway(self, data, gbm, forest):
+        """Stage changes stay a registry concern; the gateway observes
+        them at the next batch boundary like any single-name service."""
+        X, y = data
+        reg = _registry(gbm, forest)
+        v2_model = GradientBoostingRegressor(
+            n_estimators=10, max_depth=3, loss="squared", random_state=7
+        ).fit(X, y)
+        v2 = reg.register("gbm", v2_model)
+        row = _data(n=1, seed=6)[0][0]
+        with ServingGateway(reg, max_batch=4, max_delay=0.01) as gw:
+            p1 = gw.predict("gbm", row, timeout=10.0)
+            f1 = gw.predict("forest", row, timeout=10.0)
+            reg.promote("gbm", v2)
+            p2 = gw.predict("gbm", row, timeout=10.0)
+            reg.rollback("gbm")
+            p3 = gw.predict("gbm", row, timeout=10.0)
+            f2 = gw.predict("forest", row, timeout=10.0)
+        assert p1 == gbm.predict(row[None, :])[0]
+        assert p2 == v2_model.predict(row[None, :])[0]
+        assert p3 == p1
+        assert f1 == f2 == forest.predict(row[None, :])[0]  # other name untouched
+
+    def test_aggregate_stats_match_per_name_sums(self, data, gbm, forest):
+        reg = _registry(gbm, forest)
+        rows = _data(n=30, seed=7)[0]
+        with ServingGateway(reg, max_batch=8, max_delay=0.01) as gw:
+            for r in rows[:20]:
+                gw.predict("gbm", r, timeout=10.0)
+            for r in rows[20:]:
+                gw.predict("forest", r, timeout=10.0)
+            gw.predict("gbm", rows[0], timeout=10.0)  # one cache hit
+            stats = gw.stats()
+        assert set(stats.per_name) == {"gbm", "forest"}
+        total = stats.total
+        import dataclasses
+
+        for f in dataclasses.fields(ServerStats):
+            assert getattr(total, f.name) == pytest.approx(
+                sum(getattr(s, f.name) for s in stats.per_name.values())
+            )
+        assert total.requests == 31
+        assert stats.per_name["gbm"].cache_hits == 1
+        assert "TOTAL (2 models)" in stats.summary()
+
+    def test_empty_gateway_stats(self):
+        stats = GatewayStats(per_name={})
+        assert stats.total.requests == 0
+        assert stats.total.mean_latency_ms == 0.0
+
+    def test_close_tears_everything_down(self, data, gbm, forest):
+        reg = _registry(gbm, forest)
+        gw = ServingGateway(reg, max_batch=4, max_delay=0.01)
+        row = _data(n=1, seed=8)[0][0]
+        gw.predict("gbm", row, timeout=10.0)
+        gw.predict("forest", row, timeout=10.0)
+        assert len(reg._listeners) == 2
+        gw.close()
+        assert reg._listeners == []  # every service deregistered
+        with pytest.raises(RuntimeError, match="closed"):
+            gw.submit("gbm", row)
+        gw.close()  # idempotent
+
+
+# ---------------------------------------------------------------------- #
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class _FakeBatcher:
+    """Counter-compatible stand-in whose latency is a pure function of its
+    limits, making the tuner's trajectory fully deterministic."""
+
+    def __init__(self, max_batch=256, max_delay=0.05, latency_ms=None):
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._latency_ms = latency_ms or (lambda b, d: 0.5e3 * d + 0.02 * b)
+        self.completed = 0
+        self.total_latency_s = 0.0
+
+    def serve_window(self, n=100):
+        self.completed += n
+        self.total_latency_s += n * self._latency_ms(self.max_batch, self.max_delay) / 1e3
+
+    def counters(self):
+        return {"completed": self.completed, "total_latency_s": self.total_latency_s}
+
+    def set_limits(self, max_batch=None, max_delay=None):
+        if max_batch is not None:
+            self.max_batch = int(max_batch)
+        if max_delay is not None:
+            self.max_delay = float(max_delay)
+
+
+class TestAdaptiveBatchTuner:
+    def test_backs_off_to_lower_bounds_when_over_target(self):
+        fb = _FakeBatcher(max_batch=256, max_delay=0.05, latency_ms=lambda b, d: 100.0)
+        clock = _FakeClock()
+        tuner = AdaptiveBatchTuner({"m": fb}, target_latency_ms=5.0, clock=clock)
+        fb.serve_window()
+        tuner.step()  # first observation: baseline only, no decision
+        trail = []
+        for _ in range(10):
+            fb.serve_window()
+            clock.advance(1.0)
+            (decision,) = tuner.step()
+            assert decision.direction == "backoff"
+            trail.append((fb.max_batch, fb.max_delay))
+        assert trail == sorted(trail, reverse=True)  # monotone retreat
+        assert fb.max_batch == 8                     # clamped at batch_bounds[0]
+        assert fb.max_delay == pytest.approx(2e-4)   # clamped at delay_bounds[0]
+
+    def test_grows_toward_upper_bounds_when_under_target(self):
+        fb = _FakeBatcher(max_batch=8, max_delay=2e-4, latency_ms=lambda b, d: 0.1)
+        clock = _FakeClock()
+        tuner = AdaptiveBatchTuner({"m": fb}, target_latency_ms=5.0, clock=clock)
+        fb.serve_window()
+        tuner.step()
+        trail = []
+        for _ in range(60):
+            fb.serve_window()
+            clock.advance(1.0)
+            (decision,) = tuner.step()
+            assert decision.direction == "grow"
+            trail.append((fb.max_batch, fb.max_delay))
+        assert trail == sorted(trail)               # monotone growth
+        assert fb.max_batch == 8 + 60 * 16          # additive: +batch_step per window
+        assert fb.max_delay == pytest.approx(0.05)  # clamped at delay_bounds[1]
+
+    def test_holds_without_new_completions(self):
+        fb = _FakeBatcher(max_batch=64, max_delay=0.01)
+        clock = _FakeClock()
+        tuner = AdaptiveBatchTuner({"m": fb}, target_latency_ms=5.0, clock=clock)
+        fb.serve_window()
+        tuner.step()
+        clock.advance(1.0)
+        (decision,) = tuner.step()  # no traffic since baseline
+        assert decision.direction == "hold"
+        assert (fb.max_batch, fb.max_delay) == (64, 0.01)
+
+    def test_converges_near_latency_target(self):
+        """From far above target, the AIMD loop settles into an oscillation
+        band around it — the 'provably moves toward the target' gate."""
+        fb = _FakeBatcher(max_batch=64, max_delay=0.05)  # starts ~26ms mean
+        clock = _FakeClock()
+        target = 5.0
+        tuner = AdaptiveBatchTuner({"m": fb}, target_latency_ms=target, clock=clock)
+        fb.serve_window()
+        tuner.step()
+        window_lat = []
+        for _ in range(40):
+            fb.serve_window(200)
+            clock.advance(1.0)
+            (decision,) = tuner.step()
+            window_lat.append(decision.window_latency_ms)
+        assert window_lat[0] > 4 * target  # really did start far away
+        assert all(0.3 * target <= lat <= 1.7 * target for lat in window_lat[-10:])
+        assert 8 <= fb.max_batch <= 4096
+        assert 2e-4 <= fb.max_delay <= 0.05
+
+    def test_maybe_step_honors_interval(self):
+        fb = _FakeBatcher()
+        clock = _FakeClock()
+        tuner = AdaptiveBatchTuner({"m": fb}, interval_s=1.0, clock=clock)
+        assert tuner.maybe_step() is not None  # first call establishes baseline
+        clock.advance(0.5)
+        assert tuner.maybe_step() is None      # inside the interval
+        clock.advance(0.6)
+        assert tuner.maybe_step() is not None
+
+    def test_new_names_join_the_control_loop(self):
+        """A gateway's lazily-created services appear mid-flight; the tuner
+        must baseline and then steer them without restarting."""
+        batchers = {"a": _FakeBatcher(latency_ms=lambda b, d: 100.0)}
+        clock = _FakeClock()
+        tuner = AdaptiveBatchTuner(
+            lambda: batchers, target_latency_ms=5.0, clock=clock
+        )
+        batchers["a"].serve_window()
+        tuner.step()
+        batchers["b"] = _FakeBatcher(latency_ms=lambda b, d: 100.0)  # appears later
+        batchers["a"].serve_window()
+        batchers["b"].serve_window()
+        clock.advance(1.0)
+        assert [d.name for d in tuner.step()] == ["a"]  # b only baselined
+        batchers["b"].serve_window()
+        clock.advance(1.0)
+        decisions = {d.name: d for d in tuner.step()}
+        assert decisions["b"].direction == "backoff"
+
+    def test_steers_a_live_gateway_batcher(self, data, gbm, forest):
+        """End-to-end on real counters: an unreachable latency target makes
+        the tuner grow the live batcher's limits via set_limits."""
+        reg = _registry(gbm, forest)
+        # two waves of distinct rows — duplicates would answer from the
+        # prediction cache and never reach the batcher's counters
+        wave1, wave2 = np.split(_data(n=24, seed=9)[0], 2)
+        with ServingGateway(reg, max_batch=8, max_delay=600.0) as gw:
+            tuner = AdaptiveBatchTuner(gw, target_latency_ms=1e6)
+            for r in wave1:
+                gw.submit("gbm", r)
+            gw.flush()
+            tuner.step()  # baseline
+            for r in wave2:
+                gw.submit("gbm", r)
+            gw.flush()
+            decisions = tuner.step()
+            assert [d.direction for d in decisions] == ["grow"]
+            assert gw.batchers()["gbm"].max_batch == 8 + 16
+            assert gw.batchers()["gbm"].max_delay == 0.05  # clamped into bounds
+
+    def test_validates_parameters(self):
+        fb = _FakeBatcher()
+        with pytest.raises(ValueError):
+            AdaptiveBatchTuner({"m": fb}, target_latency_ms=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchTuner({"m": fb}, backoff=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchTuner({"m": fb}, grow=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchTuner({"m": fb}, batch_bounds=(0, 10))
+        with pytest.raises(ValueError):
+            AdaptiveBatchTuner({"m": fb}, delay_bounds=(0.0, 0.01))
+
+    def test_background_thread_start_stop(self, data, gbm, forest):
+        """The production mode: a daemon thread stepping on a cadence.
+        Determinism is not asserted here — just lifecycle hygiene."""
+        reg = _registry(gbm, forest)
+        with ServingGateway(reg, max_batch=8, max_delay=0.01) as gw:
+            tuner = AdaptiveBatchTuner(gw, target_latency_ms=5.0, interval_s=0.01)
+            with tuner:
+                tuner.start()
+                with pytest.raises(RuntimeError, match="already started"):
+                    tuner.start()
+                for r in _data(n=10, seed=10)[0]:
+                    gw.predict("forest", r, timeout=10.0)
+            tuner.stop()  # idempotent after context exit

@@ -7,6 +7,7 @@ perturb predictions, and the cache must never serve across a version
 boundary.
 """
 
+import pickle
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -177,6 +178,29 @@ class TestModelRegistry:
             reg.rollback("m")       # v1 no longer in the history stack
         with pytest.raises(LookupError):
             reg.unregister("m", 1)
+
+    def test_unregister_notifies_listeners(self, data):
+        """Regression: unregister used to skip _notify entirely, so caches
+        listening for stage changes never learned a version was dropped."""
+        reg = ModelRegistry()
+        events = []
+        reg.add_listener(lambda *a: events.append(a))
+        reg.register("m", _fresh_gbm(data, 0), promote=True)
+        reg.register("m", _fresh_gbm(data, 1), promote=True)
+        reg.unregister("m", 1)
+        assert events[-1] == ("m", 1, "unregister")
+
+    def test_registered_model_pickle_roundtrip(self, data):
+        """Regression: _seal_fit assigned a closure to model.fit, which
+        broke pickling of every registered model (snapshot/shard flows)."""
+        X, y = data
+        model = _fresh_gbm(data)
+        ref = model.predict(X[:30])
+        ModelRegistry().register("m", model, promote=True)
+        back = pickle.loads(pickle.dumps(model))
+        assert np.array_equal(back.predict(X[:30]), ref)
+        with pytest.raises(RuntimeError, match="registered and immutable"):
+            back.fit(X, y)  # the seal survives the roundtrip too
 
 
 # ---------------------------------------------------------------------- #
@@ -349,6 +373,54 @@ class TestMicroBatcher:
             np.array([gbm.predict(r[None, :])[0] for r in rows]),
         )
 
+    def test_model_failure_gives_each_ticket_its_own_exception(self, data):
+        """Regression: a model-resolution failure completed every ticket of
+        the flush with the *same* exception instance, so concurrent
+        result() callers raced on its __traceback__ mutation."""
+        rows = _data(n=3, seed=19)[0]
+
+        def down():
+            raise RuntimeError("model store down")
+
+        with MicroBatcher(down, max_batch=10_000, max_delay=600.0) as mb:
+            tickets = [mb.submit(r) for r in rows]
+            mb.flush()
+            for t in tickets:
+                with pytest.raises(RuntimeError, match="model store down"):
+                    t.result(timeout=5.0)
+            errors = [t._error for t in tickets]
+            assert len({id(e) for e in errors}) == len(errors)  # all private copies
+
+    def test_set_limits_shrink_fires_size_flush(self, data, gbm):
+        """Lowering max_batch to (or below) the pending row count must act
+        like any other size trigger: the caller scores the batch inline."""
+        rows = _data(n=6, seed=20)[0]
+        with MicroBatcher(gbm, max_batch=10_000, max_delay=600.0) as mb:
+            tickets = [mb.submit(r) for r in rows]
+            assert mb.counters()["batches"] == 0
+            mb.set_limits(max_batch=4)
+            assert all(t.done() for t in tickets)
+            assert mb.counters()["size_flushes"] == 1
+            out = np.array([t.result() for t in tickets])
+        assert np.array_equal(out, np.array([gbm.predict(r[None, :])[0] for r in rows]))
+
+    def test_set_limits_retargets_pending_deadlines(self, data, gbm):
+        """A new max_delay applies to already-queued tickets (recomputed
+        from their enqueue time), so a tuner can rescue a long deadline."""
+        row = _data(n=1, seed=21)[0][0]
+        with MicroBatcher(gbm, max_batch=10_000, max_delay=600.0) as mb:
+            ticket = mb.submit(row)
+            mb.set_limits(max_delay=0.02)
+            assert ticket.result(timeout=5.0) == gbm.predict(row[None, :])[0]
+            assert mb.counters()["deadline_flushes"] == 1
+
+    def test_set_limits_validates(self, gbm):
+        with MicroBatcher(gbm, max_batch=4, max_delay=0.01) as mb:
+            with pytest.raises(ValueError):
+                mb.set_limits(max_batch=0)
+            with pytest.raises(ValueError):
+                mb.set_limits(max_delay=0.0)
+
     def test_submit_after_close_raises(self, gbm):
         mb = MicroBatcher(gbm, max_batch=4, max_delay=0.01)
         mb.close()
@@ -454,6 +526,45 @@ class TestInferenceService:
         assert len(reg._listeners) == 1
         svc.close()
         assert reg._listeners == []
+
+    def test_unregister_invalidates_dropped_version_cache_entries(self, data):
+        """Regression: without the unregister notification, a dropped
+        version's cache entries lingered until LRU eviction — a leak in
+        exactly the continuous-retrain loops unregister exists for."""
+        reg = ModelRegistry()
+        reg.register("m", _fresh_gbm(data, 0), promote=True)
+        reg.register("m", _fresh_gbm(data, 1), promote=True)
+        with InferenceService(reg, "m", max_batch=4, max_delay=0.01) as svc:
+            svc.cache.put(("m", 1, "predict", b"retired"), 1.0)
+            svc.cache.put(("m", 2, "predict", b"live"), 2.0)
+            reg.unregister("m", 1)
+            assert svc.cache.get(("m", 1, "predict", b"retired"))[0] is False
+            # surgical: the production version's warm entries survive
+            assert svc.cache.get(("m", 2, "predict", b"live"))[0] is True
+
+    def test_mean_latency_counts_only_completed_requests(self, data):
+        """Regression: total_latency_s only accumulates when a flush
+        finishes, but the mean divided by all non-cache-hit submissions —
+        pending tickets understated latency under load."""
+        gbm = _fresh_gbm(data)
+        reg = ModelRegistry()
+        reg.register("m", gbm, promote=True)
+        rows = _data(n=5, seed=22)[0]
+        svc = InferenceService(reg, "m", max_batch=10_000, max_delay=600.0)
+        try:
+            done = [svc.submit(r) for r in rows[:3]]
+            svc.flush()
+            for t in done:
+                t.result(timeout=5.0)
+            svc.submit(rows[3])  # still pending at snapshot time
+            svc.submit(rows[4])
+            stats = svc.stats()
+            assert stats.requests == 5
+            assert stats.completed == 3
+            assert stats.total_latency_s > 0
+            assert stats.mean_latency_ms == pytest.approx(1e3 * stats.total_latency_s / 3)
+        finally:
+            svc.close()
 
     def test_stats_accumulate(self, data):
         forest = _fresh_forest(data)  # fresh: registering seals the model
