@@ -7,9 +7,11 @@ the throughput/latency trajectory — one entry per run, like
 ``BENCH_kernels.json`` — into ``benchmarks/results/BENCH_serve.json``.
 A fourth scenario routes one interleaved stream over *both* models
 through the multi-model :class:`~repro.serve.router.ServingGateway` with
-the adaptive batch tuner stepping between waves.  Bit-identity across
-every path is asserted inside the bench core before any number is
-written.
+the adaptive batch tuner stepping between waves, and a fifth serves the
+same workload through a two-process
+:class:`~repro.serve.shard.ShardedServingCluster` (hash-routed stream +
+replicated row-parallel block fan-out).  Bit-identity across every path
+is asserted inside the bench core before any number is written.
 
 Runs standalone (``python benchmarks/bench_serve.py``) or via an explicit
 pytest path (``pytest benchmarks/bench_serve.py``); the same comparison is
@@ -20,13 +22,16 @@ from __future__ import annotations
 
 import json
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.serve.bench import run_gateway_bench, run_serve_bench
+from repro.serve.bench import (
+    record_trajectory_entry,
+    run_gateway_bench,
+    run_serve_bench,
+    run_shard_bench,
+)
 
 RESULTS_DIR = Path(__file__).parent / "results"
-TRAJECTORY = RESULTS_DIR / "BENCH_serve.json"
 
 N_REQUESTS = 2000
 N_TREES = 150
@@ -35,7 +40,7 @@ MAX_DELAY = 0.002
 
 
 def run() -> dict:
-    entry: dict = {"timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds")}
+    entry: dict = {}
     for kind in ("forest", "gbm"):
         t0 = time.perf_counter()
         entry[kind] = run_serve_bench(
@@ -57,12 +62,18 @@ def run() -> dict:
     )
     entry["gateway"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    trajectory = []
-    if TRAJECTORY.exists():
-        trajectory = json.loads(TRAJECTORY.read_text())
-    trajectory.append(entry)
-    TRAJECTORY.write_text(json.dumps(trajectory, indent=2) + "\n")
+    t0 = time.perf_counter()
+    entry["cluster"] = run_shard_bench(
+        kinds=("forest", "gbm"),
+        n_trees=N_TREES,
+        n_requests=N_REQUESTS,
+        n_shards=2,
+        max_batch=MAX_BATCH,
+        max_delay=MAX_DELAY,
+    )
+    entry["cluster"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+
+    record_trajectory_entry(entry, RESULTS_DIR)
 
     lines = ["SERVE (micro-batched vs direct, 1-row request streams)"]
     for kind in ("forest", "gbm"):
@@ -80,6 +91,13 @@ def run() -> dict:
         f"({g['speedup_gateway']:.2f}x, mean batch {g['mean_batch_rows']:.0f} rows, "
         f"adaptive-tuned)"
     )
+    c = entry["cluster"]
+    lines.append(
+        f"cluster: {c['n_requests']} reqs over {'+'.join(c['models'])} x "
+        f"{c['n_shards']} shard processes: {c['direct_rps']:.0f} -> "
+        f"{c['cluster_rps']:.0f} req/s ({c['speedup_cluster']:.2f}x stream, "
+        f"{c['speedup_block']:.2f}x replicated {c['block_rows']}-row block)"
+    )
     table = "\n".join(lines)
     print("\n" + table)
     (RESULTS_DIR / "serve.txt").write_text(table + "\n")
@@ -91,6 +109,10 @@ def test_serve_bench():
     assert entry["forest"]["speedup_batched"] >= 3.0
     assert entry["gbm"]["speedup_batched"] >= 3.0
     assert entry["gateway"]["speedup_gateway"] >= 2.0
+    # bit-identity is the cluster's hard gate (asserted inside the bench);
+    # the perf floor is deliberately loose — IPC costs real time and both
+    # bench names can hash-route to one shard
+    assert entry["cluster"]["speedup_cluster"] >= 1.0
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ Every major capability is reachable without writing Python::
     repro drift     --dataset theta.npz
     repro serve-bench --models forest gbm --requests 2000
     repro serve-bench --gateway --target-ms 5
+    repro serve-bench --shards 2
 
 Commands accept either ``--dataset file.npz`` (a saved dataset) or
 ``--platform/--jobs/--seed`` to simulate one on the fly.
@@ -146,11 +147,47 @@ def cmd_drift(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
-    from repro.serve.bench import run_gateway_bench, run_serve_bench
+    from repro.serve.bench import (
+        record_trajectory_entry,
+        run_gateway_bench,
+        run_serve_bench,
+        run_shard_bench,
+    )
+
+    if args.shards:
+        r = run_shard_bench(
+            kinds=tuple(args.models),
+            n_train=args.train,
+            n_trees=args.trees,
+            n_requests=args.requests,
+            n_shards=args.shards,
+            max_batch=args.batch,
+            max_delay=args.deadline_ms / 1e3,
+            seed=args.seed,
+        )
+        block_total = r["block_repeats"] * r["block_rows"]
+        rows = [
+            ["stream (hash-routed)", f"{r['direct_rps']:.0f}", f"{r['cluster_rps']:.0f}",
+             f"{r['speedup_cluster']:.1f}x", f"{r['mean_latency_ms']:.2f}"],
+            [f"block ({r['block_model']}, {r['block_rows']} rows)",
+             f"{block_total / r['block_direct_s']:.0f}",
+             f"{block_total / r['block_cluster_s']:.0f}",
+             f"{r['speedup_block']:.1f}x", "-"],
+        ]
+        print(format_table(
+            ["traffic", "req/s direct", "req/s cluster", "speedup", "latency ms"],
+            rows,
+            title=(f"Sharded serving — {r['n_requests']} requests over "
+                   f"{len(r['models'])} models x {r['n_shards']} shard processes "
+                   f"(per-shard load: {r['per_shard_requests']})")))
+        path = record_trajectory_entry({"cluster": r}, args.record_dir)
+        print(f"recorded cluster entry in {path}")
+        return 0
 
     if args.gateway:
         r = run_gateway_bench(
             kinds=tuple(args.models),
+            n_train=args.train,
             n_trees=args.trees,
             n_requests=args.requests,
             max_batch=args.batch,
@@ -178,6 +215,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     for kind in args.models:
         r = run_serve_bench(
             kind=kind,
+            n_train=args.train,
             n_trees=args.trees,
             n_requests=args.requests,
             max_batch=args.batch,
@@ -271,11 +309,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=2000, help="single-row requests to stream")
     p.add_argument("--batch", type=int, default=256, help="micro-batch size trigger (rows)")
     p.add_argument("--deadline-ms", type=float, default=2.0, help="max queueing delay per request")
-    p.add_argument("--gateway", action="store_true",
-                   help="route one interleaved stream over all models through the "
-                        "multi-model ServingGateway with adaptive batch tuning")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--gateway", action="store_true",
+                      help="route one interleaved stream over all models through the "
+                           "multi-model ServingGateway with adaptive batch tuning")
+    mode.add_argument("--shards", type=int, default=0, metavar="N",
+                      help="serve through an N-process ShardedServingCluster "
+                           "(hash-routed stream + replicated block fan-out) and "
+                           "record a cluster entry in the serve trajectory")
     p.add_argument("--target-ms", type=float, default=5.0,
                    help="adaptive tuner latency target (gateway mode)")
+    p.add_argument("--train", type=int, default=3000,
+                   help="training rows per benched model")
+    p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"),
+                   help="trajectory directory for --shards entries")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve_bench)
 

@@ -10,19 +10,31 @@ results, and duplicate requests — pervasive in HPC I/O telemetry (§VI.A)
 for a single name; :class:`ServingGateway` fronts the whole registry with
 lazily-created per-name services, and :class:`AdaptiveBatchTuner` steers
 every live batcher's ``max_batch``/``max_delay`` toward a latency target.
+:class:`ShardedServingCluster` scales the whole stack past one process:
+N worker gateways warm-started from pickled frozen models, hash or
+replicated routing, broadcast registry mutations, and crash containment —
+still bit-identical to the single-process path.
 """
 
 from repro.serve.adaptive import AdaptiveBatchTuner, TuningDecision
 from repro.serve.batcher import MicroBatcher, Ticket
-from repro.serve.bench import make_serve_model, run_gateway_bench, run_serve_bench
+from repro.serve.bench import (
+    make_serve_model,
+    run_gateway_bench,
+    run_serve_bench,
+    run_shard_bench,
+)
 from repro.serve.cache import PredictionCache, request_digest
 from repro.serve.registry import ModelRegistry, ModelVersion, freeze_arrays
 from repro.serve.router import ServingGateway
 from repro.serve.service import CompletedTicket, InferenceService
-from repro.serve.stats import GatewayStats, ServerStats
+from repro.serve.shard import ClusterTicket, ShardCrashedError, ShardedServingCluster
+from repro.serve.stats import ClusterStats, GatewayStats, ServerStats
 
 __all__ = [
     "AdaptiveBatchTuner",
+    "ClusterStats",
+    "ClusterTicket",
     "CompletedTicket",
     "GatewayStats",
     "InferenceService",
@@ -32,6 +44,8 @@ __all__ = [
     "PredictionCache",
     "ServerStats",
     "ServingGateway",
+    "ShardCrashedError",
+    "ShardedServingCluster",
     "Ticket",
     "TuningDecision",
     "freeze_arrays",
@@ -39,4 +53,5 @@ __all__ = [
     "request_digest",
     "run_gateway_bench",
     "run_serve_bench",
+    "run_shard_bench",
 ]

@@ -16,14 +16,44 @@ reported, so the speedups can never come from a numerics shortcut.
 
 from __future__ import annotations
 
+import json
 import time
+from datetime import datetime, timezone
+from pathlib import Path
 
 import numpy as np
 
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import InferenceService
 
-__all__ = ["run_gateway_bench", "run_serve_bench", "make_serve_model"]
+__all__ = [
+    "record_trajectory_entry",
+    "run_gateway_bench",
+    "run_serve_bench",
+    "run_shard_bench",
+    "make_serve_model",
+]
+
+
+def record_trajectory_entry(entry: dict, results_dir: Path) -> Path:
+    """Append one timestamped entry to the serve trajectory
+    (``BENCH_serve.json`` — one entry per run, never overwritten).
+
+    The single writer for the trajectory format: the CLI and
+    ``benchmarks/bench_serve.py`` both go through here, so the
+    load-append-write scheme cannot drift between them.
+    """
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    trajectory_path = results_dir / "BENCH_serve.json"
+    trajectory = []
+    if trajectory_path.exists():
+        trajectory = json.loads(trajectory_path.read_text())
+    trajectory.append(
+        {"timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"), **entry}
+    )
+    trajectory_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return trajectory_path
 
 
 def _synth(n: int, d: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
@@ -218,3 +248,117 @@ def run_gateway_bench(
         },
     }
     return result
+
+
+def run_shard_bench(
+    kinds: tuple[str, ...] = ("forest", "gbm"),
+    n_train: int = 3000,
+    n_features: int = 12,
+    n_trees: int = 150,
+    n_requests: int = 2000,
+    n_shards: int = 2,
+    max_batch: int = 256,
+    max_delay: float = 0.002,
+    seed: int = 0,
+    block_repeats: int = 5,
+) -> dict:
+    """Process-sharded serving comparison, two traffic shapes:
+
+    * **stream** — the gateway bench's interleaved single-row stream, now
+      hash-routed across ``n_shards`` worker processes (each name's
+      traffic lands on one shard's batcher + cache), and
+    * **block** — one large (n_requests, d) batch fanned row-parallel
+      across a replicated cluster, against the same ``model.predict`` in
+      the parent process.
+
+    Every path is asserted bit-identical (``np.array_equal``) to direct
+    in-process predicts before any number is reported — sharding must be
+    invisible in the numbers, exactly like micro-batching itself.
+    """
+    from repro.serve.shard import ShardedServingCluster
+
+    models = {
+        kind: make_serve_model(kind, n_train, n_features, n_trees, seed + i)
+        for i, kind in enumerate(kinds)
+    }
+    rows, _ = _synth(n_requests, n_features, seed + 1)
+    route = np.random.default_rng(seed + 2).integers(0, len(kinds), n_requests)
+
+    registry = ModelRegistry()
+    for kind, model in models.items():
+        registry.register(kind, model, promote=True)
+
+    t0 = time.perf_counter()
+    ref: dict[str, list[float]] = {kind: [] for kind in kinds}
+    for row, r in zip(rows, route):
+        kind = kinds[r]
+        ref[kind].append(float(models[kind].predict(row[None, :])[0]))
+    t_direct = time.perf_counter() - t0
+
+    # --- stream: hash-routed single rows over N shards ---------------- #
+    with ShardedServingCluster(
+        registry, n_shards=n_shards, route="hash",
+        max_batch=max_batch, max_delay=max_delay, cache_entries=2 * n_requests,
+    ) as cluster:
+        shard_of = {kind: cluster.shard_of(kind) for kind in kinds}
+        t0 = time.perf_counter()
+        tickets = [(kinds[route[i]], cluster.submit(kinds[route[i]], rows[i]))
+                   for i in range(n_requests)]
+        cluster.flush()
+        got: dict[str, list[float]] = {kind: [] for kind in kinds}
+        for kind, ticket in tickets:
+            got[kind].append(ticket.result(timeout=60.0))
+        t_stream = time.perf_counter() - t0
+
+        for kind in kinds:  # hard gate: survives python -O
+            if not np.array_equal(np.array(got[kind]), np.array(ref[kind])):
+                raise RuntimeError(f"sharded results for {kind!r} are not bit-identical")
+        stats = cluster.stats()
+
+    # --- block: row-parallel fan-out over a replicated cluster -------- #
+    kind0 = kinds[0]
+    t0 = time.perf_counter()
+    for _ in range(block_repeats):
+        block_ref = models[kind0].predict(rows)
+    t_block_direct = time.perf_counter() - t0
+
+    with ShardedServingCluster(
+        registry, n_shards=n_shards, route="replicated",
+        max_batch=max_batch, max_delay=max_delay,
+    ) as cluster:
+        cluster.predict_block(kind0, rows[: n_shards], timeout=60.0)  # warm services
+        t0 = time.perf_counter()
+        for _ in range(block_repeats):
+            block_got = cluster.predict_block(kind0, rows, timeout=60.0)
+        t_block = time.perf_counter() - t0
+
+    if not np.array_equal(block_got, block_ref):
+        raise RuntimeError("replicated block fan-out is not bit-identical")
+
+    total = stats.total
+    return {
+        "models": list(kinds),
+        "n_shards": n_shards,
+        "n_trees": n_trees,
+        "n_requests": n_requests,
+        "max_batch": max_batch,
+        "max_delay_ms": round(1e3 * max_delay, 3),
+        "direct_s": round(t_direct, 4),
+        "cluster_s": round(t_stream, 4),
+        "direct_rps": round(n_requests / t_direct, 1),
+        "cluster_rps": round(n_requests / t_stream, 1),
+        "speedup_cluster": round(t_direct / t_stream, 2),
+        "batches": total.batches,
+        "mean_batch_rows": round(total.mean_batch_rows, 1),
+        "mean_latency_ms": round(total.mean_latency_ms, 3),
+        "shard_of": shard_of,
+        "block_model": kind0,
+        "block_rows": int(rows.shape[0]),
+        "block_repeats": int(block_repeats),
+        "block_direct_s": round(t_block_direct, 4),
+        "block_cluster_s": round(t_block, 4),
+        "speedup_block": round(t_block_direct / t_block, 2),
+        "per_shard_requests": {
+            sid: gw.total.requests for sid, gw in sorted(stats.per_shard.items())
+        },
+    }

@@ -127,11 +127,17 @@ class ModelRegistry:
         self._listeners: list[Callable[[str, int, str], None]] = []
 
     # ------------------------------------------------------------------ #
-    def register(self, name: str, model: Any, promote: bool = False) -> int:
+    def register(
+        self, name: str, model: Any, promote: bool = False, version: int | None = None
+    ) -> int:
         """Store ``model`` under ``name``; returns the new version number.
 
         The model must already be fitted (it needs a ``predict``); the
         registry takes ownership — every array it holds becomes read-only.
+        ``version`` pins an explicit number instead of the next sequential
+        one — the shard-replication path uses this so every worker's
+        replica files a broadcast model under exactly the version the
+        parent assigned (``next_version`` advances past the pin).
         """
         if not callable(getattr(model, "predict", None)):
             raise TypeError(f"model {type(model).__name__} has no predict()")
@@ -142,8 +148,13 @@ class ModelRegistry:
         _seal_fit(model)
         with self._lock:
             entry = self._entries.setdefault(name, _Entry())
-            version = entry.next_version
-            entry.next_version += 1
+            if version is None:
+                version = entry.next_version
+            elif version in entry.versions:
+                raise ValueError(f"{name!r} already has a version {version}")
+            elif version < 1:
+                raise ValueError("version must be >= 1")
+            entry.next_version = max(entry.next_version, version + 1)
             entry.versions[version] = ModelVersion(name, version, model, n_frozen)
         if promote:
             self.promote(name, version)
@@ -192,6 +203,48 @@ class ModelRegistry:
             del entry.versions[version]
             entry.history = [v for v in entry.history if v != version]
         self._notify(name, version, "unregister")
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Picklable replica of the whole registry state.
+
+        Maps each name to its models (by version), the production alias,
+        the rollback history, and the version counter — everything
+        :meth:`restore` needs to rebuild an exact replica in another
+        process.  Models are the registered (frozen, fit-sealed) objects;
+        they pickle because :func:`_seal_fit` installs a module-level
+        sentinel (see PR 3).
+        """
+        with self._lock:
+            return {
+                name: {
+                    "models": {v: mv.model for v, mv in entry.versions.items()},
+                    "production": entry.production,
+                    "history": list(entry.history),
+                    "next_version": entry.next_version,
+                }
+                for name, entry in self._entries.items()
+            }
+
+    def restore(self, state: dict[str, dict[str, Any]]) -> None:
+        """Rebuild a :meth:`snapshot` into this (fresh) registry.
+
+        Every model goes back through the full :meth:`register` path —
+        pickling drops NumPy's read-only flag, so the freeze/seal/pack
+        warm-up must run again for the immutability contract to hold in
+        the restored process.  Stage aliases are reinstated directly (no
+        listener notifications: a restore is initial state, not a stage
+        *change*).  Only meaningful on an empty registry — pinned version
+        numbers collide otherwise.
+        """
+        for name, entry_state in state.items():
+            for version in sorted(entry_state["models"]):
+                self.register(name, entry_state["models"][version], version=version)
+            with self._lock:
+                entry = self._entries.setdefault(name, _Entry())
+                entry.production = entry_state["production"]
+                entry.history = list(entry_state["history"])
+                entry.next_version = max(entry.next_version, entry_state["next_version"])
 
     # ------------------------------------------------------------------ #
     def get(self, name: str, version: int | None = None) -> Any:

@@ -171,8 +171,16 @@ class ServingGateway:
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Flush and close every service; idempotent.  The registry stays
-        untouched — it usually outlives the gateway."""
-        with self._lock:
+        untouched — it usually outlives the gateway.
+
+        Safe to call any number of times, from ``__del__``, or from an
+        :mod:`atexit` hook: a partially-constructed gateway (an
+        ``__init__`` that raised before the lock existed) is a no-op, and
+        a second close never re-tears-down the services."""
+        lock = getattr(self, "_lock", None)
+        if lock is None:
+            return
+        with lock:
             if self._closed:
                 return
             self._closed = True
@@ -185,3 +193,11 @@ class ServingGateway:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        # interpreter teardown may have dismantled half the world already;
+        # best-effort only, and double-close is already a no-op
+        try:
+            self.close()
+        except BaseException:
+            pass

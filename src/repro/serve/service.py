@@ -124,8 +124,15 @@ class InferenceService:
         return self.batcher.flush()
 
     def close(self) -> None:
-        self.batcher.close()
-        self.registry.remove_listener(self._on_stage_change)
+        """Idempotent teardown (``MicroBatcher.close`` drains once and is a
+        no-op after; listener removal tolerates absence) — safe under the
+        gateway's ``__del__``/atexit path even on a half-built service."""
+        batcher = getattr(self, "batcher", None)
+        if batcher is not None:
+            batcher.close()
+        registry = getattr(self, "registry", None)
+        if registry is not None:
+            registry.remove_listener(self._on_stage_change)
 
     def __enter__(self) -> "InferenceService":
         return self

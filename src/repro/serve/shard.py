@@ -1,0 +1,684 @@
+"""Process-sharded serving cluster: N gateway replicas behind one front door.
+
+One Python process tops out at one GIL's worth of request plumbing, and the
+taxonomy paper's deployment sections (drift per system, contention, load
+skew) are exactly the regimes where a single serving process becomes the
+bottleneck.  :class:`ShardedServingCluster` spawns ``n_shards`` worker
+processes, each hosting its **own** :class:`~repro.serve.registry.ModelRegistry`
+and :class:`~repro.serve.router.ServingGateway` replica, warm-started from a
+pickled snapshot of the parent's registry (models were frozen and
+fit-sealed on register, so they pickle and re-freeze cleanly — the PR 3
+roundtrip fix exists for this path).
+
+The parent keeps a single ``submit(name, row, kind)`` front door:
+
+* **hash routing** (default) — requests route by a consistent
+  :func:`blake2b <hashlib.blake2b>` hash of the model name, so one name's
+  traffic always lands on one shard and that shard's micro-batcher and
+  prediction cache see the whole stream (cache locality survives
+  sharding), or
+* **replicated routing** — every shard holds every model anyway (registry
+  mutations broadcast to all), so single-row traffic round-robins across
+  live shards and :meth:`~ShardedServingCluster.submit_block` fans the
+  rows of one large batch out across all of them in parallel.
+
+Requests multiplex over one duplex :mod:`multiprocessing` pipe per shard.
+Each worker answers its submissions **in FIFO order** — the same ticket
+semantics as :class:`~repro.serve.batcher.MicroBatcher` — and the parent
+completes a :class:`ClusterTicket` per response.  Registry mutations
+(register / promote / rollback / unregister) broadcast to every live
+shard through the same channel and wait for acknowledgement, so the
+version-keyed cache contract holds cluster-wide: after
+:meth:`~ShardedServingCluster.promote` returns, no shard will serve the
+old version to a new batch.
+
+The cluster adds no scoring path: every shard scores with the same frozen
+artifacts, so results stay **bit-identical** (``np.array_equal``) to a
+direct single-process :class:`~repro.serve.router.ServingGateway` — the
+serve layer's load-bearing invariant.  A worker crash surfaces as
+:class:`ShardCrashedError` on the affected tickets (pending *and* future)
+and :meth:`~ShardedServingCluster.respawn` rebuilds dead workers from the
+parent registry's current state; a client is never left hanging.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import pickle
+import queue
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.serve.batcher import _private_exception
+from repro.serve.registry import ModelRegistry
+from repro.serve.router import ServingGateway
+from repro.serve.stats import ClusterStats
+
+__all__ = ["ClusterTicket", "ShardCrashedError", "ShardedServingCluster"]
+
+_ROUTES = ("hash", "replicated")
+
+
+class ShardCrashedError(RuntimeError):
+    """A shard worker process died (or was killed) with requests on it."""
+
+
+def shard_for_name(name: str, n_shards: int) -> int:
+    """Consistent shard index for a model name.
+
+    Uses blake2b, not ``hash()`` — Python string hashing is salted per
+    process, and the whole point is that parent, workers, tests, and a
+    future second front-door process all agree on the owner."""
+    digest = hashlib.blake2b(name.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+def _picklable_exception(exc: BaseException) -> BaseException:
+    """An exception instance that survives the response pipe.
+
+    Worker-side failures ride the pipe back to the parent; an exception
+    whose args don't pickle (estimator objects, locks) would kill the
+    response instead of the request, so anything unpicklable is flattened
+    to a ``RuntimeError`` carrying its repr."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------- #
+# worker side
+# ---------------------------------------------------------------------- #
+def _apply_control(registry: ModelRegistry, action: str, name: str, payload: Any) -> Any:
+    """Replay one parent-side registry mutation on a worker's replica.
+
+    Every action is **idempotent against an already-applied state**: a
+    worker respawned between a mutation landing on the parent registry and
+    its broadcast going out warm-starts from a snapshot that already
+    contains the change, and then receives the queued broadcast anyway.
+    Replaying it must be a no-op (``promote`` to the current production
+    already is; the others check first), never a divergence or a spurious
+    error.
+    """
+    if action == "register":
+        model_bytes, version = payload
+        try:
+            existing = registry.versions(name)
+        except LookupError:
+            existing = []
+        if version in existing:
+            return version  # snapshot already carried it
+        got = registry.register(name, pickle.loads(model_bytes), version=version)
+        if got != version:
+            raise RuntimeError(f"replica filed {name!r} under v{got}, parent assigned v{version}")
+        return got
+    if action == "promote":
+        registry.promote(name, payload)
+        return payload
+    if action == "rollback":
+        # payload is the parent's post-rollback production version
+        if registry.production_version(name) == payload:
+            return payload  # snapshot already carried it
+        got = registry.rollback(name)
+        if got != payload:
+            raise RuntimeError(f"replica rolled {name!r} back to v{got}, parent to v{payload}")
+        return got
+    if action == "unregister":
+        try:
+            if payload not in registry.versions(name):
+                return payload  # snapshot already carried it
+        except LookupError:
+            return payload
+        registry.unregister(name, payload)
+        return payload
+    raise ValueError(f"unknown control action {action!r}")
+
+
+def _worker_main(
+    shard_id: int,
+    conn: Any,
+    snapshot_bytes: bytes,
+    gateway_kwargs: dict[str, Any],
+    result_timeout: float,
+) -> None:
+    """One shard: a gateway replica driven by the request pipe.
+
+    The main loop only *enqueues* — a submission goes straight into the
+    gateway's micro-batcher and its ticket onto the responder queue, so
+    requests coalesce into batches exactly as they would in-process.  The
+    responder thread completes tickets strictly in arrival order, which is
+    what gives the parent FIFO response semantics per shard.
+    """
+    registry = ModelRegistry()
+    registry.restore(pickle.loads(snapshot_bytes))
+    gateway = ServingGateway(registry, **gateway_kwargs)
+    send_lock = threading.Lock()
+    done_q: queue.SimpleQueue = queue.SimpleQueue()
+
+    def send(msg: tuple) -> None:
+        with send_lock:
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                pass  # parent gone; nothing useful left to do with a result
+
+    def responder() -> None:
+        while True:
+            item = done_q.get()
+            if item is None:
+                return
+            req_id, ticket = item
+            try:
+                send(("ok", req_id, ticket.result(timeout=result_timeout)))
+            except BaseException as exc:
+                send(("err", req_id, _picklable_exception(exc)))
+
+    resp_thread = threading.Thread(
+        target=responder, name=f"shard{shard_id}-responder", daemon=True
+    )
+    resp_thread.start()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            if op == "shutdown":
+                break
+            if op == "submit":
+                _, req_id, name, row, kind = msg
+                try:
+                    ticket = gateway.submit(name, row, kind=kind)
+                except BaseException as exc:
+                    send(("err", req_id, _picklable_exception(exc)))
+                else:
+                    done_q.put((req_id, ticket))
+            elif op == "flush":
+                _, req_id, name = msg
+                try:
+                    send(("ok", req_id, gateway.flush(name)))
+                except BaseException as exc:
+                    send(("err", req_id, _picklable_exception(exc)))
+            elif op == "stats":
+                try:
+                    send(("ok", msg[1], gateway.stats()))
+                except BaseException as exc:
+                    send(("err", msg[1], _picklable_exception(exc)))
+            elif op == "control":
+                _, req_id, action, name, payload = msg
+                try:
+                    send(("ok", req_id, _apply_control(registry, action, name, payload)))
+                except BaseException as exc:
+                    send(("err", req_id, _picklable_exception(exc)))
+            else:
+                send(("err", msg[1], ValueError(f"unknown op {op!r}")))
+    finally:
+        try:
+            gateway.close()  # completes every in-flight ticket first
+        except BaseException:
+            pass
+        done_q.put(None)  # after close: the responder drains real work first
+        resp_thread.join(timeout=result_timeout)
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------- #
+# parent side
+# ---------------------------------------------------------------------- #
+class ClusterTicket:
+    """Handle for one request routed to a shard; blocks in :meth:`result`."""
+
+    __slots__ = ("shard_id", "_event", "_value", "_error")
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not completed within timeout")
+        if self._error is not None:
+            # private copy per raise, same rule as batcher.Ticket: two
+            # threads re-raising one instance would race on __traceback__
+            raise _private_exception(self._error)
+        return self._value
+
+    def _complete(self, value: Any, error: BaseException | None) -> None:
+        self._value = value
+        self._error = error
+        self._event.set()
+
+
+class _BlockTicket:
+    """Row-parallel fan-out of one block: a ticket over per-shard parts."""
+
+    __slots__ = ("_parts", "_kind")
+
+    def __init__(self, parts: list[ClusterTicket], kind: str):
+        self._parts = parts
+        self._kind = kind
+
+    def done(self) -> bool:
+        return all(p.done() for p in self._parts)
+
+    def result(self, timeout: float | None = None) -> Any:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        values = []
+        for part in self._parts:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            values.append(part.result(remaining))
+        if len(values) == 1:
+            return values[0]
+        if self._kind == "predict_dist":
+            means, variances = zip(*values)
+            return np.concatenate(means), np.concatenate(variances)
+        return np.concatenate(values)
+
+
+class _ShardHandle:
+    """Parent-side bookkeeping for one worker: pipe, process, pending map."""
+
+    def __init__(self, shard_id: int, process: Any, conn: Any):
+        self.shard_id = shard_id
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()  # guards pending, next_req, alive, and sends
+        self.pending: dict[int, ClusterTicket] = {}
+        self.next_req = 0
+        self.alive = True
+        self.reader: threading.Thread | None = None
+
+
+class ShardedServingCluster:
+    """Serve one registry from ``n_shards`` gateway worker processes.
+
+    Parameters
+    ----------
+    registry:
+        The parent-side :class:`~repro.serve.registry.ModelRegistry` — the
+        cluster's source of truth.  Its current contents seed every worker;
+        later mutations must flow through :meth:`register` (models have to
+        ship to the workers), while ``promote``/``rollback``/``unregister``
+        may be called on either the cluster or the registry directly — a
+        registry listener broadcasts stage changes to every shard either
+        way.
+    n_shards:
+        Worker process count.
+    route:
+        ``"hash"`` pins each name to one shard (cache/batcher locality);
+        ``"replicated"`` round-robins rows across shards and enables
+        :meth:`submit_block` fan-out.
+    start_method:
+        :mod:`multiprocessing` start method; default prefers ``fork``
+        (cheap, instant warm-start) and falls back to ``spawn``.  Both
+        paths hand workers the same pickled snapshot, so behaviour is
+        method-invariant.
+    max_batch, max_delay, cache_entries, n_jobs:
+        Per-shard gateway defaults (each worker's per-name services are
+        created from these, exactly as in a single-process gateway).
+    request_timeout:
+        Worker-side cap on how long a responder waits for one ticket
+        before answering with an error — a wedged flush must not dam the
+        FIFO response stream forever.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        n_shards: int = 2,
+        route: str = "hash",
+        start_method: str | None = None,
+        max_batch: int = 256,
+        max_delay: float = 0.005,
+        cache_entries: int = 4096,
+        n_jobs: int | None = 1,
+        request_timeout: float = 60.0,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if route not in _ROUTES:
+            raise ValueError(f"route must be one of {_ROUTES}, got {route!r}")
+        self.registry = registry
+        self.route = route
+        self.request_timeout = float(request_timeout)
+        self._gateway_kwargs = {
+            "max_batch": int(max_batch),
+            "max_delay": float(max_delay),
+            "cache_entries": int(cache_entries),
+            "n_jobs": n_jobs,
+        }
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()  # serializes broadcasts and close
+        self._closed = False
+        self._rr = itertools.count()
+        # one snapshot serialization for the whole initial fleet — the
+        # models dominate the bytes and are identical for every worker
+        snapshot_bytes = pickle.dumps(registry.snapshot())
+        self._shards: list[_ShardHandle] = [
+            self._spawn(i, snapshot_bytes) for i in range(n_shards)
+        ]
+        registry.add_listener(self._on_stage_change)
+
+    # ------------------------------------------------------------------ #
+    # worker lifecycle
+    # ------------------------------------------------------------------ #
+    def _spawn(self, shard_id: int, snapshot_bytes: bytes | None = None) -> _ShardHandle:
+        if snapshot_bytes is None:  # respawn path: the state may have moved
+            snapshot_bytes = pickle.dumps(self.registry.snapshot())
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(shard_id, child_conn, snapshot_bytes, self._gateway_kwargs,
+                  self.request_timeout),
+            name=f"serve-shard-{shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker's copy is the only write end left
+        handle = _ShardHandle(shard_id, process, parent_conn)
+        handle.reader = threading.Thread(
+            target=self._reader, args=(handle,), name=f"shard{shard_id}-reader", daemon=True
+        )
+        handle.reader.start()
+        return handle
+
+    def _reader(self, handle: _ShardHandle) -> None:
+        """Complete tickets from one shard's response stream; when the
+        stream ends — EOF from a worker exit/kill, *or* any unexpected
+        decode failure — fail everything still pending.  The cleanup is a
+        ``finally`` because a reader that dies without marking the shard
+        dead would leave clients blocking forever on tickets nobody will
+        complete."""
+        try:
+            while True:
+                try:
+                    msg = handle.conn.recv()
+                except (EOFError, OSError):
+                    break
+                tag, req_id, payload = msg
+                with handle.lock:
+                    ticket = handle.pending.pop(req_id, None)
+                if ticket is None:
+                    continue  # late reply after a crash-fail; ticket already errored
+                if tag == "ok":
+                    ticket._complete(payload, None)
+                else:
+                    ticket._complete(None, payload)
+        finally:
+            with handle.lock:
+                handle.alive = False
+                orphans = list(handle.pending.values())
+                handle.pending.clear()
+            if orphans:
+                err = ShardCrashedError(
+                    f"shard {handle.shard_id} worker exited with "
+                    f"{len(orphans)} request(s) in flight"
+                )
+                for ticket in orphans:
+                    ticket._complete(None, err)
+
+    def respawn(self) -> int:
+        """Rebuild every dead shard from the registry's current state;
+        returns how many were restarted.  The replacement warm-starts from
+        a fresh snapshot, so mutations that happened while the shard was
+        down are already applied when it takes traffic again."""
+        respawned = 0
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ShardedServingCluster is closed")
+            for i, handle in enumerate(self._shards):
+                with handle.lock:
+                    dead = not handle.alive
+                if dead:
+                    try:
+                        handle.conn.close()
+                    except OSError:
+                        pass
+                    handle.process.join(timeout=1.0)
+                    self._shards[i] = self._spawn(handle.shard_id)
+                    respawned += 1
+        return respawned
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Hard-kill one worker (chaos hook for crash-path tests).  The
+        reader notices EOF, fails the shard's pending tickets, and marks
+        it dead; :meth:`respawn` brings a replacement up."""
+        handle = self._shards[shard_id]
+        handle.process.kill()
+        handle.process.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+    # routing + submission
+    # ------------------------------------------------------------------ #
+    def shard_of(self, name: str) -> int:
+        """The shard index hash routing assigns to ``name``."""
+        return shard_for_name(name, len(self._shards))
+
+    def live_shards(self) -> list[int]:
+        out = []
+        for handle in self._shards:
+            with handle.lock:
+                if handle.alive:
+                    out.append(handle.shard_id)
+        return out
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def _route(self, name: str) -> _ShardHandle:
+        if self.route == "hash":
+            return self._shards[self.shard_of(name)]
+        live = [h for h in self._shards if h.alive]
+        if not live:
+            return self._shards[next(self._rr) % len(self._shards)]  # dead; errors the ticket
+        return live[next(self._rr) % len(live)]
+
+    def _send_request(self, handle: _ShardHandle, op: str, *args: Any) -> ClusterTicket:
+        ticket = ClusterTicket(handle.shard_id)
+        with handle.lock:
+            if self._closed:
+                ticket._complete(None, RuntimeError("ShardedServingCluster is closed"))
+                return ticket
+            if not handle.alive:
+                ticket._complete(None, ShardCrashedError(
+                    f"shard {handle.shard_id} is down (call respawn())"
+                ))
+                return ticket
+            req_id = handle.next_req
+            handle.next_req += 1
+            handle.pending[req_id] = ticket
+            try:
+                handle.conn.send((op, req_id, *args))
+            except (BrokenPipeError, OSError):
+                handle.pending.pop(req_id, None)
+                ticket._complete(None, ShardCrashedError(
+                    f"shard {handle.shard_id} pipe is broken (call respawn())"
+                ))
+        return ticket
+
+    def submit(self, name: str, row: np.ndarray, kind: str = "predict") -> ClusterTicket:
+        """Route one request; returns a ticket whose ``result()`` blocks.
+
+        A dead route never hangs: the ticket completes immediately with
+        :class:`ShardCrashedError`."""
+        arr = np.asarray(row, dtype=float)
+        return self._send_request(self._route(name), "submit", name, arr, kind)
+
+    def submit_block(self, name: str, X: np.ndarray, kind: str = "predict"):
+        """Submit a whole (m, d) block.
+
+        Under ``"replicated"`` routing the rows split across every live
+        shard and score in parallel processes; the composite ticket
+        reassembles them in order.  Under ``"hash"`` routing the block
+        rides to the name's owner whole (one shard, one batch)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"block must be 2-D, got ndim={X.ndim}")
+        if self.route == "hash":
+            return self.submit(name, X, kind)
+        live = [h for h in self._shards if h.alive] or list(self._shards)
+        n_parts = max(1, min(len(live), X.shape[0]))
+        parts = [
+            self._send_request(live[i], "submit", name, chunk, kind)
+            for i, chunk in enumerate(np.array_split(X, n_parts))
+        ]
+        return _BlockTicket(parts, kind)
+
+    def predict(self, name: str, row: np.ndarray, timeout: float | None = None) -> Any:
+        return self.submit(name, row).result(timeout)
+
+    def predict_dist(self, name: str, row: np.ndarray, timeout: float | None = None) -> Any:
+        return self.submit(name, row, kind="predict_dist").result(timeout)
+
+    def predict_block(self, name: str, X: np.ndarray, timeout: float | None = None) -> Any:
+        return self.submit_block(name, X).result(timeout)
+
+    def flush(self, name: str | None = None) -> int:
+        """Force-score pending requests on every live shard."""
+        tickets = [
+            self._send_request(h, "flush", name) for h in self._shards if h.alive
+        ]
+        return sum(self._gather(tickets))
+
+    # ------------------------------------------------------------------ #
+    # registry mutations (broadcast)
+    # ------------------------------------------------------------------ #
+    def register(self, name: str, model: Any, promote: bool = False) -> int:
+        """Register on the parent registry, then ship the frozen, sealed
+        model to every shard pinned under the same version number.
+
+        Registration *must* go through the cluster (a listener can't see
+        plain registers, and the workers need the model bytes); the stage
+        aliases may be moved through either the cluster or the registry.
+        """
+        version = self.registry.register(name, model, promote=False)
+        frozen = self.registry.get(name, version)  # post-freeze, post-seal
+        self._broadcast("register", name, (pickle.dumps(frozen), version))
+        if promote:
+            self.registry.promote(name, version)  # listener broadcasts
+        return version
+
+    def promote(self, name: str, version: int) -> None:
+        self.registry.promote(name, version)
+
+    def rollback(self, name: str) -> int:
+        return self.registry.rollback(name)
+
+    def unregister(self, name: str, version: int) -> None:
+        self.registry.unregister(name, version)
+
+    def _on_stage_change(self, name: str, version: int, action: str) -> None:
+        if action in ("promote", "rollback", "unregister"):
+            self._broadcast(action, name, version)
+
+    def _broadcast(self, action: str, name: str, payload: Any) -> None:
+        """Apply one mutation on every live shard and wait for the acks —
+        after this returns, no live shard scores a new batch against the
+        pre-mutation stage.  Dead shards are skipped; their replacement
+        respawns from the parent snapshot, which already has the change.
+        A worker that *fails* to apply (replica divergence) is loud."""
+        with self._lock:
+            if self._closed:
+                return
+            tickets = [
+                self._send_request(h, "control", action, name, payload)
+                for h in self._shards if h.alive
+            ]
+        self._gather(tickets)
+
+    def _gather(self, tickets: list[ClusterTicket]) -> list[Any]:
+        """Results of a fan-out, tolerating shards that died mid-call."""
+        values = []
+        for ticket in tickets:
+            try:
+                values.append(ticket.result(timeout=self.request_timeout))
+            except ShardCrashedError:
+                continue  # the reader marked it dead; respawn() recovers
+        return values
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ClusterStats:
+        """Per-shard :class:`GatewayStats` snapshots (dead shards absent),
+        rolled up by :class:`~repro.serve.stats.ClusterStats`."""
+        pairs = [
+            (h.shard_id, self._send_request(h, "stats"))
+            for h in self._shards if h.alive
+        ]
+        per_shard = {}
+        for shard_id, ticket in pairs:
+            try:
+                per_shard[shard_id] = ticket.result(timeout=self.request_timeout)
+            except ShardCrashedError:
+                continue
+        return ClusterStats(per_shard=per_shard)
+
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut every worker down; idempotent and safe from ``__del__``.
+
+        Workers drain their in-flight tickets before exiting (their
+        gateway ``close`` completes everything), so responses already on
+        the wire still land; anything left after the timeout is killed.
+        """
+        shards = getattr(self, "_shards", None)
+        lock = getattr(self, "_lock", None)
+        if shards is None or lock is None:
+            return  # __init__ never got far enough to own workers
+        with lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self.registry.remove_listener(self._on_stage_change)
+        except Exception:
+            pass
+        deadline = time.monotonic() + timeout
+        for handle in shards:
+            with handle.lock:  # sends share the pipe with _send_request
+                if handle.alive:
+                    try:
+                        handle.conn.send(("shutdown",))
+                    except (BrokenPipeError, OSError):
+                        pass
+        for handle in shards:
+            handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            if handle.reader is not None:
+                handle.reader.join(timeout=max(0.1, deadline - time.monotonic()))
+
+    def __enter__(self) -> "ShardedServingCluster":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except BaseException:
+            pass

@@ -4,14 +4,18 @@
 :class:`GatewayStats` is the multi-model roll-up the
 :class:`~repro.serve.router.ServingGateway` exposes — per-name snapshots
 plus a field-wise total, so fleet dashboards and per-model debugging read
-from the same object.
+from the same object.  :class:`ClusterStats` stacks one more level: the
+per-shard :class:`GatewayStats` of a
+:class:`~repro.serve.shard.ShardedServingCluster`, rolled up both by name
+(across shards) and into one fleet total.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Iterable
 
-__all__ = ["GatewayStats", "ServerStats"]
+__all__ = ["ClusterStats", "GatewayStats", "ServerStats", "sum_stats"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +62,19 @@ class ServerStats:
         )
 
 
+def sum_stats(snapshots: Iterable[ServerStats]) -> ServerStats:
+    """Counter-wise sum of snapshots (ratios recompute from the summed
+    counters, so e.g. the result's ``hit_rate`` is the traffic-weighted
+    aggregate rate, not a mean of per-snapshot rates)."""
+    snapshots = list(snapshots)
+    sums = {
+        f.name: sum(getattr(s, f.name) for s in snapshots)
+        for f in fields(ServerStats)
+    }
+    sums["total_latency_s"] = float(sums["total_latency_s"])
+    return ServerStats(**sums)
+
+
 @dataclass(frozen=True)
 class GatewayStats:
     """Per-name service snapshots plus their field-wise aggregate."""
@@ -66,17 +83,45 @@ class GatewayStats:
 
     @property
     def total(self) -> ServerStats:
-        """Counter-wise sum across every served name (ratios recompute
-        from the summed counters, so e.g. ``total.hit_rate`` is the
-        traffic-weighted fleet rate, not a mean of per-name rates)."""
-        sums = {
-            f.name: sum(getattr(s, f.name) for s in self.per_name.values())
-            for f in fields(ServerStats)
-        }
-        sums["total_latency_s"] = float(sums["total_latency_s"])
-        return ServerStats(**sums)
+        return sum_stats(self.per_name.values())
 
     def summary(self) -> str:
         lines = [f"{name}: {s.summary()}" for name, s in sorted(self.per_name.items())]
         lines.append(f"TOTAL ({len(self.per_name)} models): {self.total.summary()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Per-shard gateway snapshots plus cross-shard roll-ups.
+
+    ``per_shard`` keys are shard ids (dead shards simply have no entry);
+    ``per_name`` merges each name's counters across every shard that
+    served it — under hash routing a name normally lives on one shard,
+    under replication on all of them — and ``total`` is the whole fleet.
+    """
+
+    per_shard: dict[int, GatewayStats]
+
+    @property
+    def per_name(self) -> dict[str, ServerStats]:
+        merged: dict[str, list[ServerStats]] = {}
+        for gw in self.per_shard.values():
+            for name, snap in gw.per_name.items():
+                merged.setdefault(name, []).append(snap)
+        return {name: sum_stats(snaps) for name, snaps in merged.items()}
+
+    @property
+    def total(self) -> ServerStats:
+        return sum_stats(gw.total for gw in self.per_shard.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"shard {sid}: {gw.total.summary()}"
+            for sid, gw in sorted(self.per_shard.items())
+        ]
+        lines.append(
+            f"CLUSTER ({len(self.per_shard)} shards, "
+            f"{len(self.per_name)} names): {self.total.summary()}"
+        )
         return "\n".join(lines)

@@ -1,8 +1,20 @@
 """Tier-1 test configuration.
 
-Registers the ``serve`` and ``gateway`` markers so the serving-layer
-tests can be selected (``-m serve``, ``-m gateway``) or excluded
-(``-m "not serve"``) while still running in the default tier-1 sweep.
+Registers the serve-stack markers so its tests can be selected or
+excluded while still running in the default tier-1 sweep:
+
+* ``serve`` — the whole batched-inference layer (registry, micro-batcher,
+  cache, service); every serve-stack test carries it, so
+  ``-m "serve or gateway or shard"`` (the verify skill's smoke target) is
+  the one-flag serve regression gate.
+* ``gateway`` — multi-model :class:`ServingGateway` routing plus the
+  :class:`AdaptiveBatchTuner` (including the hypothesis property suites,
+  which drive the tuner with an injected clock and fake batchers).
+* ``shard`` — the process-sharded :class:`ShardedServingCluster`: worker
+  warm-start from pickled frozen models, hash/replicated routing,
+  broadcast mutations, crash containment.  These tests fork worker
+  processes; they stay tier-1 but are the ones to deselect
+  (``-m "not shard"``) on platforms where subprocesses are awkward.
 """
 
 
@@ -14,4 +26,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "gateway: multi-model serving gateway + adaptive tuner tests; tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "shard: process-sharded serving cluster tests (fork worker processes); tier-1",
     )

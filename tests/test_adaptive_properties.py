@@ -1,0 +1,197 @@
+"""Property suite for the AIMD batch tuner (hypothesis, injected clock).
+
+The tuner runs unattended for the lifetime of a serving process, steering
+live batcher limits from whatever counter deltas traffic produces — so its
+safety properties must hold for *arbitrary* latency histories, not just
+the friendly ones unit tests pick.  Everything here drives
+:meth:`AdaptiveBatchTuner.step` against fake batchers under a fake clock:
+no sleeps, no threads, fully deterministic shrinking.
+
+Properties:
+
+* limits stay inside the configured clamp bounds after every window,
+* an over-target window backs off monotonically (never raises a limit),
+* an at/under-target window never lowers a limit,
+* a zero-completion window holds exactly (no latency evidence, no move),
+* the whole trajectory is a pure function of the window sequence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.adaptive import AdaptiveBatchTuner
+
+pytestmark = [pytest.mark.serve, pytest.mark.gateway]
+
+BATCH_BOUNDS = (8, 1024)
+DELAY_BOUNDS = (2e-4, 0.05)
+TARGET_MS = 5.0
+
+
+class FakeBatcher:
+    """Counter source shaped like a MicroBatcher, driven by the test."""
+
+    def __init__(self, max_batch=64, max_delay=0.005):
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.completed = 0
+        self.total_latency_s = 0.0
+        self.set_limit_calls = 0
+
+    def advance(self, completed_delta: int, latency_delta_s: float) -> None:
+        self.completed += completed_delta
+        self.total_latency_s += latency_delta_s
+
+    def counters(self) -> dict:
+        return {"completed": self.completed, "total_latency_s": self.total_latency_s}
+
+    def set_limits(self, max_batch=None, max_delay=None) -> None:
+        # same validation contract as the real batcher
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay is not None and max_delay <= 0:
+            raise ValueError("max_delay must be > 0")
+        if max_batch is not None:
+            self.max_batch = int(max_batch)
+        if max_delay is not None:
+            self.max_delay = float(max_delay)
+        self.set_limit_calls += 1
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _tuner(batcher, clock, **kw):
+    kw.setdefault("target_latency_ms", TARGET_MS)
+    kw.setdefault("batch_bounds", BATCH_BOUNDS)
+    kw.setdefault("delay_bounds", DELAY_BOUNDS)
+    return AdaptiveBatchTuner({"m": batcher}, clock=clock, **kw)
+
+
+# one window = (completed requests, summed latency seconds); zero-completion
+# windows and absurd latencies are the interesting corners, so both appear
+windows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2000),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+start_limits = st.tuples(
+    st.integers(min_value=BATCH_BOUNDS[0], max_value=BATCH_BOUNDS[1]),
+    st.floats(min_value=DELAY_BOUNDS[0], max_value=DELAY_BOUNDS[1]),
+)
+
+
+def _run(seq, start):
+    """Drive one tuner over a window sequence; yield per-window evidence."""
+    batcher = FakeBatcher(*start)
+    clock = FakeClock()
+    tuner = _tuner(batcher, clock)
+    tuner.step()  # first observation only snapshots counters
+    trace = []
+    for completed, latency_s in seq:
+        before = (batcher.max_batch, batcher.max_delay)
+        batcher.advance(completed, latency_s)
+        clock.now += 1.0
+        decisions = tuner.step()
+        assert len(decisions) == 1
+        trace.append((before, (batcher.max_batch, batcher.max_delay), decisions[0]))
+    return trace
+
+
+@settings(max_examples=120, deadline=None)
+@given(seq=windows, start=start_limits)
+def test_limits_always_within_clamp_bounds(seq, start):
+    for _before, after, _decision in _run(seq, start):
+        assert BATCH_BOUNDS[0] <= after[0] <= BATCH_BOUNDS[1]
+        assert DELAY_BOUNDS[0] <= after[1] <= DELAY_BOUNDS[1]
+
+
+@settings(max_examples=120, deadline=None)
+@given(seq=windows, start=start_limits)
+def test_aimd_direction_is_monotone_per_window(seq, start):
+    """Over target may only shrink the limits; at/under target may only
+    grow them; the recorded direction matches the observed window."""
+    for before, after, decision in _run(seq, start):
+        if decision.window_completed == 0:
+            continue
+        if decision.window_latency_ms > TARGET_MS:
+            assert decision.direction == "backoff"
+            assert after[0] <= before[0]
+            assert after[1] <= before[1]
+        else:
+            assert decision.direction == "grow"
+            assert after[0] >= before[0]
+            assert after[1] >= before[1]
+
+
+@settings(max_examples=120, deadline=None)
+@given(seq=windows, start=start_limits)
+def test_sustained_overload_converges_to_lower_bounds(seq, start):
+    """However the history starts, a long run of over-target windows walks
+    both limits down to the clamp floor (backoff is multiplicative, so the
+    descent is geometric — 40 windows is far more than enough)."""
+    batcher = FakeBatcher(*start)
+    clock = FakeClock()
+    tuner = _tuner(batcher, clock)
+    tuner.step()
+    for completed, latency_s in seq:
+        batcher.advance(completed, latency_s)
+        clock.now += 1.0
+        tuner.step()
+    for _ in range(40):
+        batcher.advance(100, 100 * (10 * TARGET_MS / 1e3))  # 10x over target
+        clock.now += 1.0
+        tuner.step()
+    assert batcher.max_batch == BATCH_BOUNDS[0]
+    assert batcher.max_delay == pytest.approx(DELAY_BOUNDS[0])
+
+
+@settings(max_examples=120, deadline=None)
+@given(seq=windows, start=start_limits)
+def test_zero_completion_windows_hold(seq, start):
+    for before, after, decision in _run(seq, start):
+        if decision.window_completed == 0:
+            assert decision.direction == "hold"
+            assert after == before
+
+
+@settings(max_examples=60, deadline=None)
+@given(seq=windows, start=start_limits)
+def test_trajectory_is_deterministic(seq, start):
+    """Two fresh tuners fed the same windows make identical decisions —
+    the controller reads nothing but the injected clock and counters."""
+    t1 = _run(seq, start)
+    t2 = _run(seq, start)
+    assert [(b, a) for b, a, _ in t1] == [(b, a) for b, a, _ in t2]
+    for (_, _, d1), (_, _, d2) in zip(t1, t2):
+        assert (d1.direction, d1.max_batch, d1.max_delay, d1.window_completed) == (
+            d2.direction, d2.max_batch, d2.max_delay, d2.window_completed
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(seq=windows, start=start_limits)
+def test_hold_windows_write_nothing(seq, start):
+    """A hold must not even call set_limits — a no-op write would still
+    take the live batcher's queue lock under traffic."""
+    batcher = FakeBatcher(*start)
+    clock = FakeClock()
+    tuner = _tuner(batcher, clock)
+    tuner.step()
+    for completed, latency_s in seq:
+        calls_before = batcher.set_limit_calls
+        batcher.advance(completed, latency_s)
+        clock.now += 1.0
+        (decision,) = tuner.step()
+        if decision.direction == "hold":
+            assert batcher.set_limit_calls == calls_before

@@ -400,3 +400,49 @@ class TestAdaptiveBatchTuner:
                 for r in _data(n=10, seed=10)[0]:
                     gw.predict("forest", r, timeout=10.0)
             tuner.stop()  # idempotent after context exit
+
+
+# ---------------------------------------------------------------------- #
+class TestCloseIdempotence:
+    """Regression: teardown must be safe however many times — and from
+    whatever thread of execution — it runs.  ``__del__`` and atexit hooks
+    call close() on objects in arbitrary states, including ones whose
+    ``__init__`` never finished; double-close used to rely on every caller
+    being careful."""
+
+    def test_gateway_double_close_and_del(self, data, gbm, forest):
+        reg = _registry(gbm, forest)
+        gw = ServingGateway(reg, max_batch=8, max_delay=0.01)
+        assert gw.predict("gbm", _data(n=1, seed=5)[0][0], timeout=10.0) is not None
+        gw.close()
+        gw.close()  # second close: no re-teardown, no raise
+        gw.__del__()  # finalizer path after an explicit close
+        with pytest.raises(RuntimeError, match="closed"):
+            gw.submit("gbm", _data(n=1, seed=5)[0][0])
+        # close() deregistered the services' listeners exactly once: a
+        # stage change afterwards must not touch the dead services
+        v = reg.register("gbm", forest)
+        reg.promote("gbm", v)
+
+    def test_gateway_close_on_partially_constructed_instance(self):
+        gw = object.__new__(ServingGateway)  # __init__ never ran
+        gw.close()  # must be a silent no-op
+        gw.__del__()
+
+    def test_service_double_close(self, data, gbm, forest):
+        from repro.serve import InferenceService
+
+        reg = _registry(gbm, forest)
+        svc = InferenceService(reg, "gbm", max_batch=8, max_delay=0.01)
+        assert svc.predict(_data(n=1, seed=6)[0][0], timeout=10.0) is not None
+        svc.close()
+        svc.close()
+        svc2 = object.__new__(InferenceService)  # half-built service
+        svc2.close()
+
+    def test_flush_after_close_is_harmless(self, data, gbm, forest):
+        reg = _registry(gbm, forest)
+        gw = ServingGateway(reg, max_batch=8, max_delay=0.01)
+        gw.predict("forest", _data(n=1, seed=7)[0][0], timeout=10.0)
+        gw.close()
+        assert gw.flush() == 0  # nothing pending, nothing raised

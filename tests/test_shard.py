@@ -1,0 +1,348 @@
+"""Tests for the process-sharded serving cluster.
+
+The cluster's contract mirrors the rest of the serve stack: process
+sharding is routing and plumbing, never arithmetic.  Every answer must be
+bit-identical (``np.array_equal``) to a direct single-process predict on
+the same registered model, registry mutations must hold cluster-wide the
+moment the mutating call returns, and a dead worker must surface as
+per-ticket errors — never a hung client.
+"""
+
+import json
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.serve import (
+    ClusterStats,
+    ModelRegistry,
+    ServingGateway,
+    ShardCrashedError,
+    ShardedServingCluster,
+)
+from repro.serve.shard import shard_for_name
+
+pytestmark = [pytest.mark.serve, pytest.mark.shard]
+
+
+def _data(n=600, d=6, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, d))
+    y = np.sin(2 * X[:, 0]) + X[:, 1] * X[:, 2] + 0.05 * rng.normal(0, 1, n)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def data():
+    return _data()
+
+
+@pytest.fixture(scope="module")
+def forest(data):
+    X, y = data
+    return RandomForestRegressor(n_estimators=20, max_depth=8, random_state=1).fit(X, y)
+
+
+@pytest.fixture(scope="module")
+def gbm(data):
+    X, y = data
+    return GradientBoostingRegressor(n_estimators=20, max_depth=3, loss="squared").fit(X, y)
+
+
+def _registry(forest, gbm):
+    reg = ModelRegistry()
+    reg.register("forest", forest, promote=True)
+    reg.register("gbm", gbm, promote=True)
+    return reg
+
+
+def _cluster(reg, **kw):
+    kw.setdefault("n_shards", 2)
+    kw.setdefault("max_batch", 16)
+    kw.setdefault("max_delay", 0.01)
+    return ShardedServingCluster(reg, **kw)
+
+
+# ---------------------------------------------------------------------- #
+class TestRouting:
+    def test_name_hash_is_stable_and_in_range(self):
+        for name in ("forest", "gbm", "io-throughput", "a", ""):
+            for n in (1, 2, 3, 7):
+                idx = shard_for_name(name, n)
+                assert 0 <= idx < n
+                assert idx == shard_for_name(name, n)  # process-independent
+
+    def test_hash_route_pins_a_name_to_one_shard(self, forest, gbm):
+        reg = _registry(forest, gbm)
+        with _cluster(reg) as cluster:
+            owner = cluster.shard_of("forest")
+            tickets = [cluster.submit("forest", _data(n=10, seed=3)[0][i]) for i in range(10)]
+            cluster.flush()
+            for t in tickets:
+                t.result(timeout=20.0)
+                assert t.shard_id == owner
+
+
+class TestBitIdentity:
+    def test_two_shard_two_name_stream_matches_single_process_gateway(
+        self, forest, gbm
+    ):
+        """The acceptance gate: a 2-shard cluster serving 2 names returns
+        predictions np.array_equal to a single-process ServingGateway."""
+        reg = _registry(forest, gbm)
+        rows = _data(n=120, seed=7)[0]
+        names = ["forest" if i % 3 else "gbm" for i in range(len(rows))]
+
+        with ServingGateway(reg, max_batch=16, max_delay=0.01) as gw:
+            tickets = [(n, gw.submit(n, r)) for n, r in zip(names, rows)]
+            gw.flush()
+            single = {"forest": [], "gbm": []}
+            for n, t in tickets:
+                single[n].append(t.result(timeout=20.0))
+
+        with _cluster(reg) as cluster:
+            tickets = [(n, cluster.submit(n, r)) for n, r in zip(names, rows)]
+            cluster.flush()
+            sharded = {"forest": [], "gbm": []}
+            for n, t in tickets:
+                sharded[n].append(t.result(timeout=20.0))
+
+        for name in ("forest", "gbm"):
+            assert np.array_equal(np.array(sharded[name]), np.array(single[name]))
+
+    def test_predict_dist_routes_through_shards(self, forest, gbm):
+        reg = _registry(forest, gbm)
+        rows = _data(n=8, seed=11)[0]
+        with _cluster(reg) as cluster:
+            got = [cluster.predict_dist("forest", r, timeout=20.0) for r in rows]
+        for r, (m, v) in zip(rows, got):
+            mr, vr = forest.predict_dist(r[None, :])
+            assert m == mr[0] and v == vr[0]
+
+    def test_replicated_block_fanout_bit_identical(self, forest, gbm):
+        reg = _registry(forest, gbm)
+        X = _data(n=97, seed=13)[0]  # odd count: uneven chunks must reassemble
+        with _cluster(reg, route="replicated", max_batch=64) as cluster:
+            got = cluster.predict_block("forest", X, timeout=20.0)
+            assert np.array_equal(got, forest.predict(X))
+            m, v = cluster.submit_block("forest", X, kind="predict_dist").result(20.0)
+            mr, vr = forest.predict_dist(X)
+            assert np.array_equal(m, mr) and np.array_equal(v, vr)
+
+    def test_replicated_single_rows_bit_identical(self, forest, gbm):
+        reg = _registry(forest, gbm)
+        rows = _data(n=40, seed=17)[0]
+        with _cluster(reg, route="replicated") as cluster:
+            tickets = [cluster.submit("gbm", r) for r in rows]
+            cluster.flush()
+            got = np.array([t.result(timeout=20.0) for t in tickets])
+            shards_used = {t.shard_id for t in tickets}
+        assert np.array_equal(got, gbm.predict(rows))
+        assert len(shards_used) == 2  # round-robin actually spread the load
+
+
+# ---------------------------------------------------------------------- #
+class TestBroadcastMutations:
+    def test_register_promote_rollback_unregister_hold_cluster_wide(
+        self, data, forest, gbm
+    ):
+        X, y = data
+        reg = _registry(forest, gbm)
+        probe = _data(n=3, seed=19)[0]
+        v2_model = RandomForestRegressor(n_estimators=20, max_depth=8, random_state=9).fit(X, y)
+        with _cluster(reg) as cluster:
+            assert cluster.predict("forest", probe[0], timeout=20.0) == \
+                forest.predict(probe[0][None, :])[0]
+
+            v2 = cluster.register("forest", v2_model, promote=True)
+            assert reg.production_version("forest") == v2
+            # distinct probe rows per stage: results must come from the
+            # broadcast-promoted replica, not a stale worker cache
+            assert cluster.predict("forest", probe[1], timeout=20.0) == \
+                v2_model.predict(probe[1][None, :])[0]
+
+            cluster.rollback("forest")
+            assert cluster.predict("forest", probe[2], timeout=20.0) == \
+                forest.predict(probe[2][None, :])[0]
+
+            cluster.unregister("forest", v2)
+            assert reg.versions("forest") == [1]
+            # the replicas dropped it too: re-registering reuses v2's slot
+            v3 = cluster.register("forest", v2_model)
+            assert v3 == v2 + 1
+
+    def test_control_replay_is_idempotent(self, data, forest, gbm):
+        """A worker respawned between a parent mutation and its broadcast
+        warm-starts from a snapshot that already holds the change, then
+        receives the queued broadcast anyway — replaying every action on
+        an already-consistent replica must be a no-op, not a divergence."""
+        from repro.serve.shard import _apply_control
+
+        X, y = data
+        reg = _registry(forest, gbm)
+        v2_model = RandomForestRegressor(n_estimators=20, max_depth=8, random_state=3).fit(X, y)
+        v2 = reg.register("forest", v2_model, promote=True)
+        reg.rollback("forest")
+
+        replica = ModelRegistry()
+        replica.restore(reg.snapshot())  # snapshot already carries everything
+        payload = (pickle.dumps(reg.get("forest", v2)), v2)
+        assert _apply_control(replica, "register", "forest", payload) == v2
+        assert replica.versions("forest") == [1, v2]
+        # replayed rollback: production already at the target, history intact
+        assert _apply_control(replica, "rollback", "forest", 1) == 1
+        assert replica.production_version("forest") == 1
+        _apply_control(replica, "promote", "forest", 1)  # no history push
+        reg.unregister("forest", v2)
+        replica.unregister("forest", v2)
+        assert _apply_control(replica, "unregister", "forest", v2) == v2
+        assert replica.versions("forest") == [1]
+
+    def test_mutations_through_registry_directly_also_broadcast(self, data, forest, gbm):
+        X, y = data
+        reg = _registry(forest, gbm)
+        v2_model = RandomForestRegressor(n_estimators=20, max_depth=8, random_state=5).fit(X, y)
+        probe = _data(n=2, seed=23)[0]
+        with _cluster(reg) as cluster:
+            v2 = cluster.register("gbm", v2_model)  # register must ship bytes
+            reg.promote("gbm", v2)  # listener broadcast
+            assert cluster.predict("gbm", probe[0], timeout=20.0) == \
+                v2_model.predict(probe[0][None, :])[0]
+            reg.rollback("gbm")
+            assert cluster.predict("gbm", probe[1], timeout=20.0) == \
+                gbm.predict(probe[1][None, :])[0]
+
+
+# ---------------------------------------------------------------------- #
+class TestCrashContainment:
+    def test_worker_kill_fails_tickets_and_respawn_recovers(self, forest, gbm):
+        """The acceptance gate: a killed worker yields per-ticket errors
+        (no hang) and respawn() restores bit-identical service."""
+        reg = _registry(forest, gbm)
+        rows = _data(n=6, seed=29)[0]
+        with _cluster(reg, max_batch=512, max_delay=30.0) as cluster:
+            victim = cluster.shard_of("forest")
+            # park requests on the victim: huge limits keep them pending
+            in_flight = [cluster.submit("forest", r) for r in rows[:3]]
+            cluster.kill_shard(victim)
+            for t in in_flight:
+                with pytest.raises(ShardCrashedError):
+                    t.result(timeout=10.0)
+            # post-crash submits error immediately instead of hanging
+            with pytest.raises(ShardCrashedError):
+                cluster.submit("forest", rows[3]).result(timeout=10.0)
+            assert cluster.live_shards() != list(range(cluster.n_shards))
+
+            assert cluster.respawn() == 1
+            assert cluster.live_shards() == list(range(cluster.n_shards))
+            ticket = cluster.submit("forest", rows[4])
+            cluster.flush()  # the huge test limits never self-flush
+            assert ticket.result(timeout=20.0) == forest.predict(rows[4][None, :])[0]
+
+    def test_respawned_worker_carries_mutations_made_while_down(
+        self, data, forest, gbm
+    ):
+        X, y = data
+        reg = _registry(forest, gbm)
+        v2_model = RandomForestRegressor(n_estimators=20, max_depth=8, random_state=7).fit(X, y)
+        probe = _data(n=1, seed=31)[0][0]
+        with _cluster(reg) as cluster:
+            cluster.kill_shard(cluster.shard_of("forest"))
+            v2 = cluster.register("forest", v2_model, promote=True)  # owner is down
+            cluster.respawn()  # warm-starts from the *current* snapshot
+            assert cluster.predict("forest", probe, timeout=20.0) == \
+                v2_model.predict(probe[None, :])[0]
+            assert reg.production_version("forest") == v2
+
+
+# ---------------------------------------------------------------------- #
+class TestStatsAndLifecycle:
+    def test_cluster_stats_aggregate_per_shard_and_per_name(self, forest, gbm):
+        reg = _registry(forest, gbm)
+        rows = _data(n=30, seed=37)[0]
+        with _cluster(reg) as cluster:
+            for i, r in enumerate(rows):
+                cluster.predict("forest" if i % 2 else "gbm", r, timeout=20.0)
+            # a result() return races the flusher's counter bump by a few
+            # microseconds — poll until the last flush finishes accounting
+            for _ in range(100):
+                stats = cluster.stats()
+                if stats.total.completed == len(rows):
+                    break
+                time.sleep(0.01)
+        assert isinstance(stats, ClusterStats)
+        assert set(stats.per_shard) == {0, 1}
+        per_name = stats.per_name
+        assert per_name["forest"].requests == 15
+        assert per_name["gbm"].requests == 15
+        assert stats.total.requests == 30
+        assert stats.total.completed == 30
+        # per-shard totals sum to the cluster total, field by field
+        assert sum(gw.total.requests for gw in stats.per_shard.values()) == 30
+
+    def test_close_is_idempotent_and_del_safe(self, forest, gbm):
+        reg = _registry(forest, gbm)
+        cluster = _cluster(reg)
+        assert cluster.predict("forest", _data(n=1, seed=41)[0][0], timeout=20.0)
+        cluster.close()
+        cluster.close()  # second close is a no-op
+        cluster.__del__()  # and the finalizer path never raises
+        with pytest.raises((RuntimeError, ShardCrashedError)):
+            cluster.submit("forest", _data(n=1, seed=41)[0][0]).result(timeout=5.0)
+        # a listener left behind would re-broadcast into closed pipes:
+        # a real stage change on the registry must not raise after close
+        v2 = reg.register("forest", gbm)
+        reg.promote("forest", v2)
+
+    def test_snapshot_roundtrips_through_pickle(self, forest, gbm):
+        reg = _registry(forest, gbm)
+        snap = pickle.loads(pickle.dumps(reg.snapshot()))
+        replica = ModelRegistry()
+        replica.restore(snap)
+        assert replica.names() == reg.names()
+        row = _data(n=1, seed=43)[0]
+        assert replica.get("forest").predict(row) == forest.predict(row)
+        assert replica.production_version("forest") == reg.production_version("forest")
+
+    def test_bad_requests_stay_per_ticket(self, forest, gbm):
+        reg = _registry(forest, gbm)
+        with _cluster(reg) as cluster:
+            bad = cluster.submit("forest", np.ones(3))  # wrong width
+            unknown = cluster.submit("nope", np.ones(6))
+            good = cluster.submit("forest", _data(n=1, seed=47)[0][0])
+            cluster.flush()
+            with pytest.raises(Exception):
+                bad.result(timeout=20.0)
+            with pytest.raises(LookupError):
+                unknown.result(timeout=20.0)
+            assert good.result(timeout=20.0) == pytest.approx(
+                forest.predict(_data(n=1, seed=47)[0])[0]
+            )
+            # the cluster survives its clients
+            assert cluster.live_shards() == [0, 1]
+
+
+# ---------------------------------------------------------------------- #
+class TestCLI:
+    def test_serve_bench_shards_records_cluster_entry(self, tmp_path, monkeypatch):
+        """The acceptance gate: repro serve-bench --shards 2 lands a
+        cluster entry in benchmarks/results/BENCH_serve.json."""
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "serve-bench", "--shards", "2", "--train", "400", "--trees", "10",
+            "--requests", "120", "--batch", "32",
+        ])
+        assert rc == 0
+        trajectory = json.loads(
+            (tmp_path / "benchmarks" / "results" / "BENCH_serve.json").read_text()
+        )
+        assert len(trajectory) == 1
+        entry = trajectory[0]["cluster"]
+        assert entry["n_shards"] == 2
+        assert entry["n_requests"] == 120
+        assert "speedup_cluster" in entry and "speedup_block" in entry
