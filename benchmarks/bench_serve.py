@@ -7,11 +7,15 @@ the throughput/latency trajectory — one entry per run, like
 ``BENCH_kernels.json`` — into ``benchmarks/results/BENCH_serve.json``.
 A fourth scenario routes one interleaved stream over *both* models
 through the multi-model :class:`~repro.serve.router.ServingGateway` with
-the adaptive batch tuner stepping between waves, and a fifth serves the
+the adaptive batch tuner stepping between waves, a fifth serves the
 same workload through a two-process
 :class:`~repro.serve.shard.ShardedServingCluster` (hash-routed stream +
-replicated row-parallel block fan-out).  Bit-identity across every path
-is asserted inside the bench core before any number is written.
+replicated row-parallel block fan-out), and a sixth measures the online
+monitoring plane: monitored vs. unmonitored stream throughput (the
+``repro.serve.monitor`` overhead contract, ≤ 5 %) plus a drift-injection
+pass whose PSI alert must auto-rollback production.  Bit-identity across
+every path is asserted inside the bench core before any number is
+written.
 
 Runs standalone (``python benchmarks/bench_serve.py``) or via an explicit
 pytest path (``pytest benchmarks/bench_serve.py``); the same comparison is
@@ -27,6 +31,7 @@ from pathlib import Path
 from repro.serve.bench import (
     record_trajectory_entry,
     run_gateway_bench,
+    run_monitor_bench,
     run_serve_bench,
     run_shard_bench,
 )
@@ -73,6 +78,15 @@ def run() -> dict:
     )
     entry["cluster"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
 
+    t0 = time.perf_counter()
+    entry["monitor"] = run_monitor_bench(
+        kind="forest",
+        n_trees=N_TREES,
+        n_requests=N_REQUESTS,
+        max_batch=MAX_BATCH,
+    )
+    entry["monitor"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+
     record_trajectory_entry(entry, RESULTS_DIR)
 
     lines = ["SERVE (micro-batched vs direct, 1-row request streams)"]
@@ -98,6 +112,13 @@ def run() -> dict:
         f"{c['cluster_rps']:.0f} req/s ({c['speedup_cluster']:.2f}x stream, "
         f"{c['speedup_block']:.2f}x replicated {c['block_rows']}-row block)"
     )
+    m = entry["monitor"]
+    lines.append(
+        f"monitor: {m['plain_rps']:.0f} -> {m['monitored_rps']:.0f} req/s "
+        f"monitored ({m['overhead_pct']:+.2f}% overhead, budget "
+        f"{m['max_overhead_pct']:.0f}%); injected drift PSI {m['max_psi']:.2f} "
+        f"-> auto-rollback to v{m['rolled_back_to']}"
+    )
     table = "\n".join(lines)
     print("\n" + table)
     (RESULTS_DIR / "serve.txt").write_text(table + "\n")
@@ -113,6 +134,9 @@ def test_serve_bench():
     # the perf floor is deliberately loose — IPC costs real time and both
     # bench names can hash-route to one shard
     assert entry["cluster"]["speedup_cluster"] >= 1.0
+    # the monitor's gates (<=5% overhead, drift detection + rollback) are
+    # asserted inside run_monitor_bench — reaching here means they held
+    assert entry["monitor"]["overhead_pct"] <= entry["monitor"]["max_overhead_pct"]
 
 
 if __name__ == "__main__":

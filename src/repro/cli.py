@@ -11,7 +11,9 @@ Every major capability is reachable without writing Python::
     repro drift     --dataset theta.npz
     repro serve-bench --models forest gbm --requests 2000
     repro serve-bench --gateway --target-ms 5
+    repro serve-bench --gateway --monitor
     repro serve-bench --shards 2
+    repro monitor-bench --requests 2000
 
 Commands accept either ``--dataset file.npz`` (a saved dataset) or
 ``--platform/--jobs/--seed`` to simulate one on the fly.
@@ -154,6 +156,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         run_shard_bench,
     )
 
+    if args.monitor and args.shards:
+        print("--monitor applies to gateway mode; drop --shards", file=sys.stderr)
+        return 2
+
     if args.shards:
         r = run_shard_bench(
             kinds=tuple(args.models),
@@ -184,7 +190,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"recorded cluster entry in {path}")
         return 0
 
-    if args.gateway:
+    if args.gateway or args.monitor:
         r = run_gateway_bench(
             kinds=tuple(args.models),
             n_train=args.train,
@@ -194,6 +200,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             max_delay=args.deadline_ms / 1e3,
             seed=args.seed,
             target_latency_ms=args.target_ms,
+            monitor=args.monitor,
         )
         rows = [
             [name, p["requests"], p["batches"], f"{p['mean_batch_rows']:.0f}",
@@ -209,6 +216,15 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                    f"{len(r['models'])} models: {r['direct_rps']:.0f} -> "
                    f"{r['gateway_rps']:.0f} req/s ({r['speedup_gateway']:.1f}x, "
                    f"target {args.target_ms:.1f}ms)")))
+        if args.monitor:
+            m = r["monitor"]
+            psi = ", ".join(
+                f"{name}: PSI {entry.get('max_psi', 0.0):.3f}"
+                for name, entry in sorted(m["per_name"].items())
+            )
+            print(f"monitor plane: {m['alerts']} alerts, "
+                  f"{m['tap_errors']} tap errors, windowed {psi} "
+                  "(bit-identity gate passed with the plane attached)")
         return 0
 
     rows = []
@@ -233,6 +249,39 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
          "speedup", "batch rows", "hit rate"],
         rows,
         title="Serving throughput — 1-row request stream (micro-batched vs direct)"))
+    return 0
+
+
+def cmd_monitor_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import record_trajectory_entry, run_monitor_bench
+
+    r = run_monitor_bench(
+        kind=args.model,
+        n_train=args.train,
+        n_trees=args.trees,
+        n_requests=args.requests,
+        max_batch=args.batch,
+        max_delay=args.deadline_ms / 1e3,
+        seed=args.seed,
+        repeats=args.repeats,
+        max_overhead_pct=args.max_overhead,
+    )
+    rows = [
+        ["unmonitored", f"{r['plain_rps']:.0f}", "-"],
+        ["monitored", f"{r['monitored_rps']:.0f}",
+         f"{r['overhead_pct']:+.2f}% (budget {r['max_overhead_pct']:.1f}%)"],
+    ]
+    print(format_table(
+        ["stream", "req/s", "overhead"],
+        rows,
+        title=(f"Monitoring plane — {r['n_requests']} requests x "
+               f"{r['model']} ({r['n_trees']} trees), best of {r['repeats']}: "
+               "bit-identical with the plane attached")))
+    drift = "; ".join(f"{e['rule']} -> {e['action']}" for e in r["drift_events"])
+    print(f"injected drift (windowed PSI {r['max_psi']:.2f}): {drift}; "
+          f"production restored to v{r['rolled_back_to']}")
+    path = record_trajectory_entry({"monitor": r}, args.record_dir)
+    print(f"recorded monitor entry in {path}")
     return 0
 
 
@@ -319,12 +368,38 @@ def build_parser() -> argparse.ArgumentParser:
                            "record a cluster entry in the serve trajectory")
     p.add_argument("--target-ms", type=float, default=5.0,
                    help="adaptive tuner latency target (gateway mode)")
+    p.add_argument("--monitor", action="store_true",
+                   help="attach the online monitoring plane to the gateway run "
+                        "(implies --gateway; the bit-identity gate then also "
+                        "checks the plane's observational contract)")
     p.add_argument("--train", type=int, default=3000,
                    help="training rows per benched model")
     p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"),
                    help="trajectory directory for --shards entries")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "monitor-bench",
+        help="monitoring-plane overhead (monitored vs unmonitored stream, "
+             "<=5%% budget) + drift-detection/auto-rollback check",
+    )
+    p.add_argument("--model", default="forest", choices=("forest", "gbm"))
+    p.add_argument("--trees", type=int, default=150)
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument("--deadline-ms", type=float, default=50.0,
+                   help="deliberately generous: keeps the batch shape identical "
+                        "on both paths so the overhead number is tap cost, not "
+                        "a deadline-race artifact")
+    p.add_argument("--train", type=int, default=3000)
+    p.add_argument("--repeats", type=int, default=7,
+                   help="replays per path; best wall time wins (noise control)")
+    p.add_argument("--max-overhead", type=float, default=5.0,
+                   help="overhead budget in percent; exceeding it fails the bench")
+    p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_monitor_bench)
 
     p = sub.add_parser("schedule", help="compare placement policies on a dragonfly")
     p.add_argument("--jobs", type=int, default=200)

@@ -15,7 +15,30 @@ import numpy as np
 from repro.ml.agebo import AgingEvolutionSearch
 from repro.ml.ensemble import DeepEnsemble, UncertaintyDecomposition
 
-__all__ = ["AutoDeuqResult", "autodeuq", "ensemble_from_nas"]
+__all__ = ["AutoDeuqResult", "autodeuq", "ensemble_from_nas", "epistemic_sample"]
+
+
+def epistemic_sample(model, X: np.ndarray) -> np.ndarray:
+    """Per-row epistemic-uncertainty sample (as a std) for a fitted model.
+
+    The common currency of the AU/EU split (§VIII) that the online
+    monitor's :class:`~repro.serve.monitor.uncertainty.UncertaintyTap`
+    registers as its reference: ensembles with a full decomposition
+    report ``epistemic_std`` directly; ``predict_dist``-capable tree
+    ensembles report their across-member spread (member disagreement *is*
+    the epistemic part — every member saw the same noise floor).
+    """
+    X = np.asarray(X, dtype=float)
+    decompose = getattr(model, "decompose", None)
+    if callable(decompose):
+        return np.asarray(decompose(X).epistemic_std, dtype=float)
+    predict_dist = getattr(model, "predict_dist", None)
+    if callable(predict_dist):
+        _, var = predict_dist(X)
+        return np.sqrt(np.maximum(np.asarray(var, dtype=float), 0.0))
+    raise TypeError(
+        f"{type(model).__name__} exposes neither decompose nor predict_dist"
+    )
 
 
 @dataclass

@@ -14,6 +14,14 @@ every live batcher's ``max_batch``/``max_delay`` toward a latency target.
 N worker gateways warm-started from pickled frozen models, hash or
 replicated routing, broadcast registry mutations, and crash containment —
 still bit-identical to the single-process path.
+
+:mod:`repro.serve.monitor` closes the loop the paper's taxonomy demands:
+a :class:`MonitoringPlane` taps the gateway/cluster front door
+(observationally — monitored serving stays bit-identical), windows the
+live stream's drift and epistemic uncertainty against registered
+training references, shadow-scores staged challengers, and lets a
+:class:`PolicyEngine` alert, auto-promote, or auto-rollback through the
+registry's listener machinery so actions propagate cluster-wide.
 """
 
 from repro.serve.adaptive import AdaptiveBatchTuner, TuningDecision
@@ -25,7 +33,23 @@ from repro.serve.bench import (
     run_shard_bench,
 )
 from repro.serve.cache import PredictionCache, request_digest
-from repro.serve.registry import ModelRegistry, ModelVersion, freeze_arrays
+from repro.serve.monitor import (
+    EuQuantileRule,
+    MonitorEvent,
+    MonitoringPlane,
+    PolicyEngine,
+    PsiThresholdRule,
+    ShadowScorer,
+    ShadowWinnerRule,
+    StreamProfile,
+    UncertaintyTap,
+)
+from repro.serve.registry import (
+    ModelRegistry,
+    ModelVersion,
+    ReferenceSnapshot,
+    freeze_arrays,
+)
 from repro.serve.router import ServingGateway
 from repro.serve.service import CompletedTicket, InferenceService
 from repro.serve.shard import ClusterTicket, ShardCrashedError, ShardedServingCluster
@@ -36,18 +60,28 @@ __all__ = [
     "ClusterStats",
     "ClusterTicket",
     "CompletedTicket",
+    "EuQuantileRule",
     "GatewayStats",
     "InferenceService",
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
+    "MonitorEvent",
+    "MonitoringPlane",
+    "PolicyEngine",
     "PredictionCache",
+    "PsiThresholdRule",
+    "ReferenceSnapshot",
     "ServerStats",
     "ServingGateway",
+    "ShadowScorer",
+    "ShadowWinnerRule",
     "ShardCrashedError",
     "ShardedServingCluster",
+    "StreamProfile",
     "Ticket",
     "TuningDecision",
+    "UncertaintyTap",
     "freeze_arrays",
     "make_serve_model",
     "request_digest",

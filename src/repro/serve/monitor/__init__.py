@@ -1,0 +1,60 @@
+"""Online error-source monitoring plane over the serving stack.
+
+The paper's thesis is that deployed HPC I/O models fail through a
+*taxonomy* of error sources — distribution drift, out-of-distribution
+jobs, aleatory vs. epistemic uncertainty, miscalibration — and its
+deployment sections (§VIII; Madireddy et al., ref [5]; Netti et al.,
+arXiv:1810.11208) show those signals must be computed **online, on the
+live stream**, not in a monthly report.  This package operationalizes
+the taxonomy over :mod:`repro.serve`:
+
+* :class:`~repro.serve.monitor.profile.StreamProfile` — sliding-window
+  PSI/KS of each name's request stream against its registered
+  training-reference snapshot (drift);
+* :class:`~repro.serve.monitor.uncertainty.UncertaintyTap` — windowed
+  epistemic-uncertainty quantiles + per-job novelty tags (the AU/EU
+  split, live);
+* :class:`~repro.serve.monitor.shadow.ShadowScorer` — champion–challenger
+  mirroring of production traffic onto a staged registry version;
+* :class:`~repro.serve.monitor.policy.PolicyEngine` — pluggable rules
+  (:class:`PsiThresholdRule`, :class:`EuQuantileRule`,
+  :class:`ShadowWinnerRule`) whose alert / auto-promote / auto-rollback
+  actions run through the registry's listener machinery and therefore
+  propagate cluster-wide, ack-gated;
+* :class:`~repro.serve.monitor.plane.MonitoringPlane` — the tap that
+  wires it all to a :class:`~repro.serve.router.ServingGateway` or
+  :class:`~repro.serve.shard.ShardedServingCluster`.
+
+Hard invariants, shared with the rest of the serve layer: the monitor is
+purely **observational** (monitored serving is bit-identical to
+unmonitored serving), **bounded-memory** (ring-buffer windows, bounded
+event trails), and **deterministic** under an injected clock.
+"""
+
+from repro.serve.monitor.plane import MonitoringPlane
+from repro.serve.monitor.policy import (
+    EuQuantileRule,
+    MonitorEvent,
+    NameState,
+    PolicyEngine,
+    PsiThresholdRule,
+    ShadowWinnerRule,
+)
+from repro.serve.monitor.profile import StreamProfile, WindowDriftReport
+from repro.serve.monitor.shadow import ShadowReport, ShadowScorer
+from repro.serve.monitor.uncertainty import UncertaintyTap
+
+__all__ = [
+    "EuQuantileRule",
+    "MonitorEvent",
+    "MonitoringPlane",
+    "NameState",
+    "PolicyEngine",
+    "PsiThresholdRule",
+    "ShadowReport",
+    "ShadowScorer",
+    "ShadowWinnerRule",
+    "StreamProfile",
+    "UncertaintyTap",
+    "WindowDriftReport",
+]

@@ -1,0 +1,260 @@
+"""Policy engine: turn monitor signals into registry actions.
+
+The taxonomy is only operational once its signals *do* something: a PSI
+alert that nobody reads is §VIII's deployment-drift failure with extra
+steps.  :class:`PolicyEngine` evaluates pluggable rules against each
+name's monitor state and executes the resulting action through the
+existing registry machinery — ``alert`` records an event, ``rollback``
+pops the production alias back (and, behind a sharded cluster, the
+registry listener broadcast carries the change to every worker,
+ack-gated, before the call returns), ``promote`` moves traffic to the
+shadow challenger that earned it.
+
+Rules are callables ``rule(state) -> (action, value, detail) | None``
+over a :class:`NameState`; three built-ins cover the paper's error
+sources (drift → :class:`PsiThresholdRule`, OoD/EU explosion →
+:class:`EuQuantileRule`, validated retrain → :class:`ShadowWinnerRule`).
+The engine is deterministic under an injected clock — the clock only
+stamps events and drives the per-(name, rule) cooldown that stops a
+persistently-drifted window from re-firing every evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.serve.registry import ModelRegistry
+
+__all__ = [
+    "EuQuantileRule",
+    "MonitorEvent",
+    "NameState",
+    "PolicyEngine",
+    "PsiThresholdRule",
+    "ShadowWinnerRule",
+]
+
+_ACTIONS = ("alert", "rollback", "promote")
+
+
+@dataclass(frozen=True)
+class MonitorEvent:
+    """One fired rule: what was seen, what was done."""
+
+    at: float           # injected-clock timestamp
+    name: str           # served model name
+    rule: str           # rule identifier
+    action: str         # "alert" | "rollback" | "promote" (+ "-failed")
+    value: float        # the signal magnitude that fired the rule
+    detail: str         # human-readable context
+
+
+@dataclass
+class NameState:
+    """Everything the rules may inspect for one name (read-only by contract)."""
+
+    name: str
+    registry: ModelRegistry
+    profile: Any = None     # StreamProfile | None
+    tap: Any = None         # UncertaintyTap | None
+    shadow: Any = None      # ShadowScorer | None
+    extra: dict = field(default_factory=dict)
+
+
+class PsiThresholdRule:
+    """Fire when any feature's windowed PSI crosses a threshold (drift)."""
+
+    def __init__(self, threshold: float = 0.25, action: str = "alert"):
+        if action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}")
+        self.threshold = float(threshold)
+        self.action = action
+        self.name = f"psi>{self.threshold:g}"
+
+    def __call__(self, state: NameState):
+        if state.profile is None:
+            return None
+        report = state.profile.drift()
+        if report is None or report.max_psi <= self.threshold:
+            return None
+        feature, worst = report.worst(1)[0]
+        return (
+            self.action,
+            report.max_psi,
+            f"windowed PSI {worst:.3f} on {feature} "
+            f"({report.window_rows}-row window)",
+        )
+
+
+class EuQuantileRule:
+    """Fire when the window's EU quantile explodes past the reference.
+
+    The population-level form of the §VIII OoD litmus test: individual
+    novel jobs are tagged per request by the tap itself; this rule
+    watches the window's high quantile grow to ``factor`` times the
+    training corpus's — the signature of a whole unfamiliar workload
+    arriving, not one odd job.
+    """
+
+    def __init__(
+        self,
+        factor: float = 3.0,
+        min_window: int = 64,
+        action: str = "alert",
+    ):
+        if action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}")
+        if factor <= 1.0:
+            raise ValueError("factor must be > 1")
+        self.factor = float(factor)
+        self.min_window = int(min_window)
+        self.action = action
+        self.name = f"eu-quantile x{self.factor:g}"
+
+    def __call__(self, state: NameState):
+        tap = state.tap
+        if tap is None or tap.window_fill < self.min_window:
+            return None
+        current = tap.window_quantile()
+        limit = self.factor * tap.reference_threshold
+        if current <= limit:
+            return None
+        return (
+            self.action,
+            current,
+            f"EU q{tap.novel_quantile:.2f} = {current:.4f} vs reference "
+            f"{tap.reference_threshold:.4f} (novel fraction "
+            f"{tap.novel_fraction():.1%})",
+        )
+
+
+class ShadowWinnerRule:
+    """Fire when the shadow challenger's windowed error beats production."""
+
+    def __init__(self, action: str = "promote"):
+        if action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}")
+        self.action = action
+        self.name = "shadow-winner"
+
+    def __call__(self, state: NameState):
+        if state.shadow is None:
+            return None
+        report = state.shadow.report()
+        if not report.challenger_wins:
+            return None
+        return (
+            self.action,
+            report.challenger_error,
+            f"challenger v{report.challenger_version} error "
+            f"{report.challenger_error:.4f} < production "
+            f"{report.champion_error:.4f} over {report.n_outcomes} outcomes",
+        )
+
+
+class PolicyEngine:
+    """Evaluate rules per name and execute their actions on the registry.
+
+    Parameters
+    ----------
+    registry:
+        Where actions land.  ``rollback``/``promote`` go through the
+        normal stage-change path, so every listener (prediction caches,
+        a sharded cluster's ack-gated broadcast) sees them exactly as it
+        would a human operator's call.
+    clock:
+        Monotonic time source; inject a fake for deterministic tests.
+    cooldown_s:
+        Minimum clock time between two firings of the *same rule on the
+        same name* — a drifted window stays drifted for its whole
+        residence time, and one detection must not become a rollback
+        storm.
+    max_events:
+        Bounded audit trail (the engine may live for the process
+        lifetime).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        clock: Callable[[], float] = time.monotonic,
+        cooldown_s: float = 30.0,
+        max_events: int = 1024,
+    ):
+        self.registry = registry
+        self._clock = clock
+        self.cooldown_s = float(cooldown_s)
+        self.events: deque[MonitorEvent] = deque(maxlen=max_events)
+        self._rules: list[tuple[Any, frozenset[str] | None]] = []
+        self._last_fire: dict[tuple[str, str], float] = {}
+        # serializes whole evaluations: the plane runs them from submitter
+        # threads outside its own lock, and a concurrent pair racing the
+        # cooldown's check-then-set would double-execute an action (two
+        # rollbacks where the cooldown promises one)
+        self._eval_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def add_rule(self, rule: Any, names: list[str] | None = None) -> None:
+        """Attach a rule, optionally scoped to specific names."""
+        self._rules.append((rule, frozenset(names) if names is not None else None))
+
+    def rules_for(self, name: str) -> list[Any]:
+        return [r for r, scope in self._rules if scope is None or name in scope]
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, state: NameState) -> list[MonitorEvent]:
+        """Run every applicable rule for one name's current state."""
+        with self._eval_lock:
+            now = self._clock()
+            fired: list[MonitorEvent] = []
+            for rule in self.rules_for(state.name):
+                result = rule(state)
+                if result is None:
+                    continue
+                action, value, detail = result
+                key = (state.name, rule.name)
+                last = self._last_fire.get(key)
+                if last is not None and now - last < self.cooldown_s:
+                    continue
+                event = self._execute(now, state, rule.name, action, value, detail)
+                if not event.action.endswith("-failed"):
+                    # only a *performed* action consumes the cooldown: a
+                    # failed rollback did nothing, and silencing retries
+                    # for cooldown_s would leave detected drift unactioned
+                    # (the repeated *-failed events are the alarm bell)
+                    self._last_fire[key] = now
+                fired.append(event)
+            self.events.extend(fired)
+            return fired
+
+    def _execute(
+        self, now: float, state: NameState, rule: str,
+        action: str, value: float, detail: str,
+    ) -> MonitorEvent:
+        try:
+            if action == "rollback":
+                version = self.registry.rollback(state.name)
+                detail = f"{detail}; rolled back to v{version}"
+            elif action == "promote":
+                if state.shadow is None:
+                    raise RuntimeError("promote action requires a shadow challenger")
+                version = state.shadow.challenger_version
+                self.registry.promote(state.name, version)
+                detail = f"{detail}; promoted v{version}"
+        except Exception as exc:
+            # the action failed (no rollback history, version vanished) —
+            # the detection still happened; record it loudly instead of
+            # blowing up the serving thread that ran the evaluation
+            return MonitorEvent(
+                at=now, name=state.name, rule=rule,
+                action=f"{action}-failed", value=value,
+                detail=f"{detail}; {type(exc).__name__}: {exc}",
+            )
+        return MonitorEvent(
+            at=now, name=state.name, rule=rule, action=action,
+            value=value, detail=detail,
+        )

@@ -1,0 +1,85 @@
+"""Bounded scalar ring buffer shared by the monitor's windowed signals.
+
+Every scalar signal the plane keeps — epistemic-uncertainty magnitudes,
+shadow disagreements, champion/challenger errors — wants the same thing:
+the most recent ``window`` values, O(1) amortized appends, and cheap
+reductions over the valid region.  One implementation keeps the wrap
+arithmetic (and therefore the bounded-memory contract) in one place.
+
+Not thread-safe by itself: owners that take concurrent writes
+(:class:`~repro.serve.monitor.shadow.ShadowScorer`,
+:class:`~repro.serve.monitor.uncertainty.UncertaintyTap` under the
+plane's lock) guard it with their own lock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ScalarWindow"]
+
+
+class ScalarWindow:
+    """Fixed-capacity ring of floats with lifetime counting."""
+
+    __slots__ = ("_buf", "_pos", "_fill", "n_total")
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._buf = np.empty(int(window))
+        self._pos = 0
+        self._fill = 0
+        self.n_total = 0  # lifetime values pushed (window-independent)
+
+    @property
+    def capacity(self) -> int:
+        return self._buf.size
+
+    @property
+    def fill(self) -> int:
+        """Valid values currently windowed (≤ capacity)."""
+        return self._fill
+
+    def push(self, value: float) -> None:
+        self._buf[self._pos] = value
+        self._pos = (self._pos + 1) % self._buf.size
+        self._fill = min(self._fill + 1, self._buf.size)
+        self.n_total += 1
+
+    def push_many(self, values: np.ndarray) -> None:
+        """Vectorized append of a 1-D batch (oldest values fall out)."""
+        values = np.asarray(values, dtype=float).ravel()
+        self.n_total += values.size
+        n = self._buf.size
+        if values.size >= n:
+            self._buf[:] = values[values.size - n:]
+            self._pos = 0
+            self._fill = n
+            return
+        end = self._pos + values.size
+        if end <= n:
+            self._buf[self._pos:end] = values
+        else:
+            split = n - self._pos
+            self._buf[self._pos:] = values[:split]
+            self._buf[:end - n] = values[split:]
+        self._pos = end % n
+        self._fill = min(self._fill + values.size, n)
+
+    def values(self) -> np.ndarray:
+        """Copy of the windowed values (order immaterial for reductions)."""
+        return self._buf[:self._fill].copy()
+
+    def mean(self) -> float:
+        return float(self._buf[:self._fill].mean()) if self._fill else 0.0
+
+    def quantile(self, q: float) -> float:
+        if self._fill == 0:
+            return 0.0
+        return float(np.quantile(self._buf[:self._fill], q))
+
+    def fraction_above(self, threshold: float) -> float:
+        if self._fill == 0:
+            return 0.0
+        return float(np.mean(self._buf[:self._fill] > threshold))

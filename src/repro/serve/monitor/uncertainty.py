@@ -1,0 +1,102 @@
+"""Online epistemic-uncertainty watch: the paper's AU/EU split, live.
+
+§VIII decomposes predictive uncertainty into an aleatory part (the I/O
+noise floor — irreducible, stays flat) and an epistemic part (model
+ignorance — explodes exactly on the novel jobs the training corpus never
+covered).  Offline, the litmus tests tag OoD jobs as those whose EU
+exceeds a high quantile of the training corpus's EU distribution.
+:class:`UncertaintyTap` runs the same test on the live stream: every
+``predict_dist`` result's spread lands in a bounded ring buffer, each
+job is tagged novel iff its EU exceeds the registered reference
+quantile, and the windowed EU quantile itself is exposed so a policy
+rule can catch the *population-level* EU explosion that precedes a
+drift-driven error spike.
+
+Like the drift profile, this is a pure function of the observed value
+sequence — bounded memory, no wall time, deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.monitor.ring import ScalarWindow
+
+__all__ = ["UncertaintyTap"]
+
+
+class UncertaintyTap:
+    """Windowed tracker of epistemic-uncertainty magnitudes.
+
+    Parameters
+    ----------
+    reference_eu:
+        EU sample over the training corpus (see
+        :func:`repro.ml.uncertainty.epistemic_sample` and
+        :meth:`repro.serve.registry.ModelRegistry.set_reference`).  Only
+        its ``novel_quantile`` quantile is retained.
+    window:
+        Ring-buffer capacity — the tap's whole memory footprint.
+    novel_quantile:
+        Reference quantile above which an individual job is tagged novel
+        (0.99 reproduces the offline litmus-test tagging).
+    """
+
+    def __init__(
+        self,
+        reference_eu: np.ndarray,
+        window: int = 512,
+        novel_quantile: float = 0.99,
+    ):
+        reference_eu = np.asarray(reference_eu, dtype=float).ravel()
+        if reference_eu.size == 0:
+            raise ValueError("reference_eu must be non-empty")
+        if not 0.0 < novel_quantile < 1.0:
+            raise ValueError("novel_quantile must be in (0, 1)")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.novel_quantile = float(novel_quantile)
+        self.reference_threshold = float(np.quantile(reference_eu, novel_quantile))
+        self.window_size = int(window)
+        self._ring = ScalarWindow(window)
+        self.n_novel = 0
+
+    # ------------------------------------------------------------------ #
+    def observe(self, eu: float | np.ndarray) -> int:
+        """Fold EU value(s) into the window; returns how many were novel."""
+        arr = np.atleast_1d(np.asarray(eu, dtype=float)).ravel()
+        novel = int(np.sum(arr > self.reference_threshold))
+        self.n_novel += novel
+        self._ring.push_many(arr)
+        return novel
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_observed(self) -> int:
+        return self._ring.n_total
+
+    @property
+    def window_fill(self) -> int:
+        return self._ring.fill
+
+    def window(self) -> np.ndarray:
+        """Copy of the windowed EU values (order immaterial for quantiles)."""
+        return self._ring.values()
+
+    def novel_fraction(self) -> float:
+        """Share of the *current window* above the reference threshold.
+
+        By construction ``novel_quantile`` of the training corpus sits
+        below the threshold — an in-distribution stream shows ~1 % here,
+        a stream of unfamiliar jobs shows a multiple of that.
+        """
+        return self._ring.fraction_above(self.reference_threshold)
+
+    def window_quantile(self, q: float | None = None) -> float:
+        """The window's EU quantile (default: the novel quantile itself).
+
+        Comparing this against ``reference_threshold`` measures the
+        population-level EU explosion: a ratio ≫ 1 means the *typical*
+        high-EU job now sits far beyond anything the corpus produced.
+        """
+        return self._ring.quantile(self.novel_quantile if q is None else q)

@@ -26,7 +26,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-__all__ = ["ModelRegistry", "ModelVersion", "freeze_arrays"]
+__all__ = ["ModelRegistry", "ModelVersion", "ReferenceSnapshot", "freeze_arrays"]
 
 
 def freeze_arrays(obj: Any) -> int:
@@ -101,12 +101,32 @@ class ModelVersion:
     n_frozen_arrays: int
 
 
+@dataclass(frozen=True)
+class ReferenceSnapshot:
+    """Frozen training-reference sample the monitoring plane scores against.
+
+    ``X`` is a feature sample drawn from the corpus the production model
+    was fitted on — the baseline for windowed PSI/KS on the live request
+    stream.  ``eu`` is an optional epistemic-uncertainty sample over the
+    same corpus (see :func:`repro.ml.uncertainty.epistemic_sample`): the
+    quantiles novel jobs are tagged against, per the paper's AU/EU split.
+    Both arrays are stored read-only, like every other registered
+    artifact, and ride :meth:`ModelRegistry.snapshot` so shard replicas
+    monitor against the same baseline as the parent.
+    """
+
+    X: np.ndarray
+    eu: np.ndarray | None = None
+    names: tuple[str, ...] | None = None
+
+
 @dataclass
 class _Entry:
     versions: dict[int, ModelVersion] = field(default_factory=dict)
     next_version: int = 1
     production: int | None = None
     history: list[int] = field(default_factory=list)  # previous production versions
+    reference: ReferenceSnapshot | None = None
 
 
 class ModelRegistry:
@@ -205,6 +225,44 @@ class ModelRegistry:
         self._notify(name, version, "unregister")
 
     # ------------------------------------------------------------------ #
+    def set_reference(
+        self,
+        name: str,
+        X: np.ndarray,
+        eu: np.ndarray | None = None,
+        names: list[str] | None = None,
+    ) -> ReferenceSnapshot:
+        """Attach a training-reference snapshot to a registered name.
+
+        The monitor plane scores the name's live request stream against
+        this baseline (windowed PSI/KS over ``X``, EU quantiles over
+        ``eu``).  Arrays are privately copied and frozen read-only — a
+        reference is as immutable as the model it describes.  Listeners
+        are notified with action ``"set_reference"`` (version 0, there is
+        no version to carry): a sharded cluster uses this to broadcast
+        the new baseline to every worker replica.
+        """
+        X = np.array(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(f"reference X must be 2-D, got ndim={X.ndim}")
+        X.setflags(write=False)
+        if eu is not None:
+            eu = np.array(eu, dtype=float).ravel()
+            eu.setflags(write=False)
+        ref = ReferenceSnapshot(
+            X=X, eu=eu, names=tuple(names) if names is not None else None
+        )
+        with self._lock:
+            self._get_entry(name).reference = ref
+        self._notify(name, 0, "set_reference")
+        return ref
+
+    def get_reference(self, name: str) -> ReferenceSnapshot | None:
+        """The name's training-reference snapshot, or ``None`` if unset."""
+        with self._lock:
+            return self._get_entry(name).reference
+
+    # ------------------------------------------------------------------ #
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """Picklable replica of the whole registry state.
 
@@ -222,6 +280,7 @@ class ModelRegistry:
                     "production": entry.production,
                     "history": list(entry.history),
                     "next_version": entry.next_version,
+                    "reference": entry.reference,
                 }
                 for name, entry in self._entries.items()
             }
@@ -245,6 +304,19 @@ class ModelRegistry:
                 entry.production = entry_state["production"]
                 entry.history = list(entry_state["history"])
                 entry.next_version = max(entry.next_version, entry_state["next_version"])
+            reference = entry_state.get("reference")
+            if reference is not None:
+                # after the entry exists (a snapshot may carry a reference
+                # with zero versions — every version unregistered after
+                # set_reference).  Pickling drops the read-only flag, same
+                # as the models — re-enter through set_reference so the
+                # restored arrays are frozen again (restore is initial
+                # state: pre-restore listeners on a fresh registry are by
+                # construction none)
+                self.set_reference(
+                    name, reference.X, eu=reference.eu,
+                    names=list(reference.names) if reference.names else None,
+                )
 
     # ------------------------------------------------------------------ #
     def get(self, name: str, version: int | None = None) -> Any:

@@ -16,6 +16,16 @@ down in one call.
 The gateway adds no scoring path of its own — every numeric guarantee of
 the single-model stack (bit-identical micro-batching, version-keyed
 caching, promote/rollback at batch boundaries) holds per name, unchanged.
+
+**Monitoring taps** (:meth:`ServingGateway.add_tap`) observe that path
+without joining it: a tap's ``on_request(name, row, kind)`` fires per
+submission and ``on_result(name, kind, block, value)`` per scored ticket
+(cache hits skip scoring, so they are request-observed only).  Taps are
+purely observational — a raising tap is swallowed and counted in
+``tap_errors``, never failing, delaying a flush of, or altering a request
+— which is what lets the online monitoring plane
+(:mod:`repro.serve.monitor`) guarantee monitored serving stays
+bit-identical to unmonitored serving.
 """
 
 from __future__ import annotations
@@ -71,6 +81,12 @@ class ServingGateway:
         self._services: dict[str, InferenceService] = {}
         self._lock = threading.Lock()
         self._closed = False
+        # copy-on-write: notify paths read these tuples lock-free on every
+        # request, add_tap/remove_tap replace them under the gateway lock
+        self._taps: tuple[Any, ...] = ()
+        self._request_taps: tuple[Any, ...] = ()  # bound on_request callables
+        self._result_taps: tuple[Any, ...] = ()   # bound on_result callables
+        self.tap_errors = 0  # observer exceptions swallowed (monitoring accuracy only)
 
     # ------------------------------------------------------------------ #
     def configure(self, name: str, **overrides: Any) -> None:
@@ -119,16 +135,83 @@ class ServingGateway:
                 if name not in self.registry.names():
                     raise LookupError(f"unknown model name {name!r}")
                 cfg = {**self._defaults, **self._overrides.get(name, {})}
-                svc = InferenceService(self.registry, name, **cfg)
+                svc = InferenceService(
+                    self.registry, name, **cfg,
+                    on_scored=lambda t, v, _n=name: self._notify_result(_n, t, v),
+                )
                 self._services[name] = svc
             return svc
+
+    # ------------------------------------------------------------------ #
+    # monitoring taps (observe the scoring path without joining it)
+    # ------------------------------------------------------------------ #
+    def add_tap(self, tap: Any) -> None:
+        """Register a monitoring tap.
+
+        ``tap.on_request(name, row, kind)`` fires after each successful
+        submission; ``tap.on_result(name, kind, block, value)`` after each
+        scored ticket (``block`` is the (m, d) request block, ``value``
+        the exact object handed to the client).  Either method may be
+        absent.  Taps observe, never participate: exceptions are swallowed
+        (counted in ``tap_errors``) and the serving numbers are identical
+        with or without taps attached.
+        """
+        with self._lock:
+            self._taps = (*self._taps, tap)
+            self._rebuild_tap_views()
+
+    def remove_tap(self, tap: Any) -> None:
+        """Deregister a tap (no-op when absent)."""
+        with self._lock:
+            self._taps = tuple(t for t in self._taps if t is not tap)
+            self._rebuild_tap_views()
+
+    def _rebuild_tap_views(self) -> None:
+        # pre-bound callables so the per-request dispatch is one tuple
+        # iteration — no lock, no list copy, no getattr on the hot path.
+        # A tap may declare wants_results() False (a drift-only monitor
+        # with no EU/shadow consumers) to skip the per-ticket result
+        # dispatch entirely; taps that change their mind re-attach
+        # (MonitoringPlane does this automatically).
+        self._request_taps = tuple(
+            fn for t in self._taps if (fn := getattr(t, "on_request", None)) is not None
+        )
+        self._result_taps = tuple(
+            fn for t in self._taps
+            if (fn := getattr(t, "on_result", None)) is not None
+            and ((w := getattr(t, "wants_results", None)) is None or w())
+        )
+
+    def _notify_request(self, name: str, row: np.ndarray, kind: str) -> None:
+        for fn in self._request_taps:
+            try:
+                fn(name, row, kind)
+            except Exception:
+                self.tap_errors += 1
+
+    def _notify_result(self, name: str, ticket: Ticket, value: Any) -> None:
+        for fn in self._result_taps:
+            try:
+                fn(name, ticket.kind, ticket.block, value)
+            except Exception:
+                self.tap_errors += 1
 
     # ------------------------------------------------------------------ #
     def submit(
         self, name: str, row: np.ndarray, kind: str = "predict"
     ) -> Ticket | CompletedTicket:
         """Enqueue one request for ``name``; returns its ticket."""
-        return self.service(name).submit(row, kind=kind)
+        ticket = self.service(name).submit(row, kind=kind)
+        if self._request_taps:
+            # hand taps the ticket's private block (nothing mutates it after
+            # submission, so observers may retain it without copying); a
+            # cache hit has no block — copy the caller's row for the same
+            # retention guarantee
+            block = getattr(ticket, "block", None)
+            self._notify_request(
+                name, block if block is not None else np.array(row, dtype=float), kind
+            )
+        return ticket
 
     def predict(self, name: str, row: np.ndarray, timeout: float | None = None) -> Any:
         return self.submit(name, row).result(timeout)

@@ -51,10 +51,17 @@ class InferenceService:
         max_delay: float = 0.005,
         cache_entries: int = 4096,
         n_jobs: int | None = 1,
+        on_scored: Any = None,
     ):
         self.registry = registry
         self.name = name
         self.cache = PredictionCache(cache_entries)
+        # optional observation hook fn(ticket, value), called per scored
+        # ticket before the cache insert — the gateway's monitoring taps
+        # ride here.  Purely observational: errors are swallowed upstream
+        # (the batcher already guards its on_result callback) and the
+        # value is never replaced, so the scoring path stays bit-identical
+        self._on_scored = on_scored
         self._scoring = threading.local()  # version that scored the running flush
         self.batcher = MicroBatcher(
             self._resolve,
@@ -80,10 +87,17 @@ class InferenceService:
             # surgical: reclaim only the dropped version's entries — the
             # production version's warm hits survive the retrain loop
             self.cache.invalidate(name, version)
-        else:
+        elif action in ("promote", "rollback"):
             self.cache.invalidate(name)
+        # other actions (e.g. "set_reference") don't move the production
+        # alias, so the version-keyed entries stay exactly as valid
 
     def _insert_result(self, ticket: Ticket, value: Any) -> None:
+        if self._on_scored is not None:
+            try:
+                self._on_scored(ticket, value)
+            except Exception:
+                pass  # observation must never fail (or re-order) a request
         # Only cache when the submit-time key version matches the version
         # that actually scored the flush: a promote landing between submit
         # and flush must not file the new model's number under the old

@@ -137,6 +137,18 @@ def _apply_control(registry: ModelRegistry, action: str, name: str, payload: Any
             return payload
         registry.unregister(name, payload)
         return payload
+    if action == "set_reference":
+        # payload is the parent's pickled ReferenceSnapshot (or None to
+        # clear nothing — a missing reference is simply never broadcast);
+        # set_reference re-freezes the arrays pickling un-froze.  Replaying
+        # onto a replica that already carries it (respawn race) just
+        # rewrites the same immutable value — idempotent like the rest.
+        ref = pickle.loads(payload)
+        registry.set_reference(
+            name, ref.X, eu=ref.eu,
+            names=list(ref.names) if ref.names else None,
+        )
+        return name
     raise ValueError(f"unknown control action {action!r}")
 
 
@@ -369,6 +381,10 @@ class ShardedServingCluster:
         self._lock = threading.Lock()  # serializes broadcasts and close
         self._closed = False
         self._rr = itertools.count()
+        # copy-on-write, like the gateway's: submit reads lock-free
+        self._taps: tuple[Any, ...] = ()
+        self._request_taps: tuple[Any, ...] = ()
+        self.tap_errors = 0  # observer exceptions swallowed (monitoring accuracy only)
         # one snapshot serialization for the whole initial fleet — the
         # models dominate the bytes and are identical for every worker
         snapshot_bytes = pickle.dumps(registry.snapshot())
@@ -515,13 +531,60 @@ class ShardedServingCluster:
                 ))
         return ticket
 
+    # ------------------------------------------------------------------ #
+    # monitoring taps (parent-side: the front door sees every request)
+    # ------------------------------------------------------------------ #
+    def add_tap(self, tap: Any) -> None:
+        """Register a request-side monitoring tap.
+
+        ``tap.on_request(name, row, kind)`` fires per submission at the
+        cluster front door — every row crosses the parent, so a
+        parent-side monitoring plane profiles the whole stream no matter
+        which shard scores it.  Result-side taps (``on_result``) need the
+        scored values and live on the in-process
+        :class:`~repro.serve.router.ServingGateway`; policy actions taken
+        here (promote/rollback via the parent registry) still propagate
+        cluster-wide through the ack-gated broadcast machinery.  Same
+        contract as the gateway's taps: observational only, exceptions
+        swallowed and counted in ``tap_errors``.
+        """
+        with self._lock:
+            self._taps = (*self._taps, tap)
+            self._rebuild_tap_views()
+
+    def remove_tap(self, tap: Any) -> None:
+        """Deregister a tap (no-op when absent)."""
+        with self._lock:
+            self._taps = tuple(t for t in self._taps if t is not tap)
+            self._rebuild_tap_views()
+
+    def _rebuild_tap_views(self) -> None:
+        # pre-bound callables, same copy-on-write shape as the gateway's
+        self._request_taps = tuple(
+            fn for t in self._taps
+            if (fn := getattr(t, "on_request", None)) is not None
+        )
+
+    def _notify_request(self, name: str, row: np.ndarray, kind: str) -> None:
+        for fn in self._request_taps:
+            try:
+                fn(name, row, kind)
+            except Exception:
+                self.tap_errors += 1
+
     def submit(self, name: str, row: np.ndarray, kind: str = "predict") -> ClusterTicket:
         """Route one request; returns a ticket whose ``result()`` blocks.
 
         A dead route never hangs: the ticket completes immediately with
         :class:`ShardCrashedError`."""
         arr = np.asarray(row, dtype=float)
-        return self._send_request(self._route(name), "submit", name, arr, kind)
+        ticket = self._send_request(self._route(name), "submit", name, arr, kind)
+        if self._request_taps:
+            # a private copy for observers: the caller may reuse its buffer
+            # once submit returns (the worker scores the pickled bytes, but
+            # a tap retaining `arr` would see later mutations)
+            self._notify_request(name, np.array(arr), kind)
+        return ticket
 
     def submit_block(self, name: str, X: np.ndarray, kind: str = "predict"):
         """Submit a whole (m, d) block.
@@ -541,6 +604,8 @@ class ShardedServingCluster:
             self._send_request(live[i], "submit", name, chunk, kind)
             for i, chunk in enumerate(np.array_split(X, n_parts))
         ]
+        if self._request_taps:
+            self._notify_request(name, np.array(X), kind)  # one private-copy observation
         return _BlockTicket(parts, kind)
 
     def predict(self, name: str, row: np.ndarray, timeout: float | None = None) -> Any:
@@ -589,6 +654,13 @@ class ShardedServingCluster:
     def _on_stage_change(self, name: str, version: int, action: str) -> None:
         if action in ("promote", "rollback", "unregister"):
             self._broadcast(action, name, version)
+        elif action == "set_reference":
+            # monitor-plane config: ship the new training-reference
+            # baseline to every replica so a worker-side (or respawned)
+            # monitor scores against exactly the parent's snapshot
+            ref = self.registry.get_reference(name)
+            if ref is not None:
+                self._broadcast("set_reference", name, pickle.dumps(ref))
 
     def _broadcast(self, action: str, name: str, payload: Any) -> None:
         """Apply one mutation on every live shard and wait for the acks —

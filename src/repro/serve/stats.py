@@ -65,7 +65,13 @@ class ServerStats:
 def sum_stats(snapshots: Iterable[ServerStats]) -> ServerStats:
     """Counter-wise sum of snapshots (ratios recompute from the summed
     counters, so e.g. the result's ``hit_rate`` is the traffic-weighted
-    aggregate rate, not a mean of per-snapshot rates)."""
+    aggregate rate, not a mean of per-snapshot rates).
+
+    An empty iterable sums to the all-zero snapshot, and every ratio
+    property guards its denominator — so a gateway that has served
+    nothing, or a cluster whose every shard is dead, rolls up to
+    well-defined 0.0 ratios instead of NaN/ZeroDivision (edge-case
+    tested; dashboards poll stats long before traffic arrives)."""
     snapshots = list(snapshots)
     sums = {
         f.name: sum(getattr(s, f.name) for s in snapshots)

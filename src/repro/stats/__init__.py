@@ -10,7 +10,13 @@
 """
 
 from repro.stats.bootstrap import bootstrap_ci, bootstrap_median_ci
-from repro.stats.drift import DriftMonitor, ks_statistic, population_stability_index
+from repro.stats.drift import (
+    DriftMonitor,
+    ReferenceBinning,
+    ks_statistic,
+    population_stability_index,
+    reference_bin_edges,
+)
 from repro.stats.weighted import weighted_median, weighted_quantile
 
 __all__ = [
@@ -21,4 +27,6 @@ __all__ = [
     "population_stability_index",
     "ks_statistic",
     "DriftMonitor",
+    "ReferenceBinning",
+    "reference_bin_edges",
 ]

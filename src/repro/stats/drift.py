@@ -9,7 +9,11 @@ that shift without labels:
   quantile binning of the training column;
 * :func:`ks_statistic` — two-sample Kolmogorov-Smirnov distance;
 * :class:`DriftMonitor` — per-feature PSI over a reference matrix, with a
-  conventional alert threshold (PSI > 0.25 ⇒ "investigate").
+  conventional alert threshold (PSI > 0.25 ⇒ "investigate");
+* :class:`ReferenceBinning` — the streaming/windowed form: per-column
+  reference bins and probabilities precomputed **once**, so an online
+  monitor (:mod:`repro.serve.monitor`) can re-score a sliding window of
+  live traffic per flush without re-quantiling the training corpus.
 
 The drift-monitoring example pairs this with the EU-based OoD tagging:
 PSI fires on *population-level* shift, epistemic uncertainty on
@@ -22,7 +26,57 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["population_stability_index", "ks_statistic", "DriftMonitor", "DriftReport"]
+__all__ = [
+    "DriftMonitor",
+    "DriftReport",
+    "ReferenceBinning",
+    "ks_statistic",
+    "population_stability_index",
+    "reference_bin_edges",
+]
+
+
+def reference_bin_edges(reference: np.ndarray, n_bins: int = 10) -> np.ndarray:
+    """Quantile bin edges of a reference column, safe for constant columns.
+
+    Decile edges of a constant (or near-constant) column all coincide, so
+    the candidate edges collapse — ``np.unique`` can leave a *single*
+    edge.  Binning against one exact value would throw any current value
+    that differs from the constant by float noise (a re-serialized
+    telemetry counter, a log-transform computed in a different order)
+    into the epsilon-floored "other" bin and emit PSI ≈ 2·ln(1e6) ≈ 27.6
+    — maximal drift from a representation detail.
+
+    Documented fallback: when the edges collapse to a single value ``c``,
+    the binning degenerates to three bins — *below*, *equal to the
+    constant*, *above* — where "equal" means within an absolute+relative
+    tolerance band ``[c - tol, c + tol]`` (``tol = 1e-9 · max(1, |c|)``).
+    Only mass that genuinely leaves the constant counts as moved.
+    """
+    reference = np.asarray(reference, dtype=float)
+    if reference.size < n_bins:
+        raise ValueError("need at least n_bins reference points")
+    qs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
+    edges = np.unique(np.quantile(reference, qs))
+    if edges.size == 1:
+        c = float(edges[0])
+        tol = 1e-9 * max(1.0, abs(c))
+        edges = np.array([c - tol, c + tol])
+    return edges
+
+
+def _psi_from_counts(
+    ref_counts: np.ndarray, cur_counts: np.ndarray, n_ref: int, n_cur: int
+) -> float:
+    """PSI from per-bin counts with the conventional epsilon floor.
+
+    Each term ``(q - p) · ln(q / p)`` is non-negative (the factors share
+    sign), so the statistic itself is ≥ 0 and exactly 0 when the two
+    histograms have identical proportions.
+    """
+    p = np.maximum(ref_counts / n_ref, 1e-6)
+    q = np.maximum(cur_counts / n_cur, 1e-6)
+    return float(np.sum((q - p) * np.log(q / p)))
 
 
 def population_stability_index(
@@ -30,21 +84,20 @@ def population_stability_index(
 ) -> float:
     """PSI between a reference and a current 1-D sample.
 
-    Bins are deciles of the *reference*; both histograms are floored at a
-    small epsilon so empty bins do not produce infinities.  Rule of thumb:
-    < 0.10 stable, 0.10–0.25 drifting, > 0.25 investigate.
+    Bins are deciles of the *reference* (collapsed to unique edges, with
+    the constant-column fallback of :func:`reference_bin_edges`); both
+    histograms are floored at a small epsilon so empty bins do not
+    produce infinities.  Rule of thumb: < 0.10 stable, 0.10–0.25
+    drifting, > 0.25 investigate.
     """
     reference = np.asarray(reference, dtype=float)
     current = np.asarray(current, dtype=float)
     if reference.size < n_bins or current.size == 0:
         raise ValueError("need at least n_bins reference points and non-empty current")
-    qs = np.linspace(0.0, 1.0, n_bins + 1)[1:-1]
-    edges = np.unique(np.quantile(reference, qs))
+    edges = reference_bin_edges(reference, n_bins)
     ref_hist = np.bincount(np.searchsorted(edges, reference), minlength=edges.size + 1)
     cur_hist = np.bincount(np.searchsorted(edges, current), minlength=edges.size + 1)
-    p = np.maximum(ref_hist / reference.size, 1e-6)
-    q = np.maximum(cur_hist / current.size, 1e-6)
-    return float(np.sum((q - p) * np.log(q / p)))
+    return _psi_from_counts(ref_hist, cur_hist, reference.size, current.size)
 
 
 def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
@@ -57,6 +110,118 @@ def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
     cdf_a = np.searchsorted(a, grid, side="right") / a.size
     cdf_b = np.searchsorted(b, grid, side="right") / b.size
     return float(np.abs(cdf_a - cdf_b).max())
+
+
+class ReferenceBinning:
+    """Per-column reference bins precomputed for streaming re-scoring.
+
+    The offline path (:class:`DriftMonitor`) re-quantiles the whole
+    reference matrix on every ``score`` call — fine for a monthly report,
+    wasteful for an online monitor evaluating a sliding window every few
+    hundred requests.  This class does the reference work once per fit:
+    quantile edges (constant-column-safe, see :func:`reference_bin_edges`)
+    and reference bin counts per column, plus sorted reference columns for
+    the windowed KS distance.  ``psi``/``ks`` then cost one
+    ``searchsorted`` pass over the current window per column.
+
+    Numerically identical to calling :func:`population_stability_index` /
+    :func:`ks_statistic` column by column — the offline and online paths
+    must never disagree about what counts as drift.
+    """
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        n_bins: int = 10,
+        names: list[str] | None = None,
+    ):
+        reference = np.asarray(reference, dtype=float)
+        if reference.ndim != 2:
+            raise ValueError(f"reference must be 2-D, got ndim={reference.ndim}")
+        if reference.shape[0] < n_bins:
+            raise ValueError("need at least n_bins reference rows")
+        self.n_bins = int(n_bins)
+        self.n_features = int(reference.shape[1])
+        self.n_reference = int(reference.shape[0])
+        self.names = (
+            list(names) if names is not None else [f"f{i}" for i in range(self.n_features)]
+        )
+        if len(self.names) != self.n_features:
+            raise ValueError("one name per column required")
+        edges = [
+            reference_bin_edges(reference[:, j], self.n_bins)
+            for j in range(self.n_features)
+        ]
+        # the online monitor re-scores a window on the serving box every
+        # few hundred requests, so the per-window pass is vectorized over
+        # *all* columns at once: edges pad to a (d, max_edges) matrix with
+        # +inf (no value exceeds the padding, so padded bins count zero on
+        # both sides and contribute exactly 0.0 to the PSI sum) and one
+        # broadcasted comparison bins the whole window
+        self._n_edges = max(e.size for e in edges)
+        self._edges_padded = np.full((self.n_features, self._n_edges), np.inf)
+        for j, e in enumerate(edges):
+            self._edges_padded[j, :e.size] = e
+        self._stride = self._n_edges + 1  # bins per column incl. overflow
+        self._offsets = np.arange(self.n_features) * self._stride
+        # true bins per column: the per-column PSI sums run over exactly
+        # these lengths so the pairwise float summation groups like the
+        # scalar population_stability_index (bit-equal, not just close)
+        self._bins_per_col = [e.size + 1 for e in edges]
+        self._ref_counts = self._bin_counts(reference)
+        # sorted copy per column for the windowed KS statistic
+        self._sorted_ref = np.sort(reference, axis=0)
+
+    def _bin_counts(self, X: np.ndarray) -> np.ndarray:
+        """(d, stride) per-column bin counts of a 2-D sample.
+
+        ``searchsorted(edges, v, side="left")`` equals the count of edges
+        strictly below ``v`` (edges are unique), so one broadcasted
+        ``v > edge`` sum reproduces it exactly for every column at once.
+        """
+        idx = (X[:, :, None] > self._edges_padded[None, :, :]).sum(axis=2)
+        flat = (idx + self._offsets[None, :]).ravel()
+        return np.bincount(flat, minlength=self.n_features * self._stride).reshape(
+            self.n_features, self._stride
+        )
+
+    def psi(self, current: np.ndarray) -> np.ndarray:
+        """Per-column PSI of a current sample against the reference.
+
+        Numerically identical to :func:`population_stability_index` per
+        column (padding bins are empty on both sides, flooring to equal
+        epsilons whose term is exactly 0.0)."""
+        current = self._check(current)
+        p = np.maximum(self._ref_counts / self.n_reference, 1e-6)
+        q = np.maximum(self._bin_counts(current) / current.shape[0], 1e-6)
+        terms = (q - p) * np.log(q / p)
+        return np.array([
+            terms[j, :n].sum() for j, n in enumerate(self._bins_per_col)
+        ])
+
+    def ks(self, current: np.ndarray) -> np.ndarray:
+        """Per-column two-sample KS distance against the reference."""
+        current = self._check(current)
+        out = np.empty(self.n_features)
+        for j in range(self.n_features):
+            a = self._sorted_ref[:, j]
+            b = np.sort(current[:, j])
+            grid = np.concatenate([a, b])
+            cdf_a = np.searchsorted(a, grid, side="right") / a.size
+            cdf_b = np.searchsorted(b, grid, side="right") / b.size
+            out[j] = np.abs(cdf_a - cdf_b).max()
+        return out
+
+    def _check(self, current: np.ndarray) -> np.ndarray:
+        current = np.asarray(current, dtype=float)
+        if current.ndim != 2 or current.shape[1] != self.n_features:
+            raise ValueError(
+                f"current must be 2-D with {self.n_features} columns, "
+                f"got shape {current.shape}"
+            )
+        if current.shape[0] == 0:
+            raise ValueError("current sample must be non-empty")
+        return current
 
 
 @dataclass

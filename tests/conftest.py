@@ -15,6 +15,14 @@ excluded while still running in the default tier-1 sweep:
   broadcast mutations, crash containment.  These tests fork worker
   processes; they stay tier-1 but are the ones to deselect
   (``-m "not shard"``) on platforms where subprocesses are awkward.
+* ``monitor`` — the online error-source monitoring plane
+  (:mod:`repro.serve.monitor`): windowed drift/EU scoring, shadow
+  champion–challenger evaluation, and the policy engine's
+  alert/promote/rollback actions.  Its contracts are the ones these
+  tests pin: purely observational (monitored serving bit-identical to
+  unmonitored), bounded-memory ring windows, deterministic under an
+  injected clock.  The smoke target is
+  ``-m "serve or gateway or shard or monitor"``.
 """
 
 
@@ -30,4 +38,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "shard: process-sharded serving cluster tests (fork worker processes); tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "monitor: online monitoring plane tests (drift/EU/shadow/policy); tier-1",
     )

@@ -206,6 +206,54 @@ class TestServingGateway:
         assert stats.total.requests == 0
         assert stats.total.mean_latency_ms == 0.0
 
+    def test_empty_rollups_every_ratio_defined(self):
+        # the empty-total contract: a gateway/cluster that has served
+        # nothing (or whose every shard is dead) reports 0.0 ratios —
+        # never NaN, never ZeroDivisionError — and summaries render
+        from repro.serve import ClusterStats
+        from repro.serve.stats import sum_stats
+
+        empty_total = sum_stats([])
+        assert empty_total.hit_rate == 0.0
+        assert empty_total.mean_batch_rows == 0.0
+        assert empty_total.mean_latency_ms == 0.0
+        assert "requests=0" in empty_total.summary()
+
+        gw = GatewayStats(per_name={})
+        assert gw.total.hit_rate == 0.0
+        assert "TOTAL (0 models)" in gw.summary()
+
+        cluster = ClusterStats(per_shard={})  # every shard dead/absent
+        assert cluster.per_name == {}
+        assert cluster.total.hit_rate == 0.0
+        assert cluster.total.mean_latency_ms == 0.0
+        assert "CLUSTER (0 shards" in cluster.summary()
+
+    def test_single_dead_shard_rollup(self):
+        # one live shard (the other died -> absent from per_shard): the
+        # cluster rollup must equal the surviving shard's own numbers
+        import dataclasses
+
+        from repro.serve import ClusterStats
+
+        live = ServerStats(
+            requests=10, rows=10, batches=2, completed=10, size_flushes=1,
+            deadline_flushes=1, manual_flushes=0, cache_hits=4, cache_misses=6,
+            cache_evictions=0, cache_invalidations=0, cache_entries=6,
+            total_latency_s=0.05,
+        )
+        cluster = ClusterStats(per_shard={1: GatewayStats(per_name={"m": live})})
+        assert set(cluster.per_name) == {"m"}
+        for f in dataclasses.fields(ServerStats):
+            assert getattr(cluster.total, f.name) == getattr(live, f.name)
+        assert cluster.total.hit_rate == pytest.approx(0.4)
+        # a name served by zero live shards simply isn't reported; the
+        # total still carries the live shard's counters only
+        empty_shard = ClusterStats(per_shard={0: GatewayStats(per_name={})})
+        assert empty_shard.per_name == {}
+        assert empty_shard.total.completed == 0
+        assert empty_shard.total.mean_latency_ms == 0.0
+
     def test_close_tears_everything_down(self, data, gbm, forest):
         reg = _registry(gbm, forest)
         gw = ServingGateway(reg, max_batch=4, max_delay=0.01)

@@ -7,10 +7,12 @@ from hypothesis import strategies as st
 
 from repro.stats import (
     DriftMonitor,
+    ReferenceBinning,
     bootstrap_ci,
     bootstrap_median_ci,
     ks_statistic,
     population_stability_index,
+    reference_bin_edges,
     weighted_median,
     weighted_quantile,
 )
@@ -137,3 +139,64 @@ class TestDrift:
         report = monitor.score(cur)
         assert np.isfinite(report.psi).all()
         assert report.psi[0] > 0.25
+
+    # --- PR 5 degenerate-binning regression ---------------------------- #
+    def test_constant_column_jitter_is_not_drift(self):
+        # the bug: a constant reference collapses every decile edge to one
+        # value, and pre-fix any current value differing by float noise
+        # landed in the epsilon-floored "other" bin -> PSI ~ 27.6 (maximal
+        # drift from a representation detail).  The documented fallback
+        # widens the collapsed edge to a tolerance band.
+        ref = np.full(200, 3.0)
+        assert population_stability_index(ref, np.full(100, 3.0)) == 0.0
+        jitter = np.full(100, 3.0 + 1e-12)
+        assert population_stability_index(ref, jitter) < 0.1
+        # genuinely moved mass still scores as maximal drift
+        assert population_stability_index(ref, np.full(100, 4.0)) > 0.25
+        assert population_stability_index(ref, np.full(100, 2.0)) > 0.25
+
+    def test_constant_feature_in_monitor_self_score_is_zero(self):
+        rng = np.random.default_rng(5)
+        ref = rng.normal(0, 1, (300, 3))
+        ref[:, 1] = 7.5  # constant feature (a never-used counter)
+        monitor = DriftMonitor().fit(ref, names=list("abc"))
+        report = monitor.score(ref)
+        assert np.array_equal(report.psi, np.zeros(3))
+        # jitter on just the constant column stays quiet
+        cur = ref.copy()
+        cur[:, 1] += 1e-11
+        assert monitor.score(cur).n_drifted == 0
+
+    def test_reference_bin_edges_fallback(self):
+        edges = reference_bin_edges(np.full(50, 2.0))
+        assert edges.shape == (2,)
+        assert edges[0] < 2.0 < edges[1]
+        with pytest.raises(ValueError):
+            reference_bin_edges(np.zeros(3), n_bins=10)
+
+    def test_reference_binning_matches_offline_psi_and_ks(self):
+        rng = np.random.default_rng(6)
+        ref = rng.normal(0, 1, (400, 5))
+        ref[:, 3] = np.round(ref[:, 3])  # duplicate-heavy column
+        ref[:, 4] = -1.25                # constant column
+        cur = rng.normal(0.5, 1.4, (150, 5))
+        cur[:, 4] = -1.25
+        binning = ReferenceBinning(ref, names=list("abcde"))
+        psi = binning.psi(cur)
+        ks = binning.ks(cur)
+        for j in range(5):
+            assert psi[j] == population_stability_index(ref[:, j], cur[:, j])
+            assert ks[j] == ks_statistic(ref[:, j], cur[:, j])
+
+    def test_reference_binning_validation(self):
+        rng = np.random.default_rng(7)
+        ref = rng.normal(0, 1, (100, 2))
+        with pytest.raises(ValueError):
+            ReferenceBinning(ref[:, 0])  # 1-D
+        with pytest.raises(ValueError):
+            ReferenceBinning(ref, names=["only-one"])
+        binning = ReferenceBinning(ref)
+        with pytest.raises(ValueError):
+            binning.psi(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            binning.psi(np.zeros((5, 3)))
