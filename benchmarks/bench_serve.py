@@ -13,7 +13,11 @@ same workload through a two-process
 replicated row-parallel block fan-out), and a sixth measures the online
 monitoring plane: monitored vs. unmonitored stream throughput (the
 ``repro.serve.monitor`` overhead contract, ≤ 5 %) plus a drift-injection
-pass whose PSI alert must auto-rollback production.  Bit-identity across
+pass whose PSI alert must auto-rollback production.  A seventh drives
+the resilience plane: retry-wrapped vs bare cluster throughput (the
+``RetryController`` ≤ 5 % wrap-overhead contract) followed by
+kill-during-flight storms under a :class:`ShardSupervisor`, recording
+time-to-first-success recovery latency (p50/p99).  Bit-identity across
 every path is asserted inside the bench core before any number is
 written.
 
@@ -30,6 +34,7 @@ from pathlib import Path
 
 from repro.serve.bench import (
     record_trajectory_entry,
+    run_fault_bench,
     run_gateway_bench,
     run_monitor_bench,
     run_serve_bench,
@@ -87,6 +92,16 @@ def run() -> dict:
     )
     entry["monitor"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
 
+    t0 = time.perf_counter()
+    entry["faults"] = run_fault_bench(
+        kind="forest",
+        n_trees=N_TREES,
+        n_requests=N_REQUESTS // 2,
+        max_batch=MAX_BATCH,
+        max_delay=MAX_DELAY,
+    )
+    entry["faults"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+
     record_trajectory_entry(entry, RESULTS_DIR)
 
     lines = ["SERVE (micro-batched vs direct, 1-row request streams)"]
@@ -119,6 +134,14 @@ def run() -> dict:
         f"{m['max_overhead_pct']:.0f}%); injected drift PSI {m['max_psi']:.2f} "
         f"-> auto-rollback to v{m['rolled_back_to']}"
     )
+    f = entry["faults"]
+    lines.append(
+        f"faults: {f['bare_rps']:.0f} -> {f['wrapped_rps']:.0f} req/s "
+        f"retry-wrapped ({f['overhead_pct']:+.2f}% overhead, budget "
+        f"{f['max_overhead_pct']:.0f}%); {f['n_kills']} kill storms: "
+        f"recovery p50 {f['recovery_p50_ms']:.0f} ms / p99 "
+        f"{f['recovery_p99_ms']:.0f} ms, {f['respawns']} respawns"
+    )
     table = "\n".join(lines)
     print("\n" + table)
     (RESULTS_DIR / "serve.txt").write_text(table + "\n")
@@ -137,6 +160,10 @@ def test_serve_bench():
     # the monitor's gates (<=5% overhead, drift detection + rollback) are
     # asserted inside run_monitor_bench — reaching here means they held
     assert entry["monitor"]["overhead_pct"] <= entry["monitor"]["max_overhead_pct"]
+    # likewise the fault bench gates bit-identity, wrap overhead, fail-fast
+    # malformed handling, and full recovery from every kill storm
+    assert entry["faults"]["overhead_pct"] <= entry["faults"]["max_overhead_pct"]
+    assert entry["faults"]["exhausted"] == 0
 
 
 if __name__ == "__main__":

@@ -151,14 +151,44 @@ def cmd_drift(args: argparse.Namespace) -> int:
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve.bench import (
         record_trajectory_entry,
+        run_fault_bench,
         run_gateway_bench,
         run_serve_bench,
         run_shard_bench,
     )
 
-    if args.monitor and args.shards:
-        print("--monitor applies to gateway mode; drop --shards", file=sys.stderr)
+    if args.monitor and (args.shards or args.faults):
+        print("--monitor applies to gateway mode; drop --shards/--faults",
+              file=sys.stderr)
         return 2
+
+    if args.faults:
+        r = run_fault_bench(
+            kind=args.models[0],
+            n_train=args.train,
+            n_trees=args.trees,
+            n_requests=args.requests,
+            max_batch=args.batch,
+            max_delay=args.deadline_ms / 1e3,
+            seed=args.seed,
+            n_kills=args.kills,
+        )
+        rows = [
+            ["bare cluster", f"{r['bare_rps']:.0f}", "-"],
+            ["retry-wrapped", f"{r['wrapped_rps']:.0f}",
+             f"{r['overhead_pct']:+.2f}% (gate {r['max_overhead_pct']:.1f}%)"],
+        ]
+        print(format_table(
+            ["path", "req/s", "overhead"], rows,
+            title=(f"Fault injection — {r['n_requests']} requests, "
+                   f"{r['n_kills']} kills over {r['n_shards']} shards: recovery "
+                   f"p50 {r['recovery_p50_ms']:.1f}ms / "
+                   f"p99 {r['recovery_p99_ms']:.1f}ms, "
+                   f"{r['respawns']} respawns, {r['retries']} retries, "
+                   f"{r['failed_fast']} failed fast")))
+        path = record_trajectory_entry({"faults": r}, args.record_dir)
+        print(f"recorded faults entry in {path}")
+        return 0
 
     if args.shards:
         r = run_shard_bench(
@@ -366,6 +396,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="serve through an N-process ShardedServingCluster "
                            "(hash-routed stream + replicated block fan-out) and "
                            "record a cluster entry in the serve trajectory")
+    mode.add_argument("--faults", action="store_true",
+                      help="fault-injection bench: RetryController overhead gate "
+                           "plus kill/respawn recovery latency (p50/p99 "
+                           "time-to-first-success) under a ShardSupervisor; "
+                           "records a faults entry in the serve trajectory")
+    p.add_argument("--kills", type=int, default=5,
+                   help="shard kills injected by the --faults recovery phase")
     p.add_argument("--target-ms", type=float, default=5.0,
                    help="adaptive tuner latency target (gateway mode)")
     p.add_argument("--monitor", action="store_true",
@@ -375,7 +412,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train", type=int, default=3000,
                    help="training rows per benched model")
     p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"),
-                   help="trajectory directory for --shards entries")
+                   help="trajectory directory for --shards/--faults entries")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve_bench)
 

@@ -22,17 +22,37 @@ live stream's drift and epistemic uncertainty against registered
 training references, shadow-scores staged challengers, and lets a
 :class:`PolicyEngine` alert, auto-promote, or auto-rollback through the
 registry's listener machinery so actions propagate cluster-wide.
+
+:mod:`repro.serve.errors` + :mod:`repro.serve.resilience` are the
+operational counterpart of the paper's model-error taxonomy: every
+boundary failure carries a frozen :class:`ErrorCode` (category, severity,
+``retryable``), and a :class:`RetryController` / per-shard
+:class:`CircuitBreaker` / :class:`ShardSupervisor` triple turns
+"retryable" into actual recovery — deadline-budgeted resubmission,
+storm-capped auto-respawn — without touching the bit-identical scoring
+path.
 """
 
 from repro.serve.adaptive import AdaptiveBatchTuner, TuningDecision
 from repro.serve.batcher import MicroBatcher, Ticket
 from repro.serve.bench import (
     make_serve_model,
+    run_fault_bench,
     run_gateway_bench,
     run_serve_bench,
     run_shard_bench,
 )
 from repro.serve.cache import PredictionCache, request_digest
+from repro.serve.errors import (
+    CodedError,
+    ErrorCode,
+    classify_exception,
+    code_of,
+    coded,
+    ensure_code,
+    from_wire,
+    to_wire,
+)
 from repro.serve.monitor import (
     EuQuantileRule,
     MonitorEvent,
@@ -50,16 +70,25 @@ from repro.serve.registry import (
     ReferenceSnapshot,
     freeze_arrays,
 )
+from repro.serve.resilience import (
+    CircuitBreaker,
+    RetryController,
+    RetryTicket,
+    ShardSupervisor,
+)
 from repro.serve.router import ServingGateway
 from repro.serve.service import CompletedTicket, InferenceService
 from repro.serve.shard import ClusterTicket, ShardCrashedError, ShardedServingCluster
-from repro.serve.stats import ClusterStats, GatewayStats, ServerStats
+from repro.serve.stats import ClusterStats, GatewayStats, ResilienceStats, ServerStats
 
 __all__ = [
     "AdaptiveBatchTuner",
+    "CircuitBreaker",
     "ClusterStats",
     "ClusterTicket",
+    "CodedError",
     "CompletedTicket",
+    "ErrorCode",
     "EuQuantileRule",
     "GatewayStats",
     "InferenceService",
@@ -72,20 +101,31 @@ __all__ = [
     "PredictionCache",
     "PsiThresholdRule",
     "ReferenceSnapshot",
+    "ResilienceStats",
+    "RetryController",
+    "RetryTicket",
     "ServerStats",
     "ServingGateway",
     "ShadowScorer",
     "ShadowWinnerRule",
     "ShardCrashedError",
+    "ShardSupervisor",
     "ShardedServingCluster",
     "StreamProfile",
     "Ticket",
     "TuningDecision",
     "UncertaintyTap",
+    "classify_exception",
+    "code_of",
+    "coded",
+    "ensure_code",
     "freeze_arrays",
+    "from_wire",
     "make_serve_model",
     "request_digest",
+    "run_fault_bench",
     "run_gateway_bench",
     "run_serve_bench",
     "run_shard_bench",
+    "to_wire",
 ]

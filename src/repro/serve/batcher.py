@@ -33,6 +33,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.parallel.pool import parallel_map
+from repro.serve.errors import ErrorCode, coded, ensure_code
 
 __all__ = ["MicroBatcher", "Ticket"]
 
@@ -64,6 +65,7 @@ class Ticket:
     __slots__ = (
         "kind", "block", "single_row", "token", "seq", "deadline",
         "enqueued_at", "batch_seq", "batch_pos", "_event", "_value", "_error",
+        "_owner",
     )
 
     def __init__(self, kind: str, block: np.ndarray, single_row: bool, token: Any):
@@ -79,14 +81,26 @@ class Ticket:
         self._event = threading.Event()
         self._value: Any = None
         self._error: BaseException | None = None
+        self._owner: "MicroBatcher | None" = None  # tombstone path on timeout
 
     def done(self) -> bool:
         return self._event.is_set()
 
     def result(self, timeout: float | None = None) -> Any:
-        """The request's prediction (scalar for 1-D submissions)."""
+        """The request's prediction (scalar for 1-D submissions).
+
+        A timeout **tombstones** the ticket: if it is still queued, it is
+        pulled out of the pending slot so a later flush never scores work
+        nobody will collect, and every subsequent ``result()`` call fails
+        immediately with the same coded ``DEADLINE_EXCEEDED`` error
+        instead of blocking again.  (A ticket already drained into an
+        in-flight flush completes normally whenever that flush finishes.)
+        """
         if not self._event.wait(timeout):
-            raise TimeoutError("request not completed within timeout")
+            if self._owner is not None:
+                self._owner._abandon(self)
+            raise coded(TimeoutError("request not completed within timeout"),
+                        ErrorCode.DEADLINE_EXCEEDED)
         if self._error is not None:
             # a private copy per raise: concurrent result() callers on one
             # shared ticket must not race on __traceback__ mutation
@@ -160,6 +174,7 @@ class MicroBatcher:
         self.size_flushes = 0
         self.deadline_flushes = 0
         self.manual_flushes = 0
+        self.abandoned = 0  # tickets tombstoned by a result() timeout
         self.total_latency_s = 0.0
 
     # ------------------------------------------------------------------ #
@@ -181,19 +196,22 @@ class MicroBatcher:
         does, having already copied for its digest).
         """
         if kind not in ("predict", "predict_dist"):
-            raise ValueError("kind must be 'predict' or 'predict_dist'")
+            raise coded(ValueError("kind must be 'predict' or 'predict_dist'"),
+                        ErrorCode.MALFORMED_REQUEST)
         arr = np.array(row, dtype=float) if copy else np.asarray(row, dtype=float)
         single = arr.ndim == 1
         if single:
             arr = arr[None, :]
         elif arr.ndim != 2:
-            raise ValueError(f"request must be 1-D or 2-D, got ndim={arr.ndim}")
+            raise coded(ValueError(f"request must be 1-D or 2-D, got ndim={arr.ndim}"),
+                        ErrorCode.MALFORMED_REQUEST)
         ticket = Ticket(kind, arr, single, token)
+        ticket._owner = self
 
         batch: list[Ticket] | None = None
         with self._lock:
             if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+                raise coded(RuntimeError("MicroBatcher is closed"), ErrorCode.CLOSED)
             now = time.monotonic()
             ticket.seq = self._next_seq
             self._next_seq += 1
@@ -312,10 +330,36 @@ class MicroBatcher:
                 "size_flushes": self.size_flushes,
                 "deadline_flushes": self.deadline_flushes,
                 "manual_flushes": self.manual_flushes,
+                "abandoned": self.abandoned,
                 "total_latency_s": self.total_latency_s,
             }
 
     # ------------------------------------------------------------------ #
+    def _abandon(self, ticket: Ticket) -> None:
+        """Tombstone a ticket whose ``result(timeout=)`` expired.
+
+        Only a ticket still sitting in the pending queue is pulled out (and
+        completed with its coded timeout, so later ``result()`` calls fail
+        fast instead of re-blocking); a ticket already drained into an
+        in-flight flush is left alone — that flush owns its completion.
+        Removing a queued ticket frees its slot, so repeated timeouts can
+        never leak pending rows or pin the deadline timer on dead work.
+        """
+        with self._lock:
+            try:
+                self._pending.remove(ticket)
+            except ValueError:
+                return  # already drained (or already tombstoned)
+            self._pending_rows -= ticket.block.shape[0]
+            self.abandoned += 1
+            # the head deadline the timer watches may have changed
+            self._cond.notify_all()
+        ticket._complete(
+            None,
+            coded(TimeoutError("request abandoned: result() timed out"),
+                  ErrorCode.DEADLINE_EXCEEDED),
+        )
+
     def _drain_locked(self) -> list[Ticket]:
         batch = self._pending
         self._pending = []
@@ -378,6 +422,7 @@ class MicroBatcher:
                     backend="thread",
                 )
             except BaseException as exc:  # model resolution failed: everyone waits on it
+                ensure_code(exc, ErrorCode.MODEL_RESOLUTION_FAILED)
                 for t in batch:
                     # each ticket gets a private copy — concurrent result()
                     # raisers must not share one mutable instance
@@ -423,7 +468,7 @@ class MicroBatcher:
                 try:
                     outcomes.append((cls._score_group(model, kind, [t])[0], None))
                 except Exception as exc:
-                    outcomes.append((None, exc))
+                    outcomes.append((None, ensure_code(exc, ErrorCode.SCORING_FAILED)))
             return outcomes
 
     @staticmethod

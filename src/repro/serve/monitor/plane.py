@@ -36,6 +36,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.serve.errors import ErrorCode, coded
 from repro.serve.monitor.policy import NameState, PolicyEngine
 from repro.serve.monitor.profile import StreamProfile
 from repro.serve.monitor.shadow import ShadowScorer
@@ -151,9 +152,12 @@ class MonitoringPlane:
         if reference_eu is not None:
             tap = UncertaintyTap(reference_eu, window=self.window)
         if profile is None and tap is None:
-            raise ValueError(
-                f"no reference for {name!r}: pass reference=/reference_eu= or "
-                f"call registry.set_reference(name, ...) first"
+            raise coded(
+                ValueError(
+                    f"no reference for {name!r}: pass reference=/reference_eu= "
+                    f"or call registry.set_reference(name, ...) first"
+                ),
+                ErrorCode.REFERENCE_MISSING,
             )
         with self._lock:
             old = self._monitors.get(name)

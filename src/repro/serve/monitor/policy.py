@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.serve.errors import ErrorCode, classify_exception, to_wire
 from repro.serve.registry import ModelRegistry
 
 __all__ = [
@@ -43,7 +44,7 @@ _ACTIONS = ("alert", "rollback", "promote")
 
 @dataclass(frozen=True)
 class MonitorEvent:
-    """One fired rule: what was seen, what was done."""
+    """One fired rule (or recorded failure): what was seen, what was done."""
 
     at: float           # injected-clock timestamp
     name: str           # served model name
@@ -51,6 +52,18 @@ class MonitorEvent:
     action: str         # "alert" | "rollback" | "promote" (+ "-failed")
     value: float        # the signal magnitude that fired the rule
     detail: str         # human-readable context
+    code: ErrorCode | None = None  # coded-vocabulary tag (None: uncoded legacy)
+
+    def to_wire(self) -> dict[str, Any]:
+        """The event as one structured dict, embedding the error payload
+        of :func:`repro.serve.errors.to_wire` when the event is coded."""
+        payload: dict[str, Any] = {
+            "at": self.at, "name": self.name, "rule": self.rule,
+            "action": self.action, "value": self.value, "detail": self.detail,
+        }
+        if self.code is not None:
+            payload["error"] = to_wire(self.code, detail=self.detail)
+        return payload
 
 
 @dataclass
@@ -74,6 +87,7 @@ class PsiThresholdRule:
         self.threshold = float(threshold)
         self.action = action
         self.name = f"psi>{self.threshold:g}"
+        self.code = ErrorCode.DRIFT_DETECTED
 
     def __call__(self, state: NameState):
         if state.profile is None:
@@ -114,6 +128,7 @@ class EuQuantileRule:
         self.min_window = int(min_window)
         self.action = action
         self.name = f"eu-quantile x{self.factor:g}"
+        self.code = ErrorCode.OOD_DETECTED
 
     def __call__(self, state: NameState):
         tap = state.tap
@@ -220,7 +235,10 @@ class PolicyEngine:
                 last = self._last_fire.get(key)
                 if last is not None and now - last < self.cooldown_s:
                     continue
-                event = self._execute(now, state, rule.name, action, value, detail)
+                event = self._execute(
+                    now, state, rule.name, action, value, detail,
+                    rule_code=getattr(rule, "code", None),
+                )
                 if not event.action.endswith("-failed"):
                     # only a *performed* action consumes the cooldown: a
                     # failed rollback did nothing, and silencing retries
@@ -231,9 +249,21 @@ class PolicyEngine:
             self.events.extend(fired)
             return fired
 
+    def record(self, event: MonitorEvent) -> None:
+        """Append an externally-produced event to the bounded audit trail.
+
+        The resilience plane's :class:`~repro.serve.resilience.ShardSupervisor`
+        reports crash detections and respawn outcomes here, so one deque
+        holds the complete operational history — drift alerts and shard
+        deaths interleaved on the same injected-clock timeline.
+        """
+        with self._eval_lock:
+            self.events.append(event)
+
     def _execute(
         self, now: float, state: NameState, rule: str,
         action: str, value: float, detail: str,
+        rule_code: ErrorCode | None = None,
     ) -> MonitorEvent:
         try:
             if action == "rollback":
@@ -252,9 +282,11 @@ class PolicyEngine:
             return MonitorEvent(
                 at=now, name=state.name, rule=rule,
                 action=f"{action}-failed", value=value,
-                detail=f"{detail}; {type(exc).__name__}: {exc}",
+                detail=(f"{detail}; {type(exc).__name__}: {exc} "
+                        f"[{classify_exception(exc).name}]"),
+                code=ErrorCode.POLICY_ACTION_FAILED,
             )
         return MonitorEvent(
             at=now, name=state.name, rule=rule, action=action,
-            value=value, detail=detail,
+            value=value, detail=detail, code=rule_code,
         )

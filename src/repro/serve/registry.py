@@ -26,6 +26,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.serve.errors import ErrorCode, coded
+
 __all__ = ["ModelRegistry", "ModelVersion", "ReferenceSnapshot", "freeze_arrays"]
 
 
@@ -160,7 +162,8 @@ class ModelRegistry:
         parent assigned (``next_version`` advances past the pin).
         """
         if not callable(getattr(model, "predict", None)):
-            raise TypeError(f"model {type(model).__name__} has no predict()")
+            raise coded(TypeError(f"model {type(model).__name__} has no predict()"),
+                        ErrorCode.INVALID_MUTATION)
         ensure = getattr(model, "_ensure_pack", None)
         if callable(ensure):
             ensure()  # pre-warm the arena before it is frozen and shared
@@ -171,9 +174,11 @@ class ModelRegistry:
             if version is None:
                 version = entry.next_version
             elif version in entry.versions:
-                raise ValueError(f"{name!r} already has a version {version}")
+                raise coded(ValueError(f"{name!r} already has a version {version}"),
+                            ErrorCode.INVALID_MUTATION)
             elif version < 1:
-                raise ValueError("version must be >= 1")
+                raise coded(ValueError("version must be >= 1"),
+                            ErrorCode.INVALID_MUTATION)
             entry.next_version = max(entry.next_version, version + 1)
             entry.versions[version] = ModelVersion(name, version, model, n_frozen)
         if promote:
@@ -185,7 +190,8 @@ class ModelRegistry:
         with self._lock:
             entry = self._get_entry(name)
             if version not in entry.versions:
-                raise LookupError(f"{name!r} has no version {version}")
+                raise coded(LookupError(f"{name!r} has no version {version}"),
+                            ErrorCode.UNKNOWN_VERSION)
             if entry.production == version:
                 return
             if entry.production is not None:
@@ -198,7 +204,10 @@ class ModelRegistry:
         with self._lock:
             entry = self._get_entry(name)
             if not entry.history:
-                raise LookupError(f"{name!r} has no previous production version")
+                raise coded(
+                    LookupError(f"{name!r} has no previous production version"),
+                    ErrorCode.INVALID_MUTATION,
+                )
             version = entry.history.pop()
             entry.production = version
         self._notify(name, version, "rollback")
@@ -217,9 +226,13 @@ class ModelRegistry:
         with self._lock:
             entry = self._get_entry(name)
             if version not in entry.versions:
-                raise LookupError(f"{name!r} has no version {version}")
+                raise coded(LookupError(f"{name!r} has no version {version}"),
+                            ErrorCode.UNKNOWN_VERSION)
             if entry.production == version:
-                raise ValueError(f"cannot unregister production version {version} of {name!r}")
+                raise coded(
+                    ValueError(f"cannot unregister production version {version} of {name!r}"),
+                    ErrorCode.INVALID_MUTATION,
+                )
             del entry.versions[version]
             entry.history = [v for v in entry.history if v != version]
         self._notify(name, version, "unregister")
@@ -244,7 +257,8 @@ class ModelRegistry:
         """
         X = np.array(X, dtype=float)
         if X.ndim != 2:
-            raise ValueError(f"reference X must be 2-D, got ndim={X.ndim}")
+            raise coded(ValueError(f"reference X must be 2-D, got ndim={X.ndim}"),
+                        ErrorCode.MALFORMED_REQUEST)
         X.setflags(write=False)
         if eu is not None:
             eu = np.array(eu, dtype=float).ravel()
@@ -328,10 +342,14 @@ class ModelRegistry:
             entry = self._get_entry(name)
             if version is None:
                 if entry.production is None:
-                    raise LookupError(f"{name!r} has no production version (promote one)")
+                    raise coded(
+                        LookupError(f"{name!r} has no production version (promote one)"),
+                        ErrorCode.NO_PRODUCTION,
+                    )
                 version = entry.production
             if version not in entry.versions:
-                raise LookupError(f"{name!r} has no version {version}")
+                raise coded(LookupError(f"{name!r} has no version {version}"),
+                            ErrorCode.UNKNOWN_VERSION)
             return entry.versions[version]
 
     def production_version(self, name: str) -> int:
@@ -362,7 +380,8 @@ class ModelRegistry:
     def _get_entry(self, name: str) -> _Entry:
         entry = self._entries.get(name)
         if entry is None:
-            raise LookupError(f"unknown model name {name!r}")
+            raise coded(LookupError(f"unknown model name {name!r}"),
+                        ErrorCode.UNKNOWN_MODEL)
         return entry
 
     def _notify(self, name: str, version: int, action: str) -> None:

@@ -36,6 +36,7 @@ from typing import Any
 import numpy as np
 
 from repro.serve.batcher import MicroBatcher, Ticket
+from repro.serve.errors import ErrorCode, coded
 from repro.serve.registry import ModelRegistry
 from repro.serve.service import CompletedTicket, InferenceService
 from repro.serve.stats import GatewayStats
@@ -129,11 +130,12 @@ class ServingGateway:
         """The per-name service, created on first use."""
         with self._lock:
             if self._closed:
-                raise RuntimeError("ServingGateway is closed")
+                raise coded(RuntimeError("ServingGateway is closed"), ErrorCode.CLOSED)
             svc = self._services.get(name)
             if svc is None:
                 if name not in self.registry.names():
-                    raise LookupError(f"unknown model name {name!r}")
+                    raise coded(LookupError(f"unknown model name {name!r}"),
+                                ErrorCode.UNKNOWN_MODEL)
                 cfg = {**self._defaults, **self._overrides.get(name, {})}
                 svc = InferenceService(
                     self.registry, name, **cfg,

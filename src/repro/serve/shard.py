@@ -55,6 +55,7 @@ from typing import Any
 import numpy as np
 
 from repro.serve.batcher import _private_exception
+from repro.serve.errors import ErrorCode, coded, ensure_code
 from repro.serve.registry import ModelRegistry
 from repro.serve.router import ServingGateway
 from repro.serve.stats import ClusterStats
@@ -66,6 +67,8 @@ _ROUTES = ("hash", "replicated")
 
 class ShardCrashedError(RuntimeError):
     """A shard worker process died (or was killed) with requests on it."""
+
+    code = ErrorCode.SHARD_CRASHED  # retryable: a respawned shard should succeed
 
 
 def shard_for_name(name: str, n_shards: int) -> int:
@@ -89,7 +92,11 @@ def _picklable_exception(exc: BaseException) -> BaseException:
         pickle.loads(pickle.dumps(exc))
         return exc
     except Exception:
-        return RuntimeError(f"{type(exc).__name__}: {exc}")
+        flat = RuntimeError(f"{type(exc).__name__}: {exc}")
+        code = getattr(exc, "code", None)
+        if isinstance(code, ErrorCode):
+            flat.code = code  # the coded vocabulary survives the flattening
+        return flat
 
 
 # ---------------------------------------------------------------------- #
@@ -116,7 +123,10 @@ def _apply_control(registry: ModelRegistry, action: str, name: str, payload: Any
             return version  # snapshot already carried it
         got = registry.register(name, pickle.loads(model_bytes), version=version)
         if got != version:
-            raise RuntimeError(f"replica filed {name!r} under v{got}, parent assigned v{version}")
+            raise coded(
+                RuntimeError(f"replica filed {name!r} under v{got}, parent assigned v{version}"),
+                ErrorCode.REPLICA_DIVERGENCE,
+            )
         return got
     if action == "promote":
         registry.promote(name, payload)
@@ -127,7 +137,10 @@ def _apply_control(registry: ModelRegistry, action: str, name: str, payload: Any
             return payload  # snapshot already carried it
         got = registry.rollback(name)
         if got != payload:
-            raise RuntimeError(f"replica rolled {name!r} back to v{got}, parent to v{payload}")
+            raise coded(
+                RuntimeError(f"replica rolled {name!r} back to v{got}, parent to v{payload}"),
+                ErrorCode.REPLICA_DIVERGENCE,
+            )
         return got
     if action == "unregister":
         try:
@@ -263,7 +276,8 @@ class ClusterTicket:
 
     def result(self, timeout: float | None = None) -> Any:
         if not self._event.wait(timeout):
-            raise TimeoutError("request not completed within timeout")
+            raise coded(TimeoutError("request not completed within timeout"),
+                        ErrorCode.DEADLINE_EXCEEDED)
         if self._error is not None:
             # private copy per raise, same rule as batcher.Ticket: two
             # threads re-raising one instance would race on __traceback__
@@ -451,16 +465,22 @@ class ShardedServingCluster:
                 for ticket in orphans:
                     ticket._complete(None, err)
 
-    def respawn(self) -> int:
-        """Rebuild every dead shard from the registry's current state;
-        returns how many were restarted.  The replacement warm-starts from
+    def respawn(self, shard_ids: "list[int] | set[int] | None" = None) -> int:
+        """Rebuild dead shards from the registry's current state; returns
+        how many were restarted.  ``shard_ids`` limits the sweep to those
+        shards (the supervisor's per-shard backoff path); the default
+        rebuilds every dead worker.  The replacement warm-starts from
         a fresh snapshot, so mutations that happened while the shard was
         down are already applied when it takes traffic again."""
+        wanted = None if shard_ids is None else set(shard_ids)
         respawned = 0
         with self._lock:
             if self._closed:
-                raise RuntimeError("ShardedServingCluster is closed")
+                raise coded(RuntimeError("ShardedServingCluster is closed"),
+                            ErrorCode.CLOSED)
             for i, handle in enumerate(self._shards):
+                if wanted is not None and handle.shard_id not in wanted:
+                    continue
                 with handle.lock:
                     dead = not handle.alive
                 if dead:
@@ -500,25 +520,55 @@ class ShardedServingCluster:
     def n_shards(self) -> int:
         return len(self._shards)
 
-    def _route(self, name: str) -> _ShardHandle:
-        if self.route == "hash":
-            return self._shards[self.shard_of(name)]
-        live = [h for h in self._shards if h.alive]
+    def _pick_shard(self, exclude: set[int] = frozenset()) -> _ShardHandle | None:
+        """Next replicated-route shard: round-robin strictly over live
+        workers (minus ``exclude``, the shards a retry loop already tried).
+        Returns ``None`` only when no live candidate remains — a dead
+        worker is *skipped*, never selected while a live one exists."""
+        live = [
+            h for h in self._shards if h.alive and h.shard_id not in exclude
+        ]
         if not live:
-            return self._shards[next(self._rr) % len(self._shards)]  # dead; errors the ticket
+            return None
         return live[next(self._rr) % len(live)]
 
+    def _route(self, name: str) -> _ShardHandle | None:
+        if self.route == "hash":
+            return self._shards[self.shard_of(name)]
+        return self._pick_shard()
+
+    def _no_live_shard_ticket(self) -> ClusterTicket:
+        ticket = ClusterTicket(-1)
+        ticket._complete(None, coded(
+            ShardCrashedError("no live shard available (call respawn())"),
+            ErrorCode.SHARD_CRASHED,
+        ))
+        return ticket
+
     def _send_request(self, handle: _ShardHandle, op: str, *args: Any) -> ClusterTicket:
+        ticket = self._try_send(handle, op, *args)
+        if ticket is not None:
+            return ticket
+        ticket = ClusterTicket(handle.shard_id)
+        ticket._complete(None, coded(ShardCrashedError(
+            f"shard {handle.shard_id} is down (call respawn())"
+        ), ErrorCode.SHARD_CRASHED))
+        return ticket
+
+    def _try_send(self, handle: _ShardHandle, op: str, *args: Any) -> ClusterTicket | None:
+        """Enqueue one request on ``handle``; ``None`` means the shard is
+        dead (or its pipe broke mid-send, in which case it is marked dead
+        so the next :meth:`_pick_shard` skips it) and the caller may try
+        another shard instead of surfacing the failure."""
         ticket = ClusterTicket(handle.shard_id)
         with handle.lock:
             if self._closed:
-                ticket._complete(None, RuntimeError("ShardedServingCluster is closed"))
-                return ticket
-            if not handle.alive:
-                ticket._complete(None, ShardCrashedError(
-                    f"shard {handle.shard_id} is down (call respawn())"
+                ticket._complete(None, coded(
+                    RuntimeError("ShardedServingCluster is closed"), ErrorCode.CLOSED
                 ))
                 return ticket
+            if not handle.alive:
+                return None
             req_id = handle.next_req
             handle.next_req += 1
             handle.pending[req_id] = ticket
@@ -526,10 +576,24 @@ class ShardedServingCluster:
                 handle.conn.send((op, req_id, *args))
             except (BrokenPipeError, OSError):
                 handle.pending.pop(req_id, None)
-                ticket._complete(None, ShardCrashedError(
-                    f"shard {handle.shard_id} pipe is broken (call respawn())"
-                ))
+                handle.alive = False  # the reader will confirm via EOF
+                return None
         return ticket
+
+    def _submit_replicated(self, name: str, arr: np.ndarray, kind: str) -> ClusterTicket:
+        """Replicated-route submission with dead-shard absorption: a shard
+        found dead at send time (routing race, broken pipe) is excluded and
+        the request re-routes to the next live worker.  Only when *every*
+        shard is down does the ticket surface a coded crash error."""
+        tried: set[int] = set()
+        while True:
+            handle = self._pick_shard(tried)
+            if handle is None:
+                return self._no_live_shard_ticket()
+            ticket = self._try_send(handle, "submit", name, arr, kind)
+            if ticket is not None:
+                return ticket
+            tried.add(handle.shard_id)
 
     # ------------------------------------------------------------------ #
     # monitoring taps (parent-side: the front door sees every request)
@@ -576,9 +640,14 @@ class ShardedServingCluster:
         """Route one request; returns a ticket whose ``result()`` blocks.
 
         A dead route never hangs: the ticket completes immediately with
-        :class:`ShardCrashedError`."""
+        :class:`ShardCrashedError` (replicated routing first re-routes to
+        any remaining live shard)."""
         arr = np.asarray(row, dtype=float)
-        ticket = self._send_request(self._route(name), "submit", name, arr, kind)
+        if self.route == "hash":
+            ticket = self._send_request(self._shards[self.shard_of(name)],
+                                        "submit", name, arr, kind)
+        else:
+            ticket = self._submit_replicated(name, arr, kind)
         if self._request_taps:
             # a private copy for observers: the caller may reuse its buffer
             # once submit returns (the worker scores the pickled bytes, but
@@ -595,14 +664,18 @@ class ShardedServingCluster:
         rides to the name's owner whole (one shard, one batch)."""
         X = np.asarray(X, dtype=float)
         if X.ndim != 2:
-            raise ValueError(f"block must be 2-D, got ndim={X.ndim}")
+            raise coded(ValueError(f"block must be 2-D, got ndim={X.ndim}"),
+                        ErrorCode.MALFORMED_REQUEST)
         if self.route == "hash":
             return self.submit(name, X, kind)
-        live = [h for h in self._shards if h.alive] or list(self._shards)
-        n_parts = max(1, min(len(live), X.shape[0]))
+        n_live = len(self.live_shards())
+        n_parts = max(1, min(max(1, n_live), X.shape[0]))
+        # each part routes through the dead-shard-absorbing path: a worker
+        # that dies between the live count and the send just means its
+        # chunk lands on a surviving replica instead of erroring the block
         parts = [
-            self._send_request(live[i], "submit", name, chunk, kind)
-            for i, chunk in enumerate(np.array_split(X, n_parts))
+            self._submit_replicated(name, chunk, kind)
+            for chunk in np.array_split(X, n_parts)
         ]
         if self._request_taps:
             self._notify_request(name, np.array(X), kind)  # one private-copy observation

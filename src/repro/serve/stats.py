@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Iterable
 
-__all__ = ["ClusterStats", "GatewayStats", "ServerStats", "sum_stats"]
+__all__ = ["ClusterStats", "GatewayStats", "ResilienceStats", "ServerStats", "sum_stats"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,37 @@ def sum_stats(snapshots: Iterable[ServerStats]) -> ServerStats:
     }
     sums["total_latency_s"] = float(sums["total_latency_s"])
     return ServerStats(**sums)
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Point-in-time view of the resilience plane's recovery work.
+
+    Snapshotted by :meth:`repro.serve.resilience.RetryController.stats` and
+    :meth:`repro.serve.resilience.ShardSupervisor.stats`; counters a field
+    does not apply to are simply zero (a controller never respawns, a
+    supervisor never retries requests).
+    """
+
+    submits: int = 0            # requests accepted by the retry front door
+    retries: int = 0            # re-submissions performed (attempts - submits)
+    recovered: int = 0          # requests that succeeded after >= 1 retry
+    failed_fast: int = 0        # non-retryable coded failures (zero retries)
+    exhausted: int = 0          # retryable failures that ran out of deadline
+    breaker_opens: int = 0      # closed -> open transitions across all shards
+    breaker_probes: int = 0     # half-open trial requests allowed through
+    breaker_closes: int = 0     # half-open -> closed recoveries
+    respawns: int = 0           # shard workers rebuilt by the supervisor
+    respawn_failures: int = 0   # respawn attempts that raised
+
+    def summary(self) -> str:
+        return (
+            f"submits={self.submits} retries={self.retries} "
+            f"recovered={self.recovered} failed_fast={self.failed_fast} "
+            f"exhausted={self.exhausted} breaker(open={self.breaker_opens} "
+            f"probe={self.breaker_probes} close={self.breaker_closes}) "
+            f"respawns={self.respawns} respawn_failures={self.respawn_failures}"
+        )
 
 
 @dataclass(frozen=True)

@@ -21,8 +21,15 @@ excluded while still running in the default tier-1 sweep:
   alert/promote/rollback actions.  Its contracts are the ones these
   tests pin: purely observational (monitored serving bit-identical to
   unmonitored), bounded-memory ring windows, deterministic under an
-  injected clock.  The smoke target is
-  ``-m "serve or gateway or shard or monitor"``.
+  injected clock.
+* ``faults`` — the operational error taxonomy and resilience plane
+  (:mod:`repro.serve.errors` / :mod:`repro.serve.resilience`): coded
+  error vocabulary at every boundary, retry/backoff/circuit-breaker
+  trajectories (pure functions of injected clock + seed), and
+  fault-injection storms (kill-during-flight with supervisor respawn —
+  every request bit-identical or coded non-retryable, never hung).
+  The smoke target is
+  ``-m "serve or gateway or shard or monitor or faults"``.
 """
 
 
@@ -42,4 +49,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "monitor: online monitoring plane tests (drift/EU/shadow/policy); tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "faults: error taxonomy + resilience plane tests (fault injection); tier-1",
     )
