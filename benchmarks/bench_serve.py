@@ -17,9 +17,13 @@ pass whose PSI alert must auto-rollback production.  A seventh drives
 the resilience plane: retry-wrapped vs bare cluster throughput (the
 ``RetryController`` ≤ 5 % wrap-overhead contract) followed by
 kill-during-flight storms under a :class:`ShardSupervisor`, recording
-time-to-first-success recovery latency (p50/p99).  Bit-identity across
-every path is asserted inside the bench core before any number is
-written.
+time-to-first-success recovery latency (p50/p99).  An eighth serves the
+stream over TCP through the asyncio network front door
+(:class:`~repro.serve.net.server.AsyncServeServer` + pipelined
+:class:`~repro.serve.net.client.ServeClient`), recording wire round-trip
+p50/p99 and the admission-control shed rate of an overload burst.
+Bit-identity across every path — including across the wire — is asserted
+inside the bench core before any number is written.
 
 Runs standalone (``python benchmarks/bench_serve.py``) or via an explicit
 pytest path (``pytest benchmarks/bench_serve.py``); the same comparison is
@@ -37,6 +41,7 @@ from repro.serve.bench import (
     run_fault_bench,
     run_gateway_bench,
     run_monitor_bench,
+    run_net_bench,
     run_serve_bench,
     run_shard_bench,
 )
@@ -102,6 +107,16 @@ def run() -> dict:
     )
     entry["faults"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
 
+    t0 = time.perf_counter()
+    entry["net"] = run_net_bench(
+        kind="forest",
+        n_trees=N_TREES,
+        n_requests=N_REQUESTS,
+        max_batch=MAX_BATCH,
+        max_delay=MAX_DELAY,
+    )
+    entry["net"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+
     record_trajectory_entry(entry, RESULTS_DIR)
 
     lines = ["SERVE (micro-batched vs direct, 1-row request streams)"]
@@ -142,6 +157,14 @@ def run() -> dict:
         f"recovery p50 {f['recovery_p50_ms']:.0f} ms / p99 "
         f"{f['recovery_p99_ms']:.0f} ms, {f['respawns']} respawns"
     )
+    n = entry["net"]
+    lines.append(
+        f"net: {n['inproc_rps']:.0f} -> {n['net_rps']:.0f} req/s over TCP "
+        f"(window {n['window']}, p50 {n['net_p50_ms']:.2f} ms / p99 "
+        f"{n['net_p99_ms']:.2f} ms); overload burst: {n['served']} served + "
+        f"{n['shed']} shed of {n['overload_requests']} "
+        f"({n['shed_rate']:.0%} shed, budget {n['overload_in_flight']})"
+    )
     table = "\n".join(lines)
     print("\n" + table)
     (RESULTS_DIR / "serve.txt").write_text(table + "\n")
@@ -164,6 +187,10 @@ def test_serve_bench():
     # malformed handling, and full recovery from every kill storm
     assert entry["faults"]["overhead_pct"] <= entry["faults"]["max_overhead_pct"]
     assert entry["faults"]["exhausted"] == 0
+    # the net bench gates wire bit-identity (stream, dist, block) and a
+    # non-zero shed rate inside run_net_bench; pin the accounting here
+    assert entry["net"]["shed"] > 0
+    assert entry["net"]["served"] + entry["net"]["shed"] == entry["net"]["overload_requests"]
 
 
 if __name__ == "__main__":

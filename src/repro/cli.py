@@ -14,6 +14,7 @@ Every major capability is reachable without writing Python::
     repro serve-bench --gateway --monitor
     repro serve-bench --shards 2
     repro monitor-bench --requests 2000
+    repro serve-net --requests 2000 --window 64
 
 Commands accept either ``--dataset file.npz`` (a saved dataset) or
 ``--platform/--jobs/--seed`` to simulate one on the fly.
@@ -315,6 +316,41 @@ def cmd_monitor_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_net(args: argparse.Namespace) -> int:
+    from repro.serve.bench import record_trajectory_entry, run_net_bench
+
+    r = run_net_bench(
+        kind=args.model,
+        n_train=args.train,
+        n_trees=args.trees,
+        n_requests=args.requests,
+        max_batch=args.batch,
+        max_delay=args.deadline_ms / 1e3,
+        seed=args.seed,
+        window=args.window,
+        overload_requests=args.overload_requests,
+        overload_in_flight=args.overload_in_flight,
+    )
+    rows = [
+        ["in-process gateway", f"{r['inproc_rps']:.0f}", "-", "-"],
+        ["network (pipelined)", f"{r['net_rps']:.0f}",
+         f"{r['net_p50_ms']:.2f}", f"{r['net_p99_ms']:.2f}"],
+    ]
+    print(format_table(
+        ["path", "req/s", "p50 ms", "p99 ms"],
+        rows,
+        title=(f"Network front door — {r['n_requests']} requests x "
+               f"{r['model']} ({r['n_trees']} trees), window {r['window']}: "
+               "bit-identical across the wire")))
+    print(f"overload: {r['served']} served + {r['shed']} shed of "
+          f"{r['overload_requests']} burst requests "
+          f"(budget {r['overload_in_flight']}, shed rate {r['shed_rate']:.0%}, "
+          "every shed a structured OVERLOADED, every served bit-identical)")
+    path = record_trajectory_entry({"net": r}, args.record_dir)
+    print(f"recorded net entry in {path}")
+    return 0
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     from repro.scheduler import BatchScheduler, Dragonfly, PlacementPolicy
 
@@ -437,6 +473,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"))
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_monitor_bench)
+
+    p = sub.add_parser(
+        "serve-net",
+        help="asyncio network front door: wire round-trip p50/p99 vs the "
+             "in-process gateway (bit-identical) + admission-control shed rate",
+    )
+    p.add_argument("--model", default="forest", choices=("forest", "gbm"))
+    p.add_argument("--trees", type=int, default=150)
+    p.add_argument("--requests", type=int, default=2000)
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument("--deadline-ms", type=float, default=2.0)
+    p.add_argument("--train", type=int, default=3000)
+    p.add_argument("--window", type=int, default=64,
+                   help="client pipeline depth (outstanding requests)")
+    p.add_argument("--overload-requests", type=int, default=300,
+                   help="burst size for the admission-control phase")
+    p.add_argument("--overload-in-flight", type=int, default=16,
+                   help="deliberately small server budget the burst must overrun")
+    p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve_net)
 
     p = sub.add_parser("schedule", help="compare placement policies on a dragonfly")
     p.add_argument("--jobs", type=int, default=200)

@@ -31,6 +31,13 @@ boundary failure carries a frozen :class:`ErrorCode` (category, severity,
 "retryable" into actual recovery — deadline-budgeted resubmission,
 storm-capped auto-respawn — without touching the bit-identical scoring
 path.
+
+:mod:`repro.serve.net` puts the whole front door behind a TCP socket:
+:class:`AsyncServeServer` speaks length-prefixed JSON frames over an
+asyncio loop, bridges them to gateway/cluster tickets off-loop, sheds
+overload with a structured ``OVERLOADED`` wire error, and stays
+bit-identical to the in-process path; :class:`ServeClient` is the
+blocking, pipelining counterpart.
 """
 
 from repro.serve.adaptive import AdaptiveBatchTuner, TuningDecision
@@ -39,6 +46,7 @@ from repro.serve.bench import (
     make_serve_model,
     run_fault_bench,
     run_gateway_bench,
+    run_net_bench,
     run_serve_bench,
     run_shard_bench,
 )
@@ -64,6 +72,7 @@ from repro.serve.monitor import (
     StreamProfile,
     UncertaintyTap,
 )
+from repro.serve.net import AsyncServeServer, ServeClient
 from repro.serve.registry import (
     ModelRegistry,
     ModelVersion,
@@ -83,6 +92,7 @@ from repro.serve.stats import ClusterStats, GatewayStats, ResilienceStats, Serve
 
 __all__ = [
     "AdaptiveBatchTuner",
+    "AsyncServeServer",
     "CircuitBreaker",
     "ClusterStats",
     "ClusterTicket",
@@ -104,6 +114,7 @@ __all__ = [
     "ResilienceStats",
     "RetryController",
     "RetryTicket",
+    "ServeClient",
     "ServerStats",
     "ServingGateway",
     "ShadowScorer",
@@ -125,6 +136,7 @@ __all__ = [
     "request_digest",
     "run_fault_bench",
     "run_gateway_bench",
+    "run_net_bench",
     "run_serve_bench",
     "run_shard_bench",
     "to_wire",

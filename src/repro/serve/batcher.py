@@ -99,8 +99,13 @@ class Ticket:
         if not self._event.wait(timeout):
             if self._owner is not None:
                 self._owner._abandon(self)
-            raise coded(TimeoutError("request not completed within timeout"),
-                        ErrorCode.DEADLINE_EXCEEDED)
+            # A flush may complete the ticket between the wait expiring and
+            # the abandon finding it already drained (the abandon is then a
+            # no-op).  The value was computed, counted, and cached — hand
+            # it over instead of discarding it behind a deadline error.
+            if not self._event.is_set():
+                raise coded(TimeoutError("request not completed within timeout"),
+                            ErrorCode.DEADLINE_EXCEEDED)
         if self._error is not None:
             # a private copy per raise: concurrent result() callers on one
             # shared ticket must not race on __traceback__ mutation

@@ -32,6 +32,7 @@ __all__ = [
     "run_fault_bench",
     "run_gateway_bench",
     "run_monitor_bench",
+    "run_net_bench",
     "run_serve_bench",
     "run_shard_bench",
     "make_serve_model",
@@ -620,6 +621,155 @@ def run_fault_bench(
         "recovered": recovery_stats.recovered,
         "failed_fast": recovery_stats.failed_fast,
         "exhausted": recovery_stats.exhausted,
+    }
+
+
+def run_net_bench(
+    kind: str = "forest",
+    n_train: int = 3000,
+    n_features: int = 12,
+    n_trees: int = 150,
+    n_requests: int = 2000,
+    max_batch: int = 256,
+    max_delay: float = 0.002,
+    seed: int = 0,
+    window: int = 64,
+    overload_requests: int = 300,
+    overload_in_flight: int = 16,
+) -> dict:
+    """Network front-door benchmark: wire latency + admission shedding.
+
+    Two measurements against an :class:`AsyncServeServer` fronting a
+    :class:`ServingGateway`:
+
+    * **latency** — the serve bench's single-row stream replayed through a
+      pipelined :class:`ServeClient` (at most ``window`` outstanding, so
+      the wire sees a steady stream, not one giant burst), per-request
+      round-trip stamped at send/recv.  Every wire value — the stream,
+      a ``predict_dist`` sample, and an (m, d) block — is asserted
+      bit-identical (``np.array_equal``) to direct in-process predicts
+      before any number is reported: JSON floats round-trip exactly, so
+      the network edge must be invisible in the numbers.
+    * **overload** — a second server with a deliberately small in-flight
+      budget behind a slow deadline flush, blasted with an unthrottled
+      burst.  Admission control must shed (``OVERLOADED``, retryable) —
+      the recorded shed rate witnesses bounded queues — and every request
+      that was *not* shed must still come back bit-identical.
+    """
+    from repro.serve.net import AsyncServeServer, ServeClient
+    from repro.serve.errors import ErrorCode, code_of
+    from repro.serve.router import ServingGateway
+
+    model = make_serve_model(kind, n_train, n_features, n_trees, seed)
+    rows, _ = _synth(n_requests, n_features, seed + 1)
+    ref = np.array([model.predict(row[None, :])[0] for row in rows])
+
+    registry = ModelRegistry()
+    registry.register(kind, model, promote=True)
+
+    # --- latency: pipelined windowed stream + dist/block identity ----- #
+    # cache_entries=1: the wire replay of the same rows must exercise the
+    # batcher, not the prediction cache — this measures the edge, cold
+    with ServingGateway(
+        registry, max_batch=max_batch, max_delay=max_delay, cache_entries=1,
+    ) as gw:
+        t0 = time.perf_counter()
+        tickets = [gw.submit(kind, row) for row in rows]
+        gw.flush()
+        inproc = np.array([t.result(timeout=30.0) for t in tickets])
+        t_inproc = time.perf_counter() - t0
+        if not np.array_equal(inproc, ref):  # hard gate: survives python -O
+            raise RuntimeError("in-process gateway results are not bit-identical")
+
+        with AsyncServeServer(gw, max_in_flight=4 * window) as server:
+            with ServeClient(server.host, server.port, timeout=60.0) as client:
+                sent_at: list[float] = []
+                latency_s: list[float] = []
+                got: list[float] = []
+
+                def recv_one() -> None:
+                    got.append(client.recv())
+                    latency_s.append(time.perf_counter() - sent_at[len(got) - 1])
+
+                gc.collect()
+                gc.disable()
+                try:
+                    t0 = time.perf_counter()
+                    for row in rows:
+                        if client.outstanding >= window:
+                            recv_one()
+                        sent_at.append(time.perf_counter())
+                        client.send(kind, row)
+                    while client.outstanding:
+                        recv_one()
+                    t_net = time.perf_counter() - t0
+                finally:
+                    gc.enable()
+                if not np.array_equal(np.array(got), ref):
+                    raise RuntimeError("wire results are not bit-identical")
+
+                # a distribution and a block must round-trip exactly too
+                mean, var = client.predict_dist(kind, rows[0])
+                ref_m, ref_v = model.predict_dist(rows[0][None, :])
+                if (mean, var) != (float(ref_m[0]), float(ref_v[0])):
+                    raise RuntimeError("wire predict_dist is not bit-identical")
+                block = client.predict(kind, rows[:64])
+                if not np.array_equal(block, model.predict(rows[:64])):
+                    raise RuntimeError("wire block predict is not bit-identical")
+            counters = server.counters()
+        if counters["shed"]:
+            raise RuntimeError("latency stream must never be shed")
+
+    lat_ms = 1e3 * np.asarray(latency_s)
+
+    # --- overload: unthrottled burst against a tiny budget ------------ #
+    # a slow deadline flush (no size trigger) holds tickets in flight, so
+    # the burst outruns the budget and admission control must shed
+    with ServingGateway(
+        registry, max_batch=4 * overload_requests, max_delay=0.05, cache_entries=1,
+    ) as gw:
+        with AsyncServeServer(gw, max_in_flight=overload_in_flight) as server:
+            with ServeClient(server.host, server.port, timeout=60.0) as client:
+                for i in range(overload_requests):
+                    client.send(kind, rows[i % n_requests])
+                served, shed_seen = [], 0
+                for i in range(overload_requests):
+                    try:
+                        served.append((i, client.recv()))
+                    except Exception as exc:
+                        if code_of(exc) is not ErrorCode.OVERLOADED:
+                            raise
+                        shed_seen += 1
+            counters_over = server.counters()
+    if shed_seen == 0:
+        raise RuntimeError("overload burst was never shed")
+    if counters_over["shed"] != shed_seen:
+        raise RuntimeError("server shed count disagrees with client's")
+    for i, value in served:
+        if value != ref[i % n_requests]:
+            raise RuntimeError("non-shed overload results are not bit-identical")
+
+    return {
+        "model": kind,
+        "n_trees": n_trees,
+        "n_requests": n_requests,
+        "max_batch": max_batch,
+        "max_delay_ms": round(1e3 * max_delay, 3),
+        "window": window,
+        "inproc_s": round(t_inproc, 4),
+        "net_s": round(t_net, 4),
+        "inproc_rps": round(n_requests / t_inproc, 1),
+        "net_rps": round(n_requests / t_net, 1),
+        "net_p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+        "net_p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+        "net_max_ms": round(float(lat_ms.max()), 3),
+        "wire_requests": counters["requests"],
+        "wire_responses": counters["responses"],
+        "overload_requests": overload_requests,
+        "overload_in_flight": overload_in_flight,
+        "served": len(served),
+        "shed": shed_seen,
+        "shed_rate": round(shed_seen / overload_requests, 4),
     }
 
 

@@ -79,6 +79,7 @@ class ErrorCode(IntEnum):
     CLOSED = (507, "error", False)  # deliberate shutdown, not an outage
     CIRCUIT_OPEN = (508, "warning", True)
     RESPAWN_FAILED = (509, "critical", True)
+    OVERLOADED = (513, "warning", True)  # admission control shed the request
 
     # --- 6xx: model/data (the scoring or monitoring contract failed) ----
     MODEL_RESOLUTION_FAILED = (600, "error", False)

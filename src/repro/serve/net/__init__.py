@@ -1,0 +1,47 @@
+"""Network front door for the serving stack.
+
+``repro.serve.net`` puts the existing ticket API (:class:`ServingGateway`
+/ :class:`ShardedServingCluster` ``submit``) behind a TCP socket:
+
+* :mod:`~repro.serve.net.protocol` — length-prefixed JSON frames, the
+  frozen coded-error payload on the wire, bit-identical float transport.
+* :mod:`~repro.serve.net.server` — :class:`AsyncServeServer`, an asyncio
+  acceptor bridging frames to blocking tickets without blocking the loop,
+  with per-server/per-connection admission control (``OVERLOADED`` sheds).
+* :mod:`~repro.serve.net.client` — :class:`ServeClient`, a blocking,
+  pipelining client for tests and benches.
+"""
+
+from repro.serve.net.client import ServeClient
+from repro.serve.net.protocol import (
+    MAX_FRAME_BYTES,
+    decode_payload,
+    decode_value,
+    encode_frame,
+    encode_value,
+    error_response,
+    ok_response,
+    overload_error,
+    parse_request,
+    read_frame,
+    recv_frame,
+    request_frame,
+)
+from repro.serve.net.server import AsyncServeServer
+
+__all__ = [
+    "AsyncServeServer",
+    "MAX_FRAME_BYTES",
+    "ServeClient",
+    "decode_payload",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+    "error_response",
+    "ok_response",
+    "overload_error",
+    "parse_request",
+    "read_frame",
+    "recv_frame",
+    "request_frame",
+]

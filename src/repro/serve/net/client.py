@@ -1,0 +1,127 @@
+"""Blocking client for the serving network edge (tests, benches, demos).
+
+:class:`ServeClient` speaks the frame protocol over one TCP connection.
+The server answers strictly in request order per connection, so the
+client pipelines: :meth:`send` queues any number of requests without
+waiting, :meth:`recv` collects answers FIFO — which is exactly what lets
+a remote stream coalesce into the same micro-batches an in-process
+caller's would.  Convenience wrappers (:meth:`predict`,
+:meth:`predict_dist`, :meth:`call`) do one round-trip.
+
+A response with ``ok: false`` raises the reconstructed coded error
+(:func:`repro.serve.errors.from_wire`) — the remote failure carries the
+same frozen ``ErrorCode`` contract an in-process ticket would, including
+``OVERLOADED`` (513, retryable) when admission control shed the request.
+
+One client is one connection and is **not** thread-safe; open one per
+thread (connections are cheap; the server's budget is global anyway).
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from repro.serve.errors import ErrorCode, coded, from_wire
+from repro.serve.net.protocol import (
+    MAX_FRAME_BYTES,
+    decode_value,
+    recv_frame,
+    request_frame,
+)
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking, pipelining client for one :class:`AsyncServeServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._next_id = 0
+        self._sent: deque[tuple[int, str, bool]] = deque()  # (id, kind, single)
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def send(self, name: str, row: np.ndarray, kind: str = "predict") -> int:
+        """Queue one request (1-D row or 2-D block); returns its id.
+
+        Does not wait — pair with :meth:`recv`, which yields results in
+        exactly this send order."""
+        if self._closed:
+            raise coded(RuntimeError("ServeClient is closed"), ErrorCode.CLOSED)
+        arr = np.asarray(row, dtype=float)
+        req_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(request_frame(req_id, name, arr, kind))
+        self._sent.append((req_id, kind, arr.ndim == 1))
+        return req_id
+
+    def recv(self) -> Any:
+        """The next pending response, FIFO; raises its coded error."""
+        if not self._sent:
+            raise RuntimeError("recv() with no request pending")
+        req_id, kind, single = self._sent.popleft()
+        msg = recv_frame(self._sock, self.max_frame_bytes)
+        if msg is None:
+            raise coded(ConnectionError("server closed the connection"),
+                        ErrorCode.SHARD_CRASHED)
+        got_id = msg.get("id")
+        if got_id is not None and got_id != req_id:
+            raise coded(
+                RuntimeError(f"response id {got_id} != expected {req_id} (FIFO break)"),
+                ErrorCode.INTERNAL,
+            )
+        if not msg.get("ok"):
+            raise from_wire(msg.get("error") or {})
+        return decode_value(kind, single, msg["value"])
+
+    def drain(self) -> list[Any]:
+        """``recv`` everything outstanding; errors surface as the raised
+        exception of the first failing response."""
+        return [self.recv() for _ in range(len(self._sent))]
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._sent)
+
+    # ------------------------------------------------------------------ #
+    def call(self, name: str, row: np.ndarray, kind: str = "predict") -> Any:
+        """One synchronous round-trip (requires an empty pipeline)."""
+        if self._sent:
+            raise RuntimeError("call() with responses outstanding; use send/recv")
+        self.send(name, row, kind=kind)
+        return self.recv()
+
+    def predict(self, name: str, row: np.ndarray) -> Any:
+        return self.call(name, row, kind="predict")
+
+    def predict_dist(self, name: str, row: np.ndarray) -> Any:
+        return self.call(name, row, kind="predict_dist")
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

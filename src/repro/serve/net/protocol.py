@@ -1,0 +1,222 @@
+"""Length-prefixed JSON frame protocol for the serving network edge.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON.  Requests and responses both travel as frames::
+
+    request  = {"id": int, "name": str, "kind": "predict"|"predict_dist",
+                "row":  [f, ...]}          # single row, or
+               {..., "rows": [[f, ...]]}   # an (m, d) block
+    response = {"id": int, "ok": true,  "value": <kind-shaped JSON>}
+             | {"id": int|null, "ok": false, "error": <to_wire() payload>}
+
+The error payload is exactly :func:`repro.serve.errors.to_wire` — the
+frozen coded vocabulary crosses the network unchanged, so a remote client
+retries/alerts on ``category``/``retryable`` the same way an in-process
+consumer does (``docs/errors.md``).
+
+Values round-trip **bit-identically**: ``json`` serializes floats with
+``repr``, the shortest digit string that parses back to the same IEEE-754
+double, so a prediction crossing the wire equals the in-process
+``ServingGateway.submit`` result under ``np.array_equal`` — the serve
+stack's standing invariant extends to the network boundary.
+
+Framing keeps misbehaving peers cheap to reject: a header announcing more
+than ``max_frame_bytes`` is refused *before* any allocation, a frame that
+is not a JSON object raises a coded ``MALFORMED_REQUEST``, and a stream
+that ends mid-frame reads as a plain disconnect (``None``), never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.serve.errors import CodedError, ErrorCode, coded, to_wire
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "decode_payload",
+    "decode_value",
+    "encode_frame",
+    "encode_value",
+    "error_response",
+    "ok_response",
+    "overload_error",
+    "parse_request",
+    "read_frame",
+    "recv_frame",
+    "request_frame",
+]
+
+MAX_FRAME_BYTES = 8 << 20  # refuse absurd headers before allocating
+_HEADER = struct.Struct(">I")
+_KINDS = ("predict", "predict_dist")
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """One wire frame: length header + compact JSON payload."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(data: bytes) -> dict[str, Any]:
+    """Parse one frame's payload; coded ``MALFORMED_REQUEST`` on garbage."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise coded(ValueError(f"frame payload is not valid JSON: {exc}"),
+                    ErrorCode.MALFORMED_REQUEST) from exc
+    if not isinstance(obj, dict):
+        raise coded(ValueError("frame payload must be a JSON object"),
+                    ErrorCode.MALFORMED_REQUEST)
+    return obj
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> dict[str, Any] | None:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean disconnect — EOF at a frame boundary *or*
+    mid-frame (a peer dying between header and payload must read as a
+    close, never block the handler).  An oversized length header raises a
+    coded ``MALFORMED_REQUEST`` before any payload allocation.
+    """
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise coded(
+            ValueError(f"frame of {length} bytes exceeds the {max_frame_bytes} cap"),
+            ErrorCode.MALFORMED_REQUEST,
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    return decode_payload(payload)
+
+
+def recv_frame(
+    sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> dict[str, Any] | None:
+    """Blocking counterpart of :func:`read_frame` (the client's read path)."""
+
+    def read_exactly(n: int) -> bytes | None:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    header = read_exactly(_HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise coded(
+            ValueError(f"frame of {length} bytes exceeds the {max_frame_bytes} cap"),
+            ErrorCode.MALFORMED_REQUEST,
+        )
+    payload = read_exactly(length)
+    if payload is None:
+        return None
+    return decode_payload(payload)
+
+
+# ---------------------------------------------------------------------- #
+# request / response shapes
+# ---------------------------------------------------------------------- #
+def request_frame(req_id: int, name: str, row: np.ndarray, kind: str) -> bytes:
+    """Encode one request (1-D ``row`` or 2-D block) as a wire frame."""
+    arr = np.asarray(row, dtype=float)
+    body: dict[str, Any] = {"id": int(req_id), "name": name, "kind": kind}
+    if arr.ndim == 1:
+        body["row"] = arr.tolist()
+    else:
+        body["rows"] = arr.tolist()
+    return encode_frame(body)
+
+
+def parse_request(msg: dict[str, Any]) -> tuple[int, str, str, np.ndarray, bool]:
+    """Validate one request object → ``(id, name, kind, array, single)``.
+
+    Every rejection is a coded ``MALFORMED_REQUEST`` so the caller can
+    answer with a structured wire error instead of dropping the frame.
+    """
+    req_id = msg.get("id")
+    if not isinstance(req_id, int) or isinstance(req_id, bool):
+        raise coded(ValueError("request 'id' must be an integer"),
+                    ErrorCode.MALFORMED_REQUEST)
+    name = msg.get("name")
+    if not isinstance(name, str) or not name:
+        raise coded(ValueError("request 'name' must be a non-empty string"),
+                    ErrorCode.MALFORMED_REQUEST)
+    kind = msg.get("kind", "predict")
+    if kind not in _KINDS:
+        raise coded(ValueError(f"kind must be one of {_KINDS}, got {kind!r}"),
+                    ErrorCode.MALFORMED_REQUEST)
+    has_row, has_rows = "row" in msg, "rows" in msg
+    if has_row == has_rows:  # neither, or both
+        raise coded(ValueError("request needs exactly one of 'row' or 'rows'"),
+                    ErrorCode.MALFORMED_REQUEST)
+    try:
+        arr = np.asarray(msg["row"] if has_row else msg["rows"], dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise coded(ValueError(f"request rows are not numeric: {exc}"),
+                    ErrorCode.MALFORMED_REQUEST) from exc
+    if has_row and arr.ndim != 1:
+        raise coded(ValueError(f"'row' must be 1-D, got ndim={arr.ndim}"),
+                    ErrorCode.MALFORMED_REQUEST)
+    if has_rows and arr.ndim != 2:
+        raise coded(ValueError(f"'rows' must be 2-D, got ndim={arr.ndim}"),
+                    ErrorCode.MALFORMED_REQUEST)
+    return req_id, name, kind, arr, has_row
+
+
+def encode_value(kind: str, single: bool, value: Any) -> Any:
+    """Ticket result → JSON shape (the request's kind/arity decides)."""
+    if kind == "predict":
+        return float(value) if single else np.asarray(value, dtype=float).tolist()
+    mean, var = value
+    if single:
+        return [float(mean), float(var)]
+    return [np.asarray(mean, dtype=float).tolist(),
+            np.asarray(var, dtype=float).tolist()]
+
+
+def decode_value(kind: str, single: bool, value: Any) -> Any:
+    """JSON shape → exactly what the in-process ticket would have returned."""
+    if kind == "predict":
+        return float(value) if single else np.asarray(value, dtype=float)
+    mean, var = value
+    if single:
+        return float(mean), float(var)
+    return np.asarray(mean, dtype=float), np.asarray(var, dtype=float)
+
+
+def ok_response(req_id: int, value: Any) -> bytes:
+    return encode_frame({"id": int(req_id), "ok": True, "value": value})
+
+
+def error_response(
+    req_id: int | None, exc: BaseException | ErrorCode, detail: str | None = None
+) -> bytes:
+    """A structured failure frame carrying the coded ``to_wire`` payload."""
+    return encode_frame({"id": req_id, "ok": False, "error": to_wire(exc, detail)})
+
+
+def overload_error(detail: str) -> CodedError:
+    """The admission-control shed error (5xx, retryable: back off, retry)."""
+    return CodedError(detail, code=ErrorCode.OVERLOADED)

@@ -1,0 +1,390 @@
+"""Asyncio socket front door over the ticket-based serve stack.
+
+:class:`AsyncServeServer` is the network edge ROADMAP direction 1 calls
+for: an event loop accepts connections and speaks the length-prefixed
+JSON frame protocol (:mod:`repro.serve.net.protocol`), while every
+blocking ticket operation happens off-loop so one slow flush can never
+stall another connection's accept/read path.
+
+Per connection the data path is three stages, mirroring the shard
+worker's enqueue/responder split:
+
+* the **reader coroutine** (event loop) parses frames and applies
+  admission control, then hands work to
+* the **submitter thread**, which bridges each request to
+  ``backend.submit(name, row, kind)`` — a :class:`ServingGateway` or a
+  :class:`ShardedServingCluster`; a size-triggered flush scores *inline*
+  in the submitting thread, which is exactly why submission cannot run on
+  the loop — and chains the ticket to
+* the **collector thread**, which blocks on ``ticket.result()`` strictly
+  in submission order and marshals each response back to the event loop
+  with ``loop.call_soon_threadsafe`` for writing.
+
+Because every stage drains FIFO and ``call_soon_threadsafe`` callbacks
+run in scheduling order, responses leave each connection **in request
+order** — the batcher's FIFO witness semantics extend to the wire.
+
+**Admission control** sheds load instead of queueing it unboundedly: a
+request arriving while the server-wide in-flight budget
+(``max_in_flight``) or the connection's pending cap
+(``max_pending_per_conn``) is exhausted is answered immediately — still
+in FIFO position — with a structured ``OVERLOADED`` (513) wire error and
+never reaches the gateway.  The client sees ``retryable: true`` and backs
+off; the server's queues stay bounded, so p99 latency under overload is
+a shed, not a stall.
+
+The server adds no scoring path: every value a client reads is the
+``to_wire``/JSON image of exactly what the in-process ticket returned,
+bit-identical under ``np.array_equal`` (``tests/test_net.py`` pins this
+against the same gateway).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from typing import Any
+
+from repro.serve.errors import ErrorCode, coded, ensure_code
+from repro.serve.net.protocol import (
+    MAX_FRAME_BYTES,
+    encode_value,
+    error_response,
+    ok_response,
+    overload_error,
+    parse_request,
+    read_frame,
+)
+
+__all__ = ["AsyncServeServer"]
+
+
+class _Conn:
+    """Per-connection state shared between the loop and the two threads."""
+
+    __slots__ = ("writer", "submit_q", "done_q", "pending", "threads")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.submit_q: queue.SimpleQueue = queue.SimpleQueue()
+        self.done_q: queue.SimpleQueue = queue.SimpleQueue()
+        self.pending = 0  # submitted-not-yet-responded; loop-thread only
+        self.threads: list[threading.Thread] = []
+
+
+class AsyncServeServer:
+    """Serve a ticket backend over asyncio sockets with admission control.
+
+    Parameters
+    ----------
+    backend:
+        Anything with the serve stack's front-door shape —
+        ``submit(name, row, kind)`` returning a ticket whose ``result()``
+        blocks: a :class:`~repro.serve.router.ServingGateway` or a
+        :class:`~repro.serve.shard.ShardedServingCluster`.  The server
+        never closes the backend; it usually outlives the edge.
+    host, port:
+        Bind address; ``port=0`` picks a free port (``.port`` has the real
+        one after :meth:`start`).
+    max_in_flight:
+        Server-wide budget of submitted-but-unanswered requests.  The
+        knob that bounds total queue memory and tail latency: request
+        ``max_in_flight + 1`` is shed with ``OVERLOADED``.
+    max_pending_per_conn:
+        Per-connection pending cap — one firehose client saturating the
+        global budget cannot starve its neighbours beyond this depth.
+    max_frame_bytes:
+        Largest acceptable frame; oversized headers are refused before
+        allocation.
+    request_timeout:
+        Collector-side cap on one ticket; a wedged flush answers with a
+        coded ``DEADLINE_EXCEEDED`` instead of damming the connection.
+    """
+
+    def __init__(
+        self,
+        backend: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_in_flight: int = 1024,
+        max_pending_per_conn: int = 512,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        request_timeout: float = 60.0,
+    ):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if max_pending_per_conn < 1:
+            raise ValueError("max_pending_per_conn must be >= 1")
+        self.backend = backend
+        self.host = host
+        self.port = int(port)
+        self.max_in_flight = int(max_in_flight)
+        self.max_pending_per_conn = int(max_pending_per_conn)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.request_timeout = float(request_timeout)
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._closed = False
+        self._in_flight = 0  # loop-thread only (reader inc, _respond dec)
+        self._conns: set[_Conn] = set()
+
+        # counters; loop-thread writes, snapshot reads via counters()
+        self.connections = 0
+        self.requests = 0   # frames parsed as requests (incl. shed)
+        self.submitted = 0  # requests that reached backend.submit
+        self.responses = 0  # response frames handed to the transport
+        self.shed = 0       # requests answered OVERLOADED by admission
+        self.wire_errors = 0  # frame-level failures (bad JSON, oversize)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "AsyncServeServer":
+        """Bind and serve on a dedicated event-loop thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("AsyncServeServer.start() called twice")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serve-net-loop", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            raise self._startup_error
+        return self
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._handle, self.host, self.port)
+            )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._server = server
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting, drop connections, and join the loop thread.
+
+        Idempotent.  In-flight tickets finish in their collector threads
+        but their responses go nowhere (the transports are closed) — a
+        deliberate hard edge: ``close`` is shutdown, not drain.
+        """
+        if self._closed or self._loop is None:
+            self._closed = True
+            return
+        self._closed = True
+        loop = self._loop
+
+        async def shutdown() -> None:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            for conn in list(self._conns):
+                try:
+                    conn.writer.close()
+                except Exception:
+                    pass
+            loop.stop()
+
+        def kickoff() -> None:
+            loop.create_task(shutdown())
+
+        try:
+            loop.call_soon_threadsafe(kickoff)
+        except RuntimeError:
+            pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "AsyncServeServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "connections": self.connections,
+            "requests": self.requests,
+            "submitted": self.submitted,
+            "responses": self.responses,
+            "shed": self.shed,
+            "wire_errors": self.wire_errors,
+            "in_flight": self._in_flight,
+        }
+
+    # ------------------------------------------------------------------ #
+    # connection handling (event loop)
+    # ------------------------------------------------------------------ #
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Conn(writer)
+        self._conns.add(conn)
+        self.connections += 1
+        submitter = threading.Thread(
+            target=self._submitter, args=(conn,), name="serve-net-submit", daemon=True
+        )
+        collector = threading.Thread(
+            target=self._collector, args=(conn,), name="serve-net-collect", daemon=True
+        )
+        conn.threads = [submitter, collector]
+        submitter.start()
+        collector.start()
+        try:
+            while True:
+                try:
+                    msg = await read_frame(reader, self.max_frame_bytes)
+                except Exception as exc:
+                    # frame-level failure: the stream offset can no longer
+                    # be trusted, so answer (id unknowable) and close
+                    self.wire_errors += 1
+                    conn.submit_q.put(("err", None, ensure_code(exc), False))
+                    break
+                if msg is None:
+                    break  # clean disconnect (EOF or mid-frame cut)
+                try:
+                    req_id, name, kind, arr, single = parse_request(msg)
+                except Exception as exc:
+                    # a well-framed but invalid request: coded reply in
+                    # FIFO position, connection stays up
+                    self.requests += 1
+                    rid = msg.get("id")
+                    rid = rid if isinstance(rid, int) and not isinstance(rid, bool) else None
+                    conn.submit_q.put(("err", rid, ensure_code(exc), False))
+                    continue
+                self.requests += 1
+                if (
+                    self._in_flight >= self.max_in_flight
+                    or conn.pending >= self.max_pending_per_conn
+                ):
+                    self.shed += 1
+                    scope = (
+                        "server in-flight budget"
+                        if self._in_flight >= self.max_in_flight
+                        else "connection pending cap"
+                    )
+                    conn.submit_q.put((
+                        "err", req_id,
+                        overload_error(f"request shed: {scope} exhausted"),
+                        False,
+                    ))
+                    continue
+                self._in_flight += 1
+                conn.pending += 1
+                self.submitted += 1
+                conn.submit_q.put(("req", req_id, name, kind, arr, single))
+        finally:
+            conn.submit_q.put(None)  # chained through to the collector
+
+    def _finish_conn(self, conn: _Conn) -> None:
+        # runs on the loop after the collector drained everything: all
+        # responses are already written (or skipped on a dead transport)
+        self._conns.discard(conn)
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
+    def _respond(self, conn: _Conn, data: bytes, counted: bool) -> None:
+        """Write one response frame; runs on the event loop.
+
+        ``counted`` releases the admission slots taken at submit time —
+        also on a dead transport, so a client that vanished mid-burst can
+        never leak in-flight budget."""
+        if counted:
+            self._in_flight -= 1
+            conn.pending -= 1
+        if not conn.writer.is_closing():
+            try:
+                conn.writer.write(data)
+                self.responses += 1
+            except Exception:
+                pass  # peer gone; the reader will see the close
+
+    # ------------------------------------------------------------------ #
+    # per-connection worker threads (off loop)
+    # ------------------------------------------------------------------ #
+    def _submitter(self, conn: _Conn) -> None:
+        """Bridge requests to ``backend.submit`` in arrival order.
+
+        Submission blocks at most one connection (a size-triggered flush
+        scores inline here — by design off the event loop); the resulting
+        ticket chains to the collector, so later requests keep submitting
+        while earlier ones are still scoring.
+        """
+        while True:
+            item = conn.submit_q.get()
+            if item is None:
+                conn.done_q.put(None)
+                return
+            if item[0] == "err":
+                conn.done_q.put(item)
+                continue
+            _, req_id, name, kind, arr, single = item
+            try:
+                ticket = self.backend.submit(name, arr, kind=kind)
+            except BaseException as exc:
+                conn.done_q.put(("err", req_id, ensure_code(exc), True))
+            else:
+                conn.done_q.put(("ticket", req_id, kind, single, ticket))
+
+    def _collector(self, conn: _Conn) -> None:
+        """Complete tickets strictly FIFO and marshal responses loop-side."""
+        while True:
+            item = conn.done_q.get()
+            if item is None:
+                self._call_loop(self._finish_conn, conn)
+                return
+            if item[0] == "err":
+                _, req_id, exc, counted = item
+                data = error_response(req_id, exc)
+            else:
+                _, req_id, kind, single, ticket = item
+                counted = True
+                try:
+                    value = ticket.result(timeout=self.request_timeout)
+                except BaseException as exc:
+                    data = error_response(req_id, ensure_code(exc))
+                else:
+                    try:
+                        data = ok_response(req_id, encode_value(kind, single, value))
+                    except BaseException as exc:
+                        data = error_response(
+                            req_id,
+                            coded(RuntimeError(f"result not serializable: {exc}"),
+                                  ErrorCode.INTERNAL),
+                        )
+            self._call_loop(self._respond, conn, data, counted)
+
+    def _call_loop(self, fn: Any, *args: Any) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            pass  # loop closed mid-shutdown; counters no longer matter

@@ -87,7 +87,16 @@ class ServingGateway:
         self._taps: tuple[Any, ...] = ()
         self._request_taps: tuple[Any, ...] = ()  # bound on_request callables
         self._result_taps: tuple[Any, ...] = ()   # bound on_result callables
-        self.tap_errors = 0  # observer exceptions swallowed (monitoring accuracy only)
+        # swallowed observer exceptions: incremented under a dedicated lock
+        # (request and result paths race here; a bare += loses counts) that
+        # the no-error fast path never touches
+        self._tap_err_lock = threading.Lock()
+        self._tap_errors = 0
+
+    @property
+    def tap_errors(self) -> int:
+        """Observer exceptions swallowed (monitoring accuracy only)."""
+        return self._tap_errors
 
     # ------------------------------------------------------------------ #
     def configure(self, name: str, **overrides: Any) -> None:
@@ -189,14 +198,16 @@ class ServingGateway:
             try:
                 fn(name, row, kind)
             except Exception:
-                self.tap_errors += 1
+                with self._tap_err_lock:
+                    self._tap_errors += 1
 
     def _notify_result(self, name: str, ticket: Ticket, value: Any) -> None:
         for fn in self._result_taps:
             try:
                 fn(name, ticket.kind, ticket.block, value)
             except Exception:
-                self.tap_errors += 1
+                with self._tap_err_lock:
+                    self._tap_errors += 1
 
     # ------------------------------------------------------------------ #
     def submit(

@@ -172,6 +172,7 @@ class InferenceService:
             size_flushes=int(c["size_flushes"]),
             deadline_flushes=int(c["deadline_flushes"]),
             manual_flushes=int(c["manual_flushes"]),
+            abandoned=int(c["abandoned"]),
             cache_hits=self.cache.hits,
             cache_misses=self.cache.misses,
             cache_evictions=self.cache.evictions,

@@ -398,7 +398,10 @@ class ShardedServingCluster:
         # copy-on-write, like the gateway's: submit reads lock-free
         self._taps: tuple[Any, ...] = ()
         self._request_taps: tuple[Any, ...] = ()
-        self.tap_errors = 0  # observer exceptions swallowed (monitoring accuracy only)
+        # same dedicated counter lock as the gateway's: concurrent
+        # submitters racing a bare += here would lose increments
+        self._tap_err_lock = threading.Lock()
+        self._tap_errors = 0
         # one snapshot serialization for the whole initial fleet — the
         # models dominate the bytes and are identical for every worker
         snapshot_bytes = pickle.dumps(registry.snapshot())
@@ -629,12 +632,18 @@ class ShardedServingCluster:
             if (fn := getattr(t, "on_request", None)) is not None
         )
 
+    @property
+    def tap_errors(self) -> int:
+        """Observer exceptions swallowed (monitoring accuracy only)."""
+        return self._tap_errors
+
     def _notify_request(self, name: str, row: np.ndarray, kind: str) -> None:
         for fn in self._request_taps:
             try:
                 fn(name, row, kind)
             except Exception:
-                self.tap_errors += 1
+                with self._tap_err_lock:
+                    self._tap_errors += 1
 
     def submit(self, name: str, row: np.ndarray, kind: str = "predict") -> ClusterTicket:
         """Route one request; returns a ticket whose ``result()`` blocks.

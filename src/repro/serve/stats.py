@@ -29,6 +29,7 @@ class ServerStats:
     size_flushes: int
     deadline_flushes: int
     manual_flushes: int
+    abandoned: int          # tickets tombstoned by a result() timeout
     cache_hits: int
     cache_misses: int
     cache_evictions: int
@@ -57,6 +58,7 @@ class ServerStats:
             f"requests={self.requests} batches={self.batches} "
             f"(size={self.size_flushes} deadline={self.deadline_flushes} "
             f"manual={self.manual_flushes}, mean {self.mean_batch_rows:.1f} rows) "
+            f"abandoned={self.abandoned} "
             f"cache hit-rate={self.hit_rate:.1%} "
             f"mean latency={self.mean_latency_ms:.2f}ms"
         )

@@ -28,8 +28,13 @@ excluded while still running in the default tier-1 sweep:
   trajectories (pure functions of injected clock + seed), and
   fault-injection storms (kill-during-flight with supervisor respawn —
   every request bit-identical or coded non-retryable, never hung).
+* ``net`` — the asyncio network front door (:mod:`repro.serve.net`):
+  frame-protocol fuzzing (truncated/oversized/malformed frames answer
+  with a coded wire error or a clean close, never a hang), FIFO response
+  order per connection, bit-identity across the wire, and
+  admission-control shedding (structured ``OVERLOADED``).
   The smoke target is
-  ``-m "serve or gateway or shard or monitor or faults"``.
+  ``-m "serve or gateway or shard or monitor or faults or net"``.
 """
 
 
@@ -53,4 +58,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "faults: error taxonomy + resilience plane tests (fault injection); tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "net: asyncio network front door tests (frames/FIFO/admission); tier-1",
     )

@@ -60,6 +60,7 @@ class TestVocabulary:
         "CLOSED": (507, "error", False),
         "CIRCUIT_OPEN": (508, "warning", True),
         "RESPAWN_FAILED": (509, "critical", True),
+        "OVERLOADED": (513, "warning", True),
         "MODEL_RESOLUTION_FAILED": (600, "error", False),
         "SCORING_FAILED": (601, "error", False),
         "REPLICA_DIVERGENCE": (602, "critical", False),

@@ -8,6 +8,9 @@ batchers whose latency is a pure function of their limits, plus a fake
 clock — its AIMD trajectory is fully deterministic and sleeps nowhere.
 """
 
+import sys
+import threading
+
 import numpy as np
 import pytest
 
@@ -113,6 +116,44 @@ class TestServingGateway:
         assert np.array_equal(
             out_g, np.array([gbm.predict(r[None, :])[0] for r in rows[20:]])
         )
+
+    def test_tap_error_count_exact_under_contention(self, data, gbm, forest):
+        """Swallowed tap exceptions increment under a dedicated lock: N
+        threads hammering a raising tap must count every swallow exactly.
+        The bare ``+=`` read-modify-write it replaces was only
+        *incidentally* safe on GIL builds (no eval-breaker checkpoint
+        lands between the attribute load and store); the lock makes the
+        exactness this test pins an actual guarantee — including on
+        free-threaded builds, where the bare form loses increments and
+        silently understates monitoring breakage."""
+        reg = _registry(gbm, forest)
+
+        class Raising:
+            def on_request(self, name, row, kind):
+                raise RuntimeError("boom")
+
+        row = np.zeros(6)
+        n_threads, per_thread = 8, 400
+        with ServingGateway(reg, max_batch=4, max_delay=0.01) as gw:
+            gw.add_tap(Raising())
+            barrier = threading.Barrier(n_threads)
+
+            def worker():
+                barrier.wait()
+                for _ in range(per_thread):
+                    gw._notify_request("gbm", row, "predict")
+
+            old = sys.getswitchinterval()
+            sys.setswitchinterval(1e-6)  # force interleaving inside +=
+            try:
+                threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            finally:
+                sys.setswitchinterval(old)
+            assert gw.tap_errors == n_threads * per_thread
 
     def test_configure_overrides_apply_at_creation(self, data, gbm, forest):
         reg = _registry(gbm, forest)
@@ -238,9 +279,9 @@ class TestServingGateway:
 
         live = ServerStats(
             requests=10, rows=10, batches=2, completed=10, size_flushes=1,
-            deadline_flushes=1, manual_flushes=0, cache_hits=4, cache_misses=6,
-            cache_evictions=0, cache_invalidations=0, cache_entries=6,
-            total_latency_s=0.05,
+            deadline_flushes=1, manual_flushes=0, abandoned=1, cache_hits=4,
+            cache_misses=6, cache_evictions=0, cache_invalidations=0,
+            cache_entries=6, total_latency_s=0.05,
         )
         cluster = ClusterStats(per_shard={1: GatewayStats(per_name={"m": live})})
         assert set(cluster.per_name) == {"m"}

@@ -434,6 +434,38 @@ class TestMicroBatcher:
             with pytest.raises(ValueError):
                 mb.submit(np.zeros((2, 2, 2)))
 
+    def test_result_timeout_abandons_and_counts(self, data, gbm):
+        """An expired ``result(timeout=)`` tombstones the ticket: the slot
+        frees, later calls fail fast, and the batcher counts it."""
+        X, _ = data
+        with MicroBatcher(gbm, max_batch=1000, max_delay=600.0) as mb:
+            ticket = mb.submit(X[0])
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.01)
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.01)  # fails fast, no re-block
+            assert mb.abandoned == 1
+
+    def test_timeout_racing_flush_returns_the_computed_value(self, data, gbm):
+        """A flush can complete the ticket between ``result``'s wait
+        expiring and the abandon finding it already drained (a no-op).
+        The computed, counted, cached value must be handed over — not
+        discarded behind a deadline error.  The stand-in owner pins the
+        exact interleaving: the flush wins the race window."""
+        X, _ = data
+        with MicroBatcher(gbm, max_batch=1000, max_delay=600.0) as mb:
+            ticket = mb.submit(X[0])
+            ref = float(gbm.predict(X[0][None, :])[0])
+
+            class FlushFirst:
+                def _abandon(self, t):
+                    mb.flush()      # completes the ticket...
+                    mb._abandon(t)  # ...so the real abandon is a no-op
+
+            ticket._owner = FlushFirst()
+            assert ticket.result(timeout=0.01) == ref
+            assert mb.abandoned == 0  # the value was delivered, not dropped
+
 
 # ---------------------------------------------------------------------- #
 class TestPredictionCache:
@@ -583,6 +615,27 @@ class TestInferenceService:
         assert stats.mean_batch_rows > 0
         assert stats.total_latency_s > 0
         assert "requests=40" in stats.summary()
+
+    def test_abandoned_flows_into_server_stats(self, data):
+        """A result() timeout's tombstone is an operational signal — it
+        must reach ServerStats (field + summary), not stay a private
+        batcher counter."""
+        forest = _fresh_forest(data)
+        reg = ModelRegistry()
+        reg.register("f", forest, promote=True)
+        rows = _data(n=3, seed=13)[0]
+        with InferenceService(reg, "f", max_batch=1000, max_delay=600.0) as svc:
+            tickets = [svc.submit(r) for r in rows]
+            for t in tickets[:2]:
+                with pytest.raises(TimeoutError):
+                    t.result(timeout=0.01)
+            stats = svc.stats()
+            assert stats.abandoned == 2
+            assert "abandoned=2" in stats.summary()
+            svc.flush()
+            assert tickets[2].result(timeout=5.0) == float(
+                forest.predict(rows[2][None, :])[0]
+            )
 
 
 # ---------------------------------------------------------------------- #

@@ -200,3 +200,51 @@ class TestDrift:
             binning.psi(np.zeros((0, 2)))
         with pytest.raises(ValueError):
             binning.psi(np.zeros((5, 3)))
+
+
+# ---------------------------------------------------------------------- #
+@pytest.mark.serve
+class TestServeStatsRollup:
+    """The serving counters' aggregation contract: every ServerStats
+    field — ``abandoned`` included — must survive field-wise summing
+    through GatewayStats and ClusterStats unchanged."""
+
+    def _snap(self, **overrides):
+        from repro.serve import ServerStats
+
+        base = dict(
+            requests=10, rows=10, batches=2, completed=8, size_flushes=1,
+            deadline_flushes=1, manual_flushes=0, abandoned=0, cache_hits=3,
+            cache_misses=7, cache_evictions=0, cache_invalidations=0,
+            cache_entries=7, total_latency_s=0.5,
+        )
+        base.update(overrides)
+        return ServerStats(**base)
+
+    def test_sum_stats_carries_abandoned(self):
+        from repro.serve.stats import sum_stats
+
+        total = sum_stats([self._snap(abandoned=2), self._snap(abandoned=3)])
+        assert total.abandoned == 5
+        assert total.requests == 20
+        assert "abandoned=5" in total.summary()
+
+    def test_empty_sum_is_all_zero(self):
+        from repro.serve.stats import sum_stats
+
+        total = sum_stats([])
+        assert total.abandoned == 0
+        assert total.hit_rate == 0.0 and total.mean_latency_ms == 0.0
+
+    def test_gateway_and_cluster_rollups_carry_abandoned(self):
+        from repro.serve import ClusterStats, GatewayStats
+
+        gw0 = GatewayStats(per_name={"a": self._snap(abandoned=1),
+                                     "b": self._snap(abandoned=2)})
+        gw1 = GatewayStats(per_name={"a": self._snap(abandoned=4)})
+        assert gw0.total.abandoned == 3
+        cluster = ClusterStats(per_shard={0: gw0, 1: gw1})
+        assert cluster.total.abandoned == 7
+        assert cluster.per_name["a"].abandoned == 5
+        assert cluster.per_name["b"].abandoned == 2
+        assert "abandoned=7" in cluster.total.summary()
