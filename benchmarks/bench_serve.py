@@ -21,9 +21,14 @@ time-to-first-success recovery latency (p50/p99).  An eighth serves the
 stream over TCP through the asyncio network front door
 (:class:`~repro.serve.net.server.AsyncServeServer` + pipelined
 :class:`~repro.serve.net.client.ServeClient`), recording wire round-trip
-p50/p99 and the admission-control shed rate of an overload burst.
-Bit-identity across every path — including across the wire — is asserted
-inside the bench core before any number is written.
+p50/p99 and the admission-control shed rate of an overload burst.  A
+ninth compares the cluster's pluggable shard transports — the same
+Zipf-skewed stream over ``transport="pipe"`` vs ``transport="socket"``
+(req/s, p50/p99) plus work-stealing on vs off under maximal hash skew
+(tail latency, steal count).
+Bit-identity across every path — including across the wire and across
+both transports — is asserted inside the bench core before any number is
+written.
 
 Runs standalone (``python benchmarks/bench_serve.py``) or via an explicit
 pytest path (``pytest benchmarks/bench_serve.py``); the same comparison is
@@ -44,6 +49,7 @@ from repro.serve.bench import (
     run_net_bench,
     run_serve_bench,
     run_shard_bench,
+    run_transport_bench,
 )
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -117,6 +123,16 @@ def run() -> dict:
     )
     entry["net"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
 
+    t0 = time.perf_counter()
+    entry["transport"] = run_transport_bench(
+        kinds=("forest", "gbm"),
+        n_trees=N_TREES,
+        n_requests=N_REQUESTS,
+        max_batch=MAX_BATCH,
+        max_delay=MAX_DELAY,
+    )
+    entry["transport"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+
     record_trajectory_entry(entry, RESULTS_DIR)
 
     lines = ["SERVE (micro-batched vs direct, 1-row request streams)"]
@@ -165,6 +181,15 @@ def run() -> dict:
         f"{n['shed']} shed of {n['overload_requests']} "
         f"({n['shed_rate']:.0%} shed, budget {n['overload_in_flight']})"
     )
+    t = entry["transport"]
+    lines.append(
+        f"transport: {t['n_requests']} Zipf reqs x {t['n_shards']} shards: "
+        f"pipe {t['pipe']['rps']:.0f} vs socket {t['socket']['rps']:.0f} req/s "
+        f"({t['socket_vs_pipe_rps']:.2f}x, p99 {t['pipe']['p99_ms']:.1f} / "
+        f"{t['socket']['p99_ms']:.1f} ms); skewed steal off->on: p99 "
+        f"{t['steal']['off']['p99_ms']:.1f} -> {t['steal']['on']['p99_ms']:.1f} ms, "
+        f"{t['steal']['on']['steals']} steals"
+    )
     table = "\n".join(lines)
     print("\n" + table)
     (RESULTS_DIR / "serve.txt").write_text(table + "\n")
@@ -191,6 +216,13 @@ def test_serve_bench():
     # non-zero shed rate inside run_net_bench; pin the accounting here
     assert entry["net"]["shed"] > 0
     assert entry["net"]["served"] + entry["net"]["shed"] == entry["net"]["overload_requests"]
+    # the transport bench gates pipe/socket/direct bit-identity and that
+    # stealing actually rerouted inside run_transport_bench; pin the
+    # accounting here
+    assert entry["transport"]["steal"]["on"]["steals"] > 0
+    assert entry["transport"]["steal"]["off"]["steals"] == 0
+    assert entry["transport"]["pipe"]["rps"] > 0
+    assert entry["transport"]["socket"]["rps"] > 0
 
 
 if __name__ == "__main__":

@@ -12,9 +12,11 @@ Every major capability is reachable without writing Python::
     repro serve-bench --models forest gbm --requests 2000
     repro serve-bench --gateway --target-ms 5
     repro serve-bench --gateway --monitor
-    repro serve-bench --shards 2
+    repro serve-bench --shards 2 --transport socket
+    repro serve-bench --transports
     repro monitor-bench --requests 2000
     repro serve-net --requests 2000 --window 64
+    repro serve-net --shards 2 --transport socket
 
 Commands accept either ``--dataset file.npz`` (a saved dataset) or
 ``--platform/--jobs/--seed`` to simulate one on the fly.
@@ -156,12 +158,45 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         run_gateway_bench,
         run_serve_bench,
         run_shard_bench,
+        run_transport_bench,
     )
 
-    if args.monitor and (args.shards or args.faults):
-        print("--monitor applies to gateway mode; drop --shards/--faults",
+    if args.monitor and (args.shards or args.faults or args.transports):
+        print("--monitor applies to gateway mode; drop --shards/--faults/--transports",
               file=sys.stderr)
         return 2
+
+    if args.transports:
+        r = run_transport_bench(
+            kinds=tuple(args.models),
+            n_train=args.train,
+            n_trees=args.trees,
+            n_requests=args.requests,
+            max_batch=args.batch,
+            max_delay=args.deadline_ms / 1e3,
+            seed=args.seed,
+        )
+        rows = [
+            [t, f"{r[t]['rps']:.0f}", f"{r[t]['p50_ms']:.2f}", f"{r[t]['p99_ms']:.2f}"]
+            for t in ("pipe", "socket")
+        ]
+        st = r["steal"]
+        rows += [
+            [f"pipe, skew, steal {mode}", f"{st[mode]['rps']:.0f}",
+             f"{st[mode]['p50_ms']:.2f}", f"{st[mode]['p99_ms']:.2f}"]
+            for mode in ("off", "on")
+        ]
+        print(format_table(
+            ["path", "req/s", "p50 ms", "p99 ms"],
+            rows,
+            title=(f"Shard transports — {r['n_requests']} Zipf-skewed requests "
+                   f"over {len(r['names'])} names x {r['n_shards']} shards: "
+                   f"socket/pipe throughput {r['socket_vs_pipe_rps']:.2f}x, "
+                   f"{st['on']['steals']} steals rerouted "
+                   "(bit-identical on every path)")))
+        path = record_trajectory_entry({"transport": r}, args.record_dir)
+        print(f"recorded transport entry in {path}")
+        return 0
 
     if args.faults:
         r = run_fault_bench(
@@ -201,6 +236,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             max_batch=args.batch,
             max_delay=args.deadline_ms / 1e3,
             seed=args.seed,
+            transport=args.transport,
         )
         block_total = r["block_repeats"] * r["block_rows"]
         rows = [
@@ -216,6 +252,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             rows,
             title=(f"Sharded serving — {r['n_requests']} requests over "
                    f"{len(r['models'])} models x {r['n_shards']} shard processes "
+                   f"via {r['transport']} transport "
                    f"(per-shard load: {r['per_shard_requests']})")))
         path = record_trajectory_entry({"cluster": r}, args.record_dir)
         print(f"recorded cluster entry in {path}")
@@ -330,17 +367,21 @@ def cmd_serve_net(args: argparse.Namespace) -> int:
         window=args.window,
         overload_requests=args.overload_requests,
         overload_in_flight=args.overload_in_flight,
+        shards=args.shards,
+        transport=args.transport,
     )
+    backend = (f"{r['shards']}-shard {r['shard_transport']} cluster"
+               if r["shards"] else "gateway")
     rows = [
-        ["in-process gateway", f"{r['inproc_rps']:.0f}", "-", "-"],
+        [f"in-process {backend}", f"{r['inproc_rps']:.0f}", "-", "-"],
         ["network (pipelined)", f"{r['net_rps']:.0f}",
          f"{r['net_p50_ms']:.2f}", f"{r['net_p99_ms']:.2f}"],
     ]
     print(format_table(
         ["path", "req/s", "p50 ms", "p99 ms"],
         rows,
-        title=(f"Network front door — {r['n_requests']} requests x "
-               f"{r['model']} ({r['n_trees']} trees), window {r['window']}: "
+        title=(f"Network front door ({backend}) — {r['n_requests']} requests "
+               f"x {r['model']} ({r['n_trees']} trees), window {r['window']}: "
                "bit-identical across the wire")))
     print(f"overload: {r['served']} served + {r['shed']} shed of "
           f"{r['overload_requests']} burst requests "
@@ -437,6 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "plus kill/respawn recovery latency (p50/p99 "
                            "time-to-first-success) under a ShardSupervisor; "
                            "records a faults entry in the serve trajectory")
+    mode.add_argument("--transports", action="store_true",
+                      help="transport comparison bench: the same Zipf-skewed "
+                           "stream over pipe vs socket shard clusters, plus "
+                           "work-stealing on/off tail latency under maximal "
+                           "hash skew; records a transport entry in the serve "
+                           "trajectory")
+    p.add_argument("--transport", default="pipe", choices=("pipe", "socket"),
+                   help="parent<->worker channel for the --shards cluster")
     p.add_argument("--kills", type=int, default=5,
                    help="shard kills injected by the --faults recovery phase")
     p.add_argument("--target-ms", type=float, default=5.0,
@@ -491,6 +540,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="burst size for the admission-control phase")
     p.add_argument("--overload-in-flight", type=int, default=16,
                    help="deliberately small server budget the burst must overrun")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="front an N-process ShardedServingCluster instead of a "
+                        "single-process gateway (0 = gateway)")
+    p.add_argument("--transport", default="pipe", choices=("pipe", "socket"),
+                   help="parent<->worker channel when --shards is set")
     p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"))
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve_net)

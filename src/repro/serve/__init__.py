@@ -49,6 +49,7 @@ from repro.serve.bench import (
     run_net_bench,
     run_serve_bench,
     run_shard_bench,
+    run_transport_bench,
 )
 from repro.serve.cache import PredictionCache, request_digest
 from repro.serve.errors import (
@@ -89,6 +90,13 @@ from repro.serve.router import ServingGateway
 from repro.serve.service import CompletedTicket, InferenceService
 from repro.serve.shard import ClusterTicket, ShardCrashedError, ShardedServingCluster
 from repro.serve.stats import ClusterStats, GatewayStats, ResilienceStats, ServerStats
+from repro.serve.transport import (
+    PipeTransport,
+    SocketListener,
+    SocketTransport,
+    Transport,
+    TransportError,
+)
 
 __all__ = [
     "AdaptiveBatchTuner",
@@ -107,6 +115,7 @@ __all__ = [
     "ModelVersion",
     "MonitorEvent",
     "MonitoringPlane",
+    "PipeTransport",
     "PolicyEngine",
     "PredictionCache",
     "PsiThresholdRule",
@@ -122,8 +131,12 @@ __all__ = [
     "ShardCrashedError",
     "ShardSupervisor",
     "ShardedServingCluster",
+    "SocketListener",
+    "SocketTransport",
     "StreamProfile",
     "Ticket",
+    "Transport",
+    "TransportError",
     "TuningDecision",
     "UncertaintyTap",
     "classify_exception",
@@ -139,5 +152,6 @@ __all__ = [
     "run_net_bench",
     "run_serve_bench",
     "run_shard_bench",
+    "run_transport_bench",
     "to_wire",
 ]

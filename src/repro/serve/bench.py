@@ -35,6 +35,7 @@ __all__ = [
     "run_net_bench",
     "run_serve_bench",
     "run_shard_bench",
+    "run_transport_bench",
     "make_serve_model",
 ]
 
@@ -636,11 +637,19 @@ def run_net_bench(
     window: int = 64,
     overload_requests: int = 300,
     overload_in_flight: int = 16,
+    shards: int = 0,
+    transport: str = "pipe",
 ) -> dict:
     """Network front-door benchmark: wire latency + admission shedding.
 
-    Two measurements against an :class:`AsyncServeServer` fronting a
-    :class:`ServingGateway`:
+    With ``shards > 0`` the server fronts a hash-routed
+    :class:`~repro.serve.shard.ShardedServingCluster` on the chosen shard
+    ``transport`` instead of an in-process gateway — the TCP edge and the
+    worker fan-out compose, and the same bit-identity gates apply end to
+    end (wire → parent → worker → wire).
+
+    Two measurements against an :class:`AsyncServeServer` fronting the
+    backend:
 
     * **latency** — the serve bench's single-row stream replayed through a
       pipelined :class:`ServeClient` (at most ``window`` outstanding, so
@@ -659,6 +668,7 @@ def run_net_bench(
     from repro.serve.net import AsyncServeServer, ServeClient
     from repro.serve.errors import ErrorCode, code_of
     from repro.serve.router import ServingGateway
+    from repro.serve.shard import ShardedServingCluster
 
     model = make_serve_model(kind, n_train, n_features, n_trees, seed)
     rows, _ = _synth(n_requests, n_features, seed + 1)
@@ -667,11 +677,19 @@ def run_net_bench(
     registry = ModelRegistry()
     registry.register(kind, model, promote=True)
 
+    def backend(**kwargs):
+        if shards > 0:
+            return ShardedServingCluster(
+                registry, n_shards=shards, route="hash", transport=transport,
+                **kwargs,
+            )
+        return ServingGateway(registry, **kwargs)
+
     # --- latency: pipelined windowed stream + dist/block identity ----- #
     # cache_entries=1: the wire replay of the same rows must exercise the
     # batcher, not the prediction cache — this measures the edge, cold
-    with ServingGateway(
-        registry, max_batch=max_batch, max_delay=max_delay, cache_entries=1,
+    with backend(
+        max_batch=max_batch, max_delay=max_delay, cache_entries=1,
     ) as gw:
         t0 = time.perf_counter()
         tickets = [gw.submit(kind, row) for row in rows]
@@ -725,8 +743,8 @@ def run_net_bench(
     # --- overload: unthrottled burst against a tiny budget ------------ #
     # a slow deadline flush (no size trigger) holds tickets in flight, so
     # the burst outruns the budget and admission control must shed
-    with ServingGateway(
-        registry, max_batch=4 * overload_requests, max_delay=0.05, cache_entries=1,
+    with backend(
+        max_batch=4 * overload_requests, max_delay=0.05, cache_entries=1,
     ) as gw:
         with AsyncServeServer(gw, max_in_flight=overload_in_flight) as server:
             with ServeClient(server.host, server.port, timeout=60.0) as client:
@@ -756,6 +774,8 @@ def run_net_bench(
         "max_batch": max_batch,
         "max_delay_ms": round(1e3 * max_delay, 3),
         "window": window,
+        "shards": shards,
+        "shard_transport": transport if shards > 0 else None,
         "inproc_s": round(t_inproc, 4),
         "net_s": round(t_net, 4),
         "inproc_rps": round(n_requests / t_inproc, 1),
@@ -784,6 +804,7 @@ def run_shard_bench(
     max_delay: float = 0.002,
     seed: int = 0,
     block_repeats: int = 5,
+    transport: str = "pipe",
 ) -> dict:
     """Process-sharded serving comparison, two traffic shapes:
 
@@ -820,7 +841,7 @@ def run_shard_bench(
 
     # --- stream: hash-routed single rows over N shards ---------------- #
     with ShardedServingCluster(
-        registry, n_shards=n_shards, route="hash",
+        registry, n_shards=n_shards, route="hash", transport=transport,
         max_batch=max_batch, max_delay=max_delay, cache_entries=2 * n_requests,
     ) as cluster:
         shard_of = {kind: cluster.shard_of(kind) for kind in kinds}
@@ -846,7 +867,7 @@ def run_shard_bench(
     t_block_direct = time.perf_counter() - t0
 
     with ShardedServingCluster(
-        registry, n_shards=n_shards, route="replicated",
+        registry, n_shards=n_shards, route="replicated", transport=transport,
         max_batch=max_batch, max_delay=max_delay,
     ) as cluster:
         cluster.predict_block(kind0, rows[: n_shards], timeout=60.0)  # warm services
@@ -862,6 +883,7 @@ def run_shard_bench(
     return {
         "models": list(kinds),
         "n_shards": n_shards,
+        "transport": transport,
         "n_trees": n_trees,
         "n_requests": n_requests,
         "max_batch": max_batch,
@@ -883,5 +905,186 @@ def run_shard_bench(
         "speedup_block": round(t_block_direct / t_block, 2),
         "per_shard_requests": {
             sid: gw.total.requests for sid, gw in sorted(stats.per_shard.items())
+        },
+    }
+
+
+def run_transport_bench(
+    kinds: tuple[str, ...] = ("forest", "gbm"),
+    n_train: int = 3000,
+    n_features: int = 12,
+    n_trees: int = 150,
+    n_requests: int = 2000,
+    n_shards: int = 2,
+    max_batch: int = 256,
+    max_delay: float = 0.002,
+    seed: int = 0,
+    window: int = 64,
+    zipf_a: float = 1.3,
+    steal_threshold: int = 4,
+) -> dict:
+    """Transport comparison benchmark: pipe vs socket, steal on vs off.
+
+    Two measurements against hash-routed ``n_shards`` clusters serving a
+    Zipf-skewed multi-name stream (each estimator registered under two
+    names; request names drawn ``p ∝ rank^-zipf_a``, so a hot head name
+    dominates — the load-skew regime the taxonomy paper's deployment
+    sections describe):
+
+    * **transport** — the identical windowed stream (at most ``window``
+      tickets outstanding, per-request submit→result latency stamped)
+      replayed over ``transport="pipe"`` and ``transport="socket"``.
+      Both result sets are asserted bit-identical to direct in-process
+      predicts *and* to each other before any number is reported — the
+      binary ndarray frames must be invisible in the values.
+    * **steal** — the stream restricted to the names owned by one shard
+      (maximal hash skew: the other worker would idle), replayed with
+      ``steal=False`` and ``steal=True``.  With stealing on, congested
+      singles reroute to the idle replica (``steals`` must be > 0) and
+      every value stays bit-identical — the entry records the tail
+      latency both ways.
+    """
+    import pickle as _pickle
+    from collections import deque
+
+    from repro.serve.shard import ShardedServingCluster, shard_for_name
+
+    estimators = [
+        make_serve_model(kind, n_train, n_features, n_trees, seed + i)
+        for i, kind in enumerate(kinds)
+    ]
+    # two names per estimator (independent pickle copies: registration
+    # freezes in place, and two names must not share one frozen object)
+    models = {}
+    for i, kind in enumerate(kinds):
+        models[f"{kind}-a"] = estimators[i]
+        models[f"{kind}-b"] = _pickle.loads(_pickle.dumps(estimators[i]))
+    names = sorted(models)
+
+    rows, _ = _synth(n_requests, n_features, seed + 1)
+    # Zipf-skewed name stream: p ∝ rank^-a over a seeded rank permutation
+    rng = np.random.default_rng(seed + 2)
+    ranks = rng.permutation(len(names))
+    p = (1.0 + ranks.astype(float)) ** -zipf_a
+    p /= p.sum()
+    name_ix = rng.choice(len(names), size=n_requests, p=p)
+    name_seq = [names[i] for i in name_ix]
+
+    registry = ModelRegistry()
+    for name, model in models.items():
+        registry.register(name, model, promote=True)
+
+    ref: dict[str, list[float]] = {name: [] for name in names}
+    for name, row in zip(name_seq, rows):
+        ref[name].append(float(models[name].predict(row[None, :])[0]))
+
+    def stream(cluster, seq) -> tuple[float, np.ndarray, dict[str, list[float]]]:
+        """Windowed pipelined replay; returns (wall_s, latency_s, per-name)."""
+        pending: deque = deque()
+        latency: list[float] = []
+        got: dict[str, list[float]] = {name: [] for name in names}
+
+        def drain_one() -> None:
+            t_sent, nm, ticket = pending.popleft()
+            got[nm].append(ticket.result(timeout=60.0))
+            latency.append(time.perf_counter() - t_sent)
+
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            for nm, row in zip(seq, rows):
+                if len(pending) >= window:
+                    drain_one()
+                pending.append((time.perf_counter(), nm, cluster.submit(nm, row)))
+            cluster.flush()
+            while pending:
+                drain_one()
+            wall = time.perf_counter() - t0
+        finally:
+            gc.enable()
+        return wall, np.asarray(latency), got
+
+    def check(got: dict[str, list[float]], want: dict[str, list[float]], label: str) -> None:
+        for nm in names:  # hard gate: survives python -O
+            if not np.array_equal(np.array(got[nm]), np.array(want[nm])):
+                raise RuntimeError(f"{label} results for {nm!r} are not bit-identical")
+
+    # --- pipe vs socket over the identical skewed stream -------------- #
+    per_transport: dict[str, dict] = {}
+    got_by_transport: dict[str, dict] = {}
+    for transport in ("pipe", "socket"):
+        with ShardedServingCluster(
+            registry, n_shards=n_shards, route="hash", transport=transport,
+            max_batch=max_batch, max_delay=max_delay, cache_entries=1,
+        ) as cluster:
+            wall, lat, got = stream(cluster, name_seq)
+        check(got, ref, f"transport={transport}")
+        got_by_transport[transport] = got
+        lat_ms = 1e3 * lat
+        per_transport[transport] = {
+            "wall_s": round(wall, 4),
+            "rps": round(n_requests / wall, 1),
+            "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+            "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+        }
+    check(got_by_transport["socket"], got_by_transport["pipe"], "socket-vs-pipe")
+
+    # --- steal off vs on under maximal hash skew ---------------------- #
+    # keep only the names one shard owns: every request hash-routes to
+    # that owner, the other workers idle — stealing's target regime
+    owners = {name: shard_for_name(name, n_shards) for name in names}
+    owner_counts = {s: sum(1 for v in owners.values() if v == s) for s in set(owners.values())}
+    hot_shard = max(owner_counts, key=lambda s: owner_counts[s])
+    hot_names = [name for name in names if owners[name] == hot_shard]
+    hot_seq = [hot_names[i % len(hot_names)] for i in name_ix]
+    hot_ref: dict[str, list[float]] = {name: [] for name in names}
+    for name, row in zip(hot_seq, rows):
+        hot_ref[name].append(float(models[name].predict(row[None, :])[0]))
+
+    steal_results: dict[str, dict] = {}
+    for steal in (False, True):
+        with ShardedServingCluster(
+            registry, n_shards=n_shards, route="hash", transport="pipe",
+            steal=steal, steal_threshold=steal_threshold,
+            max_batch=max_batch, max_delay=max_delay, cache_entries=1,
+        ) as cluster:
+            wall, lat, got = stream(cluster, hot_seq)
+            steals = cluster.steals
+        check(got, hot_ref, f"steal={steal}")
+        if steal and steals == 0:
+            raise RuntimeError("stealing never triggered under maximal skew")
+        if not steal and steals != 0:
+            raise RuntimeError("steals counted with stealing disabled")
+        lat_ms = 1e3 * lat
+        steal_results["on" if steal else "off"] = {
+            "wall_s": round(wall, 4),
+            "rps": round(n_requests / wall, 1),
+            "p50_ms": round(float(np.percentile(lat_ms, 50)), 3),
+            "p99_ms": round(float(np.percentile(lat_ms, 99)), 3),
+            "steals": steals,
+        }
+
+    return {
+        "models": list(kinds),
+        "names": names,
+        "shard_of": owners,
+        "n_trees": n_trees,
+        "n_requests": n_requests,
+        "n_shards": n_shards,
+        "window": window,
+        "zipf_a": zipf_a,
+        "max_batch": max_batch,
+        "max_delay_ms": round(1e3 * max_delay, 3),
+        "pipe": per_transport["pipe"],
+        "socket": per_transport["socket"],
+        "socket_vs_pipe_rps": round(
+            per_transport["socket"]["rps"] / per_transport["pipe"]["rps"], 3),
+        "steal": {
+            "names": hot_names,
+            "owner_shard": hot_shard,
+            "threshold": steal_threshold,
+            "off": steal_results["off"],
+            "on": steal_results["on"],
         },
     }

@@ -71,6 +71,7 @@ class ErrorCode(IntEnum):
     UNKNOWN_VERSION = (405, "error", False)
     NO_PRODUCTION = (406, "error", False)
     INVALID_MUTATION = (409, "error", False)
+    FRAME_TOO_LARGE = (413, "error", False)  # wire frame exceeds the byte cap
 
     # --- 5xx: transient/infra (a recovered substrate should succeed) ----
     INTERNAL = (500, "error", False)  # unclassified: never blind-retried
@@ -79,6 +80,7 @@ class ErrorCode(IntEnum):
     CLOSED = (507, "error", False)  # deliberate shutdown, not an outage
     CIRCUIT_OPEN = (508, "warning", True)
     RESPAWN_FAILED = (509, "critical", True)
+    TRANSPORT_ERROR = (510, "critical", True)  # parent<->worker channel failed
     OVERLOADED = (513, "warning", True)  # admission control shed the request
 
     # --- 6xx: model/data (the scoring or monitoring contract failed) ----

@@ -15,15 +15,20 @@
 from repro.serve.net.client import ServeClient
 from repro.serve.net.protocol import (
     MAX_FRAME_BYTES,
+    decode_ndarray,
     decode_payload,
     decode_value,
+    encode_binary_frame,
     encode_frame,
+    encode_ndarray,
     encode_value,
     error_response,
+    frame_too_large,
     ok_response,
     overload_error,
     parse_request,
     read_frame,
+    recv_any_frame,
     recv_frame,
     request_frame,
 )
@@ -33,15 +38,20 @@ __all__ = [
     "AsyncServeServer",
     "MAX_FRAME_BYTES",
     "ServeClient",
+    "decode_ndarray",
     "decode_payload",
     "decode_value",
+    "encode_binary_frame",
     "encode_frame",
+    "encode_ndarray",
     "encode_value",
     "error_response",
+    "frame_too_large",
     "ok_response",
     "overload_error",
     "parse_request",
     "read_frame",
+    "recv_any_frame",
     "recv_frame",
     "request_frame",
 ]

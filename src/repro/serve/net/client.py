@@ -25,7 +25,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.serve.errors import ErrorCode, coded, from_wire
+from repro.serve.errors import CodedError, ErrorCode, coded, from_wire
 from repro.serve.net.protocol import (
     MAX_FRAME_BYTES,
     decode_value,
@@ -68,12 +68,36 @@ class ServeClient:
         self._sent.append((req_id, kind, arr.ndim == 1))
         return req_id
 
-    def recv(self) -> Any:
-        """The next pending response, FIFO; raises its coded error."""
+    def recv(self, timeout: float | None = None) -> Any:
+        """The next pending response, FIFO; raises its coded error.
+
+        ``timeout`` overrides the connection default for this call only.
+        A response that does not arrive in time raises a coded
+        ``DEADLINE_EXCEEDED`` (never a raw ``socket.timeout``) and leaves
+        the request *pending*: a whole-frame-late response can still be
+        collected by a later ``recv``.  (A timeout that strikes mid-frame
+        desynchronizes the stream — close the client then.)
+        """
         if not self._sent:
             raise RuntimeError("recv() with no request pending")
-        req_id, kind, single = self._sent.popleft()
-        msg = recv_frame(self._sock, self.max_frame_bytes)
+        req_id, kind, single = self._sent[0]  # pop only once a frame lands
+        restore = False
+        if timeout is not None:
+            default = self._sock.gettimeout()
+            self._sock.settimeout(timeout)
+            restore = True
+        try:
+            msg = recv_frame(self._sock, self.max_frame_bytes)
+        except socket.timeout as exc:
+            budget = timeout if timeout is not None else self._sock.gettimeout()
+            raise CodedError(
+                f"no response to request {req_id} within {budget}s",
+                code=ErrorCode.DEADLINE_EXCEEDED,
+            ) from exc
+        finally:
+            if restore:
+                self._sock.settimeout(default)
+        self._sent.popleft()
         if msg is None:
             raise coded(ConnectionError("server closed the connection"),
                         ErrorCode.SHARD_CRASHED)

@@ -21,9 +21,21 @@ double, so a prediction crossing the wire equals the in-process
 stack's standing invariant extends to the network boundary.
 
 Framing keeps misbehaving peers cheap to reject: a header announcing more
-than ``max_frame_bytes`` is refused *before* any allocation, a frame that
-is not a JSON object raises a coded ``MALFORMED_REQUEST``, and a stream
-that ends mid-frame reads as a plain disconnect (``None``), never a hang.
+than ``max_frame_bytes`` is refused *before* any allocation with a coded
+``FRAME_TOO_LARGE`` (the cap is in the message — raise ``max_frame_bytes``
+at both ends to ship bigger blocks), a frame that is not a JSON object
+raises a coded ``MALFORMED_REQUEST``, and a stream that ends mid-frame
+reads as a plain disconnect (``None``), never a hang.
+
+**Binary frames.**  The header's high bit flags a *binary* frame (payload
+is raw bytes, not JSON), which caps a single frame at 2 GiB and keeps the
+wire backward compatible: JSON-only peers never set the bit, and the
+JSON-edge readers reject a flagged frame as ``MALFORMED_REQUEST`` instead
+of misparsing it.  Binary frames carry ndarrays between shard transports
+(:mod:`repro.serve.transport`) via :func:`encode_ndarray` /
+:func:`decode_ndarray` — a dtype/shape/order header plus the raw buffer,
+so shard traffic skips JSON float repr entirely while staying
+bit-identical (the buffer bytes *are* the IEEE-754 doubles).
 """
 
 from __future__ import annotations
@@ -40,28 +52,113 @@ from repro.serve.errors import CodedError, ErrorCode, coded, to_wire
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "decode_ndarray",
     "decode_payload",
     "decode_value",
+    "encode_binary_frame",
     "encode_frame",
+    "encode_ndarray",
     "encode_value",
     "error_response",
+    "frame_too_large",
     "ok_response",
     "overload_error",
     "parse_request",
     "read_frame",
+    "recv_any_frame",
     "recv_frame",
     "request_frame",
 ]
 
 MAX_FRAME_BYTES = 8 << 20  # refuse absurd headers before allocating
 _HEADER = struct.Struct(">I")
+_BINARY_FLAG = 0x80000000  # high header bit: payload is raw bytes, not JSON
+_LENGTH_MASK = 0x7FFFFFFF
 _KINDS = ("predict", "predict_dist")
+
+
+def frame_too_large(length: int, max_frame_bytes: int) -> CodedError:
+    """The coded oversize refusal — the cap rides in the message so an
+    operator knows which knob (``max_frame_bytes``) to raise."""
+    return CodedError(
+        f"frame of {length} bytes exceeds the {max_frame_bytes}-byte cap "
+        f"(max_frame_bytes={max_frame_bytes}; raise it at both ends to "
+        f"ship larger blocks)",
+        code=ErrorCode.FRAME_TOO_LARGE,
+    )
 
 
 def encode_frame(obj: dict[str, Any]) -> bytes:
     """One wire frame: length header + compact JSON payload."""
     payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
     return _HEADER.pack(len(payload)) + payload
+
+
+def encode_binary_frame(payload: bytes) -> bytes:
+    """One binary frame: length header with the high bit set + raw bytes."""
+    if len(payload) > _LENGTH_MASK:
+        raise frame_too_large(len(payload), _LENGTH_MASK)
+    return _HEADER.pack(len(payload) | _BINARY_FLAG) + payload
+
+
+# ---------------------------------------------------------------------- #
+# raw ndarray payloads (binary-frame bodies)
+# ---------------------------------------------------------------------- #
+def encode_ndarray(arr: np.ndarray) -> bytes:
+    """Serialize an ndarray as dtype/shape/order header + raw buffer bytes.
+
+    The dtype string carries byte order (``"<f8"``), the order flag
+    preserves F-contiguity, and the buffer bytes are the array's exact
+    memory — no float formatting, so the round-trip is bit-identical by
+    construction.  Object dtypes are refused (no pickle smuggling through
+    the binary path).
+    """
+    a = np.asarray(arr)
+    if a.dtype.hasobject:
+        raise coded(TypeError("object-dtype arrays cannot cross the binary frame"),
+                    ErrorCode.MALFORMED_REQUEST)
+    order = "F" if (a.flags.f_contiguous and not a.flags.c_contiguous) else "C"
+    dt = a.dtype.str.encode("ascii")
+    parts = [
+        struct.pack(">B", len(dt)), dt,
+        order.encode("ascii"),
+        struct.pack(">B", a.ndim),
+        struct.pack(f">{a.ndim}Q", *a.shape),
+        a.tobytes(order=order),
+    ]
+    return b"".join(parts)
+
+
+def decode_ndarray(data: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_ndarray`; coded ``MALFORMED_REQUEST`` on a
+    truncated or inconsistent payload.  Returns a fresh writable array
+    (``np.frombuffer`` views are read-only; serving code owns its rows)."""
+    try:
+        (dt_len,) = struct.unpack_from(">B", data, 0)
+        off = 1 + dt_len
+        dtype = np.dtype(data[1:off].decode("ascii"))
+        order = data[off:off + 1].decode("ascii")
+        if order not in ("C", "F"):
+            raise ValueError(f"bad order flag {order!r}")
+        (ndim,) = struct.unpack_from(">B", data, off + 1)
+        off += 2
+        shape = struct.unpack_from(f">{ndim}Q", data, off)
+        off += 8 * ndim
+        count = 1
+        for s in shape:
+            count *= s
+        if len(data) - off != count * dtype.itemsize:
+            raise ValueError(
+                f"buffer holds {len(data) - off} bytes, "
+                f"shape {shape} x {dtype} needs {count * dtype.itemsize}")
+        flat = np.frombuffer(data, dtype=dtype, count=count, offset=off)
+    except Exception as exc:
+        # total: np.dtype() alone can raise struct.error, TypeError,
+        # ValueError, even SyntaxError (it ast-parses some strings) —
+        # every parse failure is the same coded wire error
+        raise coded(ValueError(f"malformed ndarray payload: {exc}"),
+                    ErrorCode.MALFORMED_REQUEST) from exc
+    return flat.reshape(shape, order=order).copy(order=order)
 
 
 def decode_payload(data: bytes) -> dict[str, Any]:
@@ -85,18 +182,22 @@ async def read_frame(
     Returns ``None`` on a clean disconnect — EOF at a frame boundary *or*
     mid-frame (a peer dying between header and payload must read as a
     close, never block the handler).  An oversized length header raises a
-    coded ``MALFORMED_REQUEST`` before any payload allocation.
+    coded ``FRAME_TOO_LARGE`` before any payload allocation; a binary
+    frame is a protocol violation at the JSON edge (``MALFORMED_REQUEST``).
     """
     try:
         header = await reader.readexactly(_HEADER.size)
     except (asyncio.IncompleteReadError, ConnectionError, OSError):
         return None
-    (length,) = _HEADER.unpack(header)
-    if length > max_frame_bytes:
+    (raw,) = _HEADER.unpack(header)
+    if raw & _BINARY_FLAG:
         raise coded(
-            ValueError(f"frame of {length} bytes exceeds the {max_frame_bytes} cap"),
+            ValueError("binary frame is not accepted on the JSON edge"),
             ErrorCode.MALFORMED_REQUEST,
         )
+    length = raw & _LENGTH_MASK
+    if length > max_frame_bytes:
+        raise frame_too_large(length, max_frame_bytes)
     try:
         payload = await reader.readexactly(length)
     except (asyncio.IncompleteReadError, ConnectionError, OSError):
@@ -123,16 +224,55 @@ def recv_frame(
     header = read_exactly(_HEADER.size)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
-    if length > max_frame_bytes:
+    (raw,) = _HEADER.unpack(header)
+    if raw & _BINARY_FLAG:
         raise coded(
-            ValueError(f"frame of {length} bytes exceeds the {max_frame_bytes} cap"),
+            ValueError("binary frame is not accepted on the JSON edge"),
             ErrorCode.MALFORMED_REQUEST,
         )
+    length = raw & _LENGTH_MASK
+    if length > max_frame_bytes:
+        raise frame_too_large(length, max_frame_bytes)
     payload = read_exactly(length)
     if payload is None:
         return None
     return decode_payload(payload)
+
+
+def recv_any_frame(
+    sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> tuple[bool, bytes] | None:
+    """Read one frame of either kind → ``(is_binary, payload_bytes)``.
+
+    The shard transport's read path: both JSON envelopes and binary
+    ndarray blobs travel the same stream, distinguished by the header's
+    high bit.  ``None`` on clean EOF (boundary or mid-frame), coded
+    ``FRAME_TOO_LARGE`` on an oversized header before allocation.
+    """
+
+    def read_exactly(n: int) -> bytes | None:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    header = read_exactly(_HEADER.size)
+    if header is None:
+        return None
+    (raw,) = _HEADER.unpack(header)
+    is_binary = bool(raw & _BINARY_FLAG)
+    length = raw & _LENGTH_MASK
+    if length > max_frame_bytes:
+        raise frame_too_large(length, max_frame_bytes)
+    payload = read_exactly(length)
+    if payload is None:
+        return None
+    return is_binary, payload
 
 
 # ---------------------------------------------------------------------- #

@@ -10,10 +10,17 @@ request scores, never *what* it returns):
 * :class:`RetryController` — a submit front door with deadline-budgeted
   retries.  Only ``retryable`` codes are retried (a transient shard crash
   is; malformed input never is — resubmitting the same bytes cannot
-  help), with exponential backoff whose trajectory is a pure function of
-  the injected clock and the seeded jitter stream: replaying the same
-  submit order against the same failure schedule reproduces the same
-  sleeps, the same attempt counts, the same outcome.
+  help).  The gate is purely taxonomic —
+  ``code.category == "transient" and code.retryable`` — so a channel
+  failure surfacing as the transport layer's coded ``TRANSPORT_ERROR``
+  (510) feeds breakers and retries exactly like a ``SHARD_CRASHED``
+  (503), with no ``BrokenPipeError``/``OSError`` pattern-matching
+  anywhere in this plane: pipe and socket transports are
+  indistinguishable to the resilience machinery by construction
+  (:mod:`repro.serve.transport`).  Exponential backoff stays a pure
+  function of the injected clock and the seeded jitter stream: replaying
+  the same submit order against the same failure schedule reproduces the
+  same sleeps, the same attempt counts, the same outcome.
 * :class:`CircuitBreaker` — per-shard failure memory.  ``K`` consecutive
   transient failures open the circuit; after ``reset_timeout_s`` one
   half-open probe is let through, and its outcome closes or re-opens.

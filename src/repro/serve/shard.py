@@ -22,7 +22,14 @@ The parent keeps a single ``submit(name, row, kind)`` front door:
   live shards and :meth:`~ShardedServingCluster.submit_block` fans the
   rows of one large batch out across all of them in parallel.
 
-Requests multiplex over one duplex :mod:`multiprocessing` pipe per shard.
+Requests multiplex over one :class:`~repro.serve.transport.Transport`
+per shard — ``transport="pipe"`` (a duplex :mod:`multiprocessing` pipe,
+the single-node default) or ``transport="socket"`` (the network edge's
+length-prefixed frame protocol with binary ndarray frames, the shape a
+multi-node cluster needs).  Channel failures surface as one typed
+:class:`~repro.serve.transport.TransportError` carrying the coded
+``TRANSPORT_ERROR``, so the resilience plane classifies them through the
+taxonomy rather than pattern-matching ``BrokenPipeError``/``OSError``.
 Each worker answers its submissions **in FIFO order** — the same ticket
 semantics as :class:`~repro.serve.batcher.MicroBatcher` — and the parent
 completes a :class:`ClusterTicket` per response.  Registry mutations
@@ -59,10 +66,18 @@ from repro.serve.errors import ErrorCode, coded, ensure_code
 from repro.serve.registry import ModelRegistry
 from repro.serve.router import ServingGateway
 from repro.serve.stats import ClusterStats
+from repro.serve.transport import (
+    PipeTransport,
+    SocketListener,
+    Transport,
+    TransportError,
+    make_worker_transport,
+)
 
 __all__ = ["ClusterTicket", "ShardCrashedError", "ShardedServingCluster"]
 
 _ROUTES = ("hash", "replicated")
+_TRANSPORTS = ("pipe", "socket")
 
 
 class ShardCrashedError(RuntimeError):
@@ -167,19 +182,27 @@ def _apply_control(registry: ModelRegistry, action: str, name: str, payload: Any
 
 def _worker_main(
     shard_id: int,
-    conn: Any,
+    transport_spec: tuple,
     snapshot_bytes: bytes,
     gateway_kwargs: dict[str, Any],
     result_timeout: float,
 ) -> None:
-    """One shard: a gateway replica driven by the request pipe.
+    """One shard: a gateway replica driven by its request transport.
 
-    The main loop only *enqueues* — a submission goes straight into the
-    gateway's micro-batcher and its ticket onto the responder queue, so
-    requests coalesce into batches exactly as they would in-process.  The
-    responder thread completes tickets strictly in arrival order, which is
-    what gives the parent FIFO response semantics per shard.
+    ``transport_spec`` is the picklable half of the channel —
+    ``("pipe", conn)`` or ``("socket", (host, port), token)`` — resolved
+    by :func:`~repro.serve.transport.make_worker_transport`; everything
+    below it is transport-agnostic.  The main loop only *enqueues* — a
+    submission goes straight into the gateway's micro-batcher and its
+    ticket onto the responder queue, so requests coalesce into batches
+    exactly as they would in-process.  The responder thread completes
+    tickets strictly in arrival order, which is what gives the parent
+    FIFO response semantics per shard.
     """
+    try:
+        transport = make_worker_transport(transport_spec)
+    except TransportError:
+        return  # parent vanished before the handshake; nothing to serve
     registry = ModelRegistry()
     registry.restore(pickle.loads(snapshot_bytes))
     gateway = ServingGateway(registry, **gateway_kwargs)
@@ -189,8 +212,8 @@ def _worker_main(
     def send(msg: tuple) -> None:
         with send_lock:
             try:
-                conn.send(msg)
-            except (BrokenPipeError, OSError):
+                transport.send(msg)
+            except TransportError:
                 pass  # parent gone; nothing useful left to do with a result
 
     def responder() -> None:
@@ -211,8 +234,8 @@ def _worker_main(
     try:
         while True:
             try:
-                msg = conn.recv()
-            except (EOFError, OSError):
+                msg = transport.recv()
+            except TransportError:
                 break
             op = msg[0]
             if op == "shutdown":
@@ -251,10 +274,7 @@ def _worker_main(
             pass
         done_q.put(None)  # after close: the responder drains real work first
         resp_thread.join(timeout=result_timeout)
-        try:
-            conn.close()
-        except OSError:
-            pass
+        transport.close()
 
 
 # ---------------------------------------------------------------------- #
@@ -317,12 +337,12 @@ class _BlockTicket:
 
 
 class _ShardHandle:
-    """Parent-side bookkeeping for one worker: pipe, process, pending map."""
+    """Parent-side bookkeeping for one worker: transport, process, pending map."""
 
-    def __init__(self, shard_id: int, process: Any, conn: Any):
+    def __init__(self, shard_id: int, process: Any, transport: Transport):
         self.shard_id = shard_id
         self.process = process
-        self.conn = conn
+        self.transport = transport
         self.lock = threading.Lock()  # guards pending, next_req, alive, and sends
         self.pending: dict[int, ClusterTicket] = {}
         self.next_req = 0
@@ -354,6 +374,23 @@ class ShardedServingCluster:
         (cheap, instant warm-start) and falls back to ``spawn``.  Both
         paths hand workers the same pickled snapshot, so behaviour is
         method-invariant.
+    transport:
+        ``"pipe"`` (default) keeps today's duplex mp pipe;
+        ``"socket"`` runs every parent↔worker channel over the frame
+        protocol on a loopback TCP socket (token-handshaked, binary
+        ndarray frames) — bit-identical results, multi-node-shaped
+        plumbing.  See :mod:`repro.serve.transport`.
+    steal, steal_threshold:
+        Work-stealing dispatch for ``"hash"`` routing: when the routed
+        owner's pending depth is at least ``steal_threshold`` and some
+        other live shard is completely idle, a stealable request (a
+        single row — blocks keep batcher locality) reroutes to the idle
+        replica.  Safe because every live shard holds every model at
+        every version (mutations are ack-gated broadcasts; respawns
+        warm-start from the parent snapshot) and scoring is stateless
+        and version-pinned, so the stolen request is bit-identical; the
+        per-ticket completion contract is unchanged.  ``steals`` counts
+        reroutes.  Off by default.
     max_batch, max_delay, cache_entries, n_jobs:
         Per-shard gateway defaults (each worker's per-name services are
         created from these, exactly as in a single-process gateway).
@@ -369,6 +406,9 @@ class ShardedServingCluster:
         n_shards: int = 2,
         route: str = "hash",
         start_method: str | None = None,
+        transport: str = "pipe",
+        steal: bool = False,
+        steal_threshold: int = 8,
         max_batch: int = 256,
         max_delay: float = 0.005,
         cache_entries: int = 4096,
@@ -379,8 +419,18 @@ class ShardedServingCluster:
             raise ValueError("n_shards must be >= 1")
         if route not in _ROUTES:
             raise ValueError(f"route must be one of {_ROUTES}, got {route!r}")
+        if transport not in _TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {_TRANSPORTS}, got {transport!r}")
+        if steal_threshold < 1:
+            raise ValueError("steal_threshold must be >= 1")
         self.registry = registry
         self.route = route
+        self.transport = transport
+        self.steal = bool(steal)
+        self.steal_threshold = int(steal_threshold)
+        self._steal_lock = threading.Lock()
+        self._steals = 0
         self.request_timeout = float(request_timeout)
         self._gateway_kwargs = {
             "max_batch": int(max_batch),
@@ -416,17 +466,33 @@ class ShardedServingCluster:
     def _spawn(self, shard_id: int, snapshot_bytes: bytes | None = None) -> _ShardHandle:
         if snapshot_bytes is None:  # respawn path: the state may have moved
             snapshot_bytes = pickle.dumps(self.registry.snapshot())
-        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        if self.transport == "socket":
+            # bind before forking so the worker's connect can never race a
+            # missing listener; the token hello authenticates the peer
+            listener = SocketListener()
+            spec: tuple = ("socket", listener.address, listener.token)
+            parent_end = None
+        else:
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            spec = ("pipe", child_conn)
+            parent_end = parent_conn
         process = self._ctx.Process(
             target=_worker_main,
-            args=(shard_id, child_conn, snapshot_bytes, self._gateway_kwargs,
+            args=(shard_id, spec, snapshot_bytes, self._gateway_kwargs,
                   self.request_timeout),
             name=f"serve-shard-{shard_id}",
             daemon=True,
         )
         process.start()
-        child_conn.close()  # the worker's copy is the only write end left
-        handle = _ShardHandle(shard_id, process, parent_conn)
+        if self.transport == "socket":
+            try:
+                transport: Transport = listener.accept(timeout=30.0)
+            finally:
+                listener.close()  # one worker per listener, accepted or not
+        else:
+            child_conn.close()  # the worker's copy is the only write end left
+            transport = PipeTransport(parent_end)
+        handle = _ShardHandle(shard_id, process, transport)
         handle.reader = threading.Thread(
             target=self._reader, args=(handle,), name=f"shard{shard_id}-reader", daemon=True
         )
@@ -435,16 +501,16 @@ class ShardedServingCluster:
 
     def _reader(self, handle: _ShardHandle) -> None:
         """Complete tickets from one shard's response stream; when the
-        stream ends — EOF from a worker exit/kill, *or* any unexpected
-        decode failure — fail everything still pending.  The cleanup is a
-        ``finally`` because a reader that dies without marking the shard
-        dead would leave clients blocking forever on tickets nobody will
-        complete."""
+        stream ends — a :class:`TransportError` from a worker exit/kill,
+        *or* any unexpected decode failure — fail everything still
+        pending.  The cleanup is a ``finally`` because a reader that dies
+        without marking the shard dead would leave clients blocking
+        forever on tickets nobody will complete."""
         try:
             while True:
                 try:
-                    msg = handle.conn.recv()
-                except (EOFError, OSError):
+                    msg = handle.transport.recv()
+                except TransportError:
                     break
                 tag, req_id, payload = msg
                 with handle.lock:
@@ -487,10 +553,7 @@ class ShardedServingCluster:
                 with handle.lock:
                     dead = not handle.alive
                 if dead:
-                    try:
-                        handle.conn.close()
-                    except OSError:
-                        pass
+                    handle.transport.close()
                     handle.process.join(timeout=1.0)
                     self._shards[i] = self._spawn(handle.shard_id)
                     respawned += 1
@@ -540,6 +603,37 @@ class ShardedServingCluster:
             return self._shards[self.shard_of(name)]
         return self._pick_shard()
 
+    @property
+    def steals(self) -> int:
+        """How many hash-routed requests the dispatcher rerouted to an
+        idle replica (0 unless ``steal=True``)."""
+        return self._steals
+
+    def _steal_target(self, owner: _ShardHandle) -> _ShardHandle | None:
+        """An idle live shard to steal to, or ``None`` to stay home.
+
+        Stealing triggers only when the hash-routed owner is congested —
+        pending depth at ``steal_threshold`` or beyond — and some *other*
+        live shard has nothing in flight.  An idle replica is a valid
+        stand-in for any name at any version: registry mutations are
+        ack-gated broadcasts and respawns warm-start from the parent
+        snapshot, so every live worker scores with identical frozen
+        artifacts (bit-identity holds wherever the row lands).  The cost
+        is the owner's batcher/cache locality for that one row, which is
+        exactly the trade a congested owner wants.
+        """
+        with owner.lock:
+            congested = owner.alive and len(owner.pending) >= self.steal_threshold
+        if not congested:
+            return None
+        for handle in self._shards:
+            if handle is owner:
+                continue
+            with handle.lock:
+                if handle.alive and not handle.pending:
+                    return handle
+        return None
+
     def _no_live_shard_ticket(self) -> ClusterTicket:
         ticket = ClusterTicket(-1)
         ticket._complete(None, coded(
@@ -560,9 +654,9 @@ class ShardedServingCluster:
 
     def _try_send(self, handle: _ShardHandle, op: str, *args: Any) -> ClusterTicket | None:
         """Enqueue one request on ``handle``; ``None`` means the shard is
-        dead (or its pipe broke mid-send, in which case it is marked dead
-        so the next :meth:`_pick_shard` skips it) and the caller may try
-        another shard instead of surfacing the failure."""
+        dead (or its transport broke mid-send, in which case it is marked
+        dead so the next :meth:`_pick_shard` skips it) and the caller may
+        try another shard instead of surfacing the failure."""
         ticket = ClusterTicket(handle.shard_id)
         with handle.lock:
             if self._closed:
@@ -576,10 +670,10 @@ class ShardedServingCluster:
             handle.next_req += 1
             handle.pending[req_id] = ticket
             try:
-                handle.conn.send((op, req_id, *args))
-            except (BrokenPipeError, OSError):
+                handle.transport.send((op, req_id, *args))
+            except TransportError:
                 handle.pending.pop(req_id, None)
-                handle.alive = False  # the reader will confirm via EOF
+                handle.alive = False  # the reader will confirm via its own error
                 return None
         return ticket
 
@@ -653,8 +747,15 @@ class ShardedServingCluster:
         any remaining live shard)."""
         arr = np.asarray(row, dtype=float)
         if self.route == "hash":
-            ticket = self._send_request(self._shards[self.shard_of(name)],
-                                        "submit", name, arr, kind)
+            owner = self._shards[self.shard_of(name)]
+            handle = owner
+            if self.steal and arr.ndim == 1:
+                idle = self._steal_target(owner)
+                if idle is not None:
+                    handle = idle
+                    with self._steal_lock:
+                        self._steals += 1
+            ticket = self._send_request(handle, "submit", name, arr, kind)
         else:
             ticket = self._submit_replicated(name, arr, kind)
         if self._request_taps:
@@ -807,21 +908,18 @@ class ShardedServingCluster:
             pass
         deadline = time.monotonic() + timeout
         for handle in shards:
-            with handle.lock:  # sends share the pipe with _send_request
+            with handle.lock:  # sends share the transport with _send_request
                 if handle.alive:
                     try:
-                        handle.conn.send(("shutdown",))
-                    except (BrokenPipeError, OSError):
+                        handle.transport.send(("shutdown",))
+                    except TransportError:
                         pass
         for handle in shards:
             handle.process.join(timeout=max(0.1, deadline - time.monotonic()))
             if handle.process.is_alive():
                 handle.process.kill()
                 handle.process.join(timeout=1.0)
-            try:
-                handle.conn.close()
-            except OSError:
-                pass
+            handle.transport.close()
             if handle.reader is not None:
                 handle.reader.join(timeout=max(0.1, deadline - time.monotonic()))
 

@@ -33,8 +33,15 @@ excluded while still running in the default tier-1 sweep:
   with a coded wire error or a clean close, never a hang), FIFO response
   order per connection, bit-identity across the wire, and
   admission-control shedding (structured ``OVERLOADED``).
+* ``transport`` — the pluggable shard transport layer
+  (:mod:`repro.serve.transport`): binary ndarray frame round-trips
+  (hypothesis-driven over dtypes/orders/shapes), the envelope+blob
+  socket codec's type parity with the pipe, the listener handshake,
+  pipe-vs-socket cluster bit-identity, and the work-stealing
+  dispatcher's FIFO/bit-identity guarantees.  Tests that fork worker
+  processes also carry ``shard``.
   The smoke target is
-  ``-m "serve or gateway or shard or monitor or faults or net"``.
+  ``-m "serve or gateway or shard or monitor or faults or net or transport"``.
 """
 
 
@@ -62,4 +69,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "net: asyncio network front door tests (frames/FIFO/admission); tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "transport: pluggable shard transport tests (codec/handshake/stealing); tier-1",
     )

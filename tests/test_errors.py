@@ -54,12 +54,14 @@ class TestVocabulary:
         "UNKNOWN_VERSION": (405, "error", False),
         "NO_PRODUCTION": (406, "error", False),
         "INVALID_MUTATION": (409, "error", False),
+        "FRAME_TOO_LARGE": (413, "error", False),
         "INTERNAL": (500, "error", False),
         "SHARD_CRASHED": (503, "critical", True),
         "DEADLINE_EXCEEDED": (504, "warning", True),
         "CLOSED": (507, "error", False),
         "CIRCUIT_OPEN": (508, "warning", True),
         "RESPAWN_FAILED": (509, "critical", True),
+        "TRANSPORT_ERROR": (510, "critical", True),
         "OVERLOADED": (513, "warning", True),
         "MODEL_RESOLUTION_FAILED": (600, "error", False),
         "SCORING_FAILED": (601, "error", False),

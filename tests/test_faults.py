@@ -30,6 +30,7 @@ from repro.serve import (
     code_of,
 )
 from repro.serve.shard import ShardCrashedError
+from repro.serve.transport import TransportError
 
 pytestmark = [pytest.mark.serve, pytest.mark.faults]
 
@@ -144,15 +145,15 @@ class TestAbandonedTickets:
 # --------------------------------------------------------------------- #
 # replicated routing: dead shards must never be picked
 # --------------------------------------------------------------------- #
-class _SnappedPipe:
-    """A conn whose sends fail like a worker that died this instant —
+class _SnappedTransport:
+    """A transport whose sends fail like a worker that died this instant —
     before the reader thread has noticed and flipped ``alive``."""
 
     def __init__(self, inner):
         self._inner = inner
 
-    def send(self, obj):
-        raise BrokenPipeError("worker went away mid-send")
+    def send(self, msg):
+        raise TransportError("worker went away mid-send")
 
     def __getattr__(self, attr):
         return getattr(self._inner, attr)
@@ -168,7 +169,7 @@ class TestReplicatedRouting:
             registry, n_shards=2, route="replicated", max_batch=16, max_delay=0.005
         ) as cluster:
             victim = cluster._shards[0]
-            victim.conn = _SnappedPipe(victim.conn)
+            victim.transport = _SnappedTransport(victim.transport)
             tickets = [cluster.submit("forest", r) for r in rows]
             cluster.flush()
             got = np.array([t.result(timeout=20.0) for t in tickets])

@@ -15,6 +15,7 @@ every expected value is computable to the bit without training.
 
 import socket
 import struct
+import threading
 import time
 
 import numpy as np
@@ -233,11 +234,12 @@ class TestRequestErrors:
 
 # ---------------------------------------------------------------------- #
 class TestWireErrors:
-    def _expect_error_then_close(self, sock):
+    def _expect_error_then_close(self, sock, code=ErrorCode.MALFORMED_REQUEST):
         reply = recv_frame(sock)
         assert reply is not None and not reply["ok"]
-        assert reply["error"]["code"] == int(ErrorCode.MALFORMED_REQUEST)
+        assert reply["error"]["code"] == int(code)
         assert recv_frame(sock) is None  # server closed after the reply
+        return reply
 
     def test_malformed_json_coded_then_closed(self, server, model):
         sock = _raw_conn(server)
@@ -265,6 +267,22 @@ class TestWireErrors:
         sock = _raw_conn(server)
         try:
             sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            reply = self._expect_error_then_close(sock, ErrorCode.FRAME_TOO_LARGE)
+            # the coded message names the limit and the knob to raise it
+            assert str(MAX_FRAME_BYTES) in reply["error"]["detail"]
+            assert "max_frame_bytes" in reply["error"]["detail"]
+        finally:
+            sock.close()
+        assert server.counters()["wire_errors"] >= 1
+
+    def test_binary_frame_refused_on_json_edge(self, server):
+        """The shard transport's binary flag is not part of the public
+        edge protocol — a flagged frame is a malformed request there."""
+        from repro.serve.net import encode_binary_frame
+
+        sock = _raw_conn(server)
+        try:
+            sock.sendall(encode_binary_frame(b"\x00" * 16))
             self._expect_error_then_close(sock)
         finally:
             sock.close()
@@ -380,6 +398,68 @@ class TestAdmissionControl:
             AsyncServeServer(gateway, max_in_flight=0)
         with pytest.raises(ValueError):
             AsyncServeServer(gateway, max_pending_per_conn=0)
+
+
+# ---------------------------------------------------------------------- #
+class TestClientTimeout:
+    """Regression: ``ServeClient.recv`` used to leak the raw
+    ``socket.timeout`` when the server was slow — callers saw an uncoded
+    exception and the retry plane could not classify it."""
+
+    @pytest.fixture()
+    def slow_server(self):
+        """A stand-in server that answers each request only after being
+        released — real frames, controllable delay."""
+        from repro.serve.net.protocol import ok_response
+
+        release = threading.Event()
+        lst = socket.create_server(("127.0.0.1", 0))
+        host, port = lst.getsockname()[:2]
+
+        def serve():
+            conn, _ = lst.accept()
+            try:
+                while True:
+                    msg = recv_frame(conn)
+                    if msg is None:
+                        return
+                    release.wait(timeout=30.0)
+                    conn.sendall(ok_response(msg["id"], 7.5))
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+        th = threading.Thread(target=serve, daemon=True)
+        th.start()
+        try:
+            yield host, port, release
+        finally:
+            release.set()
+            lst.close()
+            th.join(timeout=10.0)
+
+    def test_recv_timeout_is_coded_deadline_exceeded(self, slow_server):
+        host, port, release = slow_server
+        with ServeClient(host, port) as client:
+            client.send("lin", np.zeros(D))
+            with pytest.raises(CodedError) as err:
+                client.recv(timeout=0.05)
+            assert code_of(err.value) is ErrorCode.DEADLINE_EXCEEDED
+            assert err.value.code.retryable  # the retry plane may resubmit
+            # the request is still pending — a late response is not lost
+            assert client.outstanding == 1
+            release.set()
+            assert client.recv(timeout=10.0) == 7.5
+            assert client.outstanding == 0
+
+    def test_per_call_override_restores_connection_default(self, slow_server):
+        host, port, release = slow_server
+        release.set()
+        with ServeClient(host, port, timeout=9.0) as client:
+            client.send("lin", np.zeros(D))
+            assert client.recv(timeout=5.0) == 7.5
+            assert client._sock.gettimeout() == 9.0
 
 
 # ---------------------------------------------------------------------- #
