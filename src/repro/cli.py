@@ -17,6 +17,7 @@ Every major capability is reachable without writing Python::
     repro monitor-bench --requests 2000
     repro serve-net --requests 2000 --window 64
     repro serve-net --shards 2 --transport socket
+    repro chaos-bench --names 25 --versions-per-name 20 --kills 6
 
 Commands accept either ``--dataset file.npz`` (a saved dataset) or
 ``--platform/--jobs/--seed`` to simulate one on the fly.
@@ -392,6 +393,47 @@ def cmd_serve_net(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import record_trajectory_entry
+    from repro.serve.chaos import run_chaos_bench
+
+    r = run_chaos_bench(
+        n_names=args.names,
+        versions_per_name=args.versions_per_name,
+        n_shards=args.shards,
+        n_requests=args.requests,
+        n_kills=args.kills,
+        max_shards=args.max_shards,
+        slo_target_ms=args.slo_ms,
+        source=args.source,
+        seed=args.seed,
+    )
+    rows = [
+        ["client wall", f"{r['p50_ms']:.2f}", f"{r['p99_ms']:.2f}",
+         f"{r['p999_ms']:.2f}"],
+        ["fleet ring", f"{r['fleet_p50_ms']:.2f}", f"{r['fleet_p99_ms']:.2f}",
+         f"{r['fleet_p999_ms']:.2f}"],
+    ]
+    print(format_table(
+        ["latency", "p50 ms", "p99 ms", "p999 ms"],
+        rows,
+        title=(f"Chaos soak — {r['completed']}/{r['n_requests']} requests over "
+               f"{r['n_versions']} versions ({r['n_names']} names) on "
+               f"{r['n_shards_initial']}->{r['n_shards_final']} shards, "
+               f"{r['source']} traffic: {r['kills']} kills, {r['respawns']} "
+               f"respawns, {r['churns']} churns, {r['retries']} retries")))
+    print(f"survival: {r['client_errors']} client-visible errors, "
+          f"{r['mismatches']} bit-identity mismatches, "
+          f"{r['poison_failed_fast']}/{r['poison_sent']} poison failed fast, "
+          f"{r['drift_alerts']} drift alerts, autoscaler "
+          f"{r['scale_ups']} up / {r['scale_downs']} down / "
+          f"{r['scale_failures']} failed")
+    path = record_trajectory_entry(
+        {"chaos": r}, args.record_dir, filename="BENCH_chaos.json")
+    print(f"recorded chaos entry in {path}")
+    return 0
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     from repro.scheduler import BatchScheduler, Dragonfly, PlacementPolicy
 
@@ -548,6 +590,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"))
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve_net)
+
+    p = sub.add_parser(
+        "chaos-bench",
+        help="storm-scale chaos soak: hundreds of versions, Zipf multi-tenant "
+             "traffic, kill storms under promote/rollback churn, poison "
+             "floods, drift injection, SLO autoscaler; records a chaos entry "
+             "in BENCH_chaos.json",
+    )
+    p.add_argument("--names", type=int, default=25,
+                   help="tenant model names in the registration storm")
+    p.add_argument("--versions-per-name", type=int, default=20,
+                   help="versions pinned per name (names x versions >= 500 "
+                        "is the storm-scale gate)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="initial fleet width (the autoscaler moves it)")
+    p.add_argument("--max-shards", type=int, default=4,
+                   help="autoscaler ceiling")
+    p.add_argument("--requests", type=int, default=2000,
+                   help="Zipf-routed requests across the soak")
+    p.add_argument("--kills", type=int, default=6,
+                   help="shard kills spread across the storm")
+    p.add_argument("--slo-ms", type=float, default=50.0,
+                   help="autoscaler p99 target")
+    p.add_argument("--source", default="sim", choices=("sim", "synthetic"),
+                   help="request pools: simulator-driven (§ platform/weather/"
+                        "workload drift knobs) or plain gaussian")
+    p.add_argument("--record-dir", type=Path, default=Path("benchmarks/results"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_chaos_bench)
 
     p = sub.add_parser("schedule", help="compare placement policies on a dragonfly")
     p.add_argument("--jobs", type=int, default=200)

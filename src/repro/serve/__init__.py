@@ -38,9 +38,22 @@ asyncio loop, bridges them to gateway/cluster tickets off-loop, sheds
 overload with a structured ``OVERLOADED`` wire error, and stays
 bit-identical to the in-process path; :class:`ServeClient` is the
 blocking, pipelining counterpart.
+
+:mod:`repro.serve.autoscale` + :mod:`repro.serve.chaos` close the
+capacity loop and prove the whole stack under storm conditions:
+:class:`SLOAutoscaler` is an AIMD controller one level above the batch
+tuner — when the fleet's windowed p99 breaches the SLO it grows the
+live shard count through ``scale_to`` (and shrinks it on sustained
+calm), emitting coded ``MonitorEvent``s; :func:`run_chaos_soak` is the
+harness that earns the claims — hundreds-to-thousands of registered
+versions, Zipf multi-tenant bursty traffic, kill/respawn storms under
+live promote/rollback churn, poison floods, simulator-driven drift —
+with a bit-identity witness on every survivor and p50/p99/p999 tails
+recorded into the ``BENCH_chaos.json`` trajectory.
 """
 
 from repro.serve.adaptive import AdaptiveBatchTuner, TuningDecision
+from repro.serve.autoscale import ScalingDecision, SLOAutoscaler
 from repro.serve.batcher import MicroBatcher, Ticket
 from repro.serve.bench import (
     make_serve_model,
@@ -52,6 +65,12 @@ from repro.serve.bench import (
     run_transport_bench,
 )
 from repro.serve.cache import PredictionCache, request_digest
+from repro.serve.chaos import (
+    ChaosConfig,
+    ChaosLinearModel,
+    run_chaos_bench,
+    run_chaos_soak,
+)
 from repro.serve.errors import (
     CodedError,
     ErrorCode,
@@ -101,6 +120,8 @@ from repro.serve.transport import (
 __all__ = [
     "AdaptiveBatchTuner",
     "AsyncServeServer",
+    "ChaosConfig",
+    "ChaosLinearModel",
     "CircuitBreaker",
     "ClusterStats",
     "ClusterTicket",
@@ -123,6 +144,8 @@ __all__ = [
     "ResilienceStats",
     "RetryController",
     "RetryTicket",
+    "SLOAutoscaler",
+    "ScalingDecision",
     "ServeClient",
     "ServerStats",
     "ServingGateway",
@@ -147,6 +170,8 @@ __all__ = [
     "from_wire",
     "make_serve_model",
     "request_digest",
+    "run_chaos_bench",
+    "run_chaos_soak",
     "run_fault_bench",
     "run_gateway_bench",
     "run_net_bench",

@@ -1,0 +1,322 @@
+"""SLO autoscaler: steer the live shard count toward a tail-latency target.
+
+:class:`~repro.serve.adaptive.AdaptiveBatchTuner` tunes *within* one
+worker — flush limits against a mean-latency target.  This module sits
+one level above it: when the whole fleet's p99 breaches the SLO, no
+amount of batch retuning helps — the cluster needs more workers; when
+the fleet idles far under target, the extra processes are pure memory
+and respawn surface.  :class:`SLOAutoscaler` closes that loop with the
+same AIMD discipline —
+
+* **SLO breach** (windowed p99 over target for ``breach_windows``
+  consecutive windows) → additive growth, ``+grow_step`` shards, clamped
+  at ``max_shards``;
+* **sustained calm** (p99 under ``low_watermark × target`` for
+  ``calm_windows`` consecutive windows) → multiplicative shrink toward
+  ``min_shards``;
+* anything in between → hold, and both streaks reset.
+
+Scale actions ride :meth:`ShardedServingCluster.scale_to
+<repro.serve.shard.ShardedServingCluster.scale_to>` — tail-only
+growth/shrink over the same spawn/retire machinery the supervisor's
+respawn path uses, so a scale-up warm-starts from the cached registry
+snapshot and a scale-down drains in-flight work before the worker exits.
+Separate up/down cooldowns prevent flapping (scale-downs are cheap to
+defer, scale-ups are not).
+
+Every action (and every failed action) is a coded
+:class:`~repro.serve.monitor.policy.MonitorEvent` — ``SLO_BREACH`` tags
+the breach that forced a scale-up, ``AUTOSCALE_FAILED`` a scale call
+that raised — recorded into an attached
+:class:`~repro.serve.monitor.policy.PolicyEngine` so capacity changes
+land on the same audit timeline as drift alerts and respawns.
+
+Like the tuner and the supervisor, the controller is deterministic under
+an injected clock: :meth:`SLOAutoscaler.step` reads the cluster's
+windowed counters and the bounded latency ring, does no sleeping, and
+reads no wall time of its own — tests drive it against a stub cluster
+with a hand-cranked clock and replay identical trajectories.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.serve.errors import ErrorCode
+from repro.serve.monitor.policy import MonitorEvent
+
+__all__ = ["ScalingDecision", "SLOAutoscaler"]
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One control-pass record (the autoscaler's audit trail)."""
+
+    at: float               # clock time of the step
+    n_shards: int           # fleet width after any action
+    window_completed: int   # requests completing in the window
+    observed_ms: float      # the latency signal judged against the SLO
+    target_ms: float        # the SLO at step time
+    direction: str          # "up" | "down" | "hold"
+
+
+class SLOAutoscaler:
+    """AIMD controller for a sharded cluster's worker count.
+
+    Parameters
+    ----------
+    cluster:
+        Anything with ``stats()`` (a
+        :class:`~repro.serve.stats.ClusterStats`-shaped roll-up),
+        ``scale_to(n)``, and ``n_shards`` — the real
+        :class:`~repro.serve.shard.ShardedServingCluster`, or a stub in
+        determinism tests.
+    target_p99_ms:
+        The SLO: windowed p99 completed-request latency to stay under.
+    min_shards, max_shards:
+        Inclusive fleet-width clamps.
+    grow_step:
+        Additive increase — shards added per scale-up.
+    shrink_factor:
+        Multiplicative decrease — the fleet shrinks toward
+        ``ceil(n × shrink_factor)`` (always at least one worker fewer,
+        never below ``min_shards``).
+    low_watermark:
+        Calm threshold as a fraction of the target: only windows with
+        p99 under ``low_watermark × target_p99_ms`` count toward shrink.
+    breach_windows, calm_windows:
+        Consecutive evidence windows required before acting in each
+        direction (scale-ups react fast by default, scale-downs demand
+        sustained calm).
+    up_cooldown_s, down_cooldown_s:
+        Minimum clock time after *any* scale action before the next
+        up/down action — newly spawned workers need a window of traffic
+        before their latency means anything.
+    interval_s:
+        :meth:`maybe_step` cadence (and the daemon thread's period).
+    clock:
+        Injected monotonic time source.
+    policy:
+        Optional :class:`~repro.serve.monitor.policy.PolicyEngine`; every
+        emitted event is also recorded there.
+    history_limit, max_events:
+        Bounds on the :class:`ScalingDecision` trail and the event deque
+        (the controller may run for the process lifetime).
+    """
+
+    RULE = "slo-autoscaler"
+
+    def __init__(
+        self,
+        cluster: Any,
+        target_p99_ms: float = 50.0,
+        min_shards: int = 1,
+        max_shards: int = 8,
+        grow_step: int = 1,
+        shrink_factor: float = 0.5,
+        low_watermark: float = 0.3,
+        breach_windows: int = 1,
+        calm_windows: int = 3,
+        up_cooldown_s: float = 1.0,
+        down_cooldown_s: float = 5.0,
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        policy: Any = None,
+        history_limit: int = 1024,
+        max_events: int = 1024,
+    ):
+        if target_p99_ms <= 0:
+            raise ValueError("target_p99_ms must be > 0")
+        if min_shards < 1 or min_shards > max_shards:
+            raise ValueError("shard bounds must satisfy 1 <= min_shards <= max_shards")
+        if grow_step < 1:
+            raise ValueError("grow_step must be >= 1")
+        if not (0.0 < shrink_factor < 1.0):
+            raise ValueError("shrink_factor must be in (0, 1)")
+        if not (0.0 < low_watermark < 1.0):
+            raise ValueError("low_watermark must be in (0, 1)")
+        if breach_windows < 1 or calm_windows < 1:
+            raise ValueError("evidence windows must be >= 1")
+        self.cluster = cluster
+        self.target_p99_ms = float(target_p99_ms)
+        self.min_shards = int(min_shards)
+        self.max_shards = int(max_shards)
+        self.grow_step = int(grow_step)
+        self.shrink_factor = float(shrink_factor)
+        self.low_watermark = float(low_watermark)
+        self.breach_windows = int(breach_windows)
+        self.calm_windows = int(calm_windows)
+        self.up_cooldown_s = float(up_cooldown_s)
+        self.down_cooldown_s = float(down_cooldown_s)
+        self.interval_s = float(interval_s)
+        self._clock = clock
+        self.policy = policy
+
+        self._lock = threading.Lock()  # serializes whole steps
+        self._prev: dict[str, float] | None = None  # last total counters
+        self._breach_streak = 0
+        self._calm_streak = 0
+        self._last_action_at: float | None = None
+        self._last_step: float | None = None
+        self.history: deque[ScalingDecision] = deque(maxlen=history_limit)
+        self.events: deque[MonitorEvent] = deque(maxlen=max_events)
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.scale_failures = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> ScalingDecision | None:
+        """One control pass; returns the decision (``None`` on the very
+        first call, which only baselines the counters).
+
+        Pure function of the injected clock and the cluster's stats
+        sequence: the same schedule replays to the same trajectory.
+        """
+        with self._lock:
+            now = self._clock()
+            self._last_step = now
+            total = self.cluster.stats().total
+            cur = {
+                "completed": float(total.completed),
+                "total_latency_s": float(total.total_latency_s),
+            }
+            prev, self._prev = self._prev, cur
+            if prev is None:
+                return None  # baseline only: no window to judge yet
+            completed = int(cur["completed"] - prev["completed"])
+            n = int(self.cluster.n_shards)
+            if completed <= 0:
+                # no evidence either way: hold without touching the streaks
+                # (an idle fleet must not "calm" its way down to min_shards)
+                decision = ScalingDecision(now, n, 0, 0.0, self.target_p99_ms, "hold")
+                self.history.append(decision)
+                return decision
+            # the SLO signal: tail percentile over the bounded ring when
+            # the fleet keeps one, windowed mean as the degraded fallback
+            observed = total.p99_ms if total.latency_samples else (
+                1e3 * (cur["total_latency_s"] - prev["total_latency_s"]) / completed
+            )
+            direction = "hold"
+            emitted: list[MonitorEvent] = []
+            if observed > self.target_p99_ms:
+                self._breach_streak += 1
+                self._calm_streak = 0
+                if (self._breach_streak >= self.breach_windows
+                        and self._cooled(now, self.up_cooldown_s)
+                        and n < self.max_shards):
+                    target = min(self.max_shards, n + self.grow_step)
+                    n, direction, emitted = self._apply(now, n, target, "up", observed)
+            elif observed < self.low_watermark * self.target_p99_ms:
+                self._calm_streak += 1
+                self._breach_streak = 0
+                if (self._calm_streak >= self.calm_windows
+                        and self._cooled(now, self.down_cooldown_s)
+                        and n > self.min_shards):
+                    target = max(self.min_shards, min(n - 1, round(n * self.shrink_factor)))
+                    n, direction, emitted = self._apply(now, n, target, "down", observed)
+            else:
+                self._breach_streak = 0
+                self._calm_streak = 0
+            decision = ScalingDecision(
+                now, n, completed, observed, self.target_p99_ms, direction,
+            )
+            self.history.append(decision)
+            self.events.extend(emitted)
+        if self.policy is not None:
+            for event in emitted:
+                self.policy.record(event)
+        return decision
+
+    def maybe_step(self) -> ScalingDecision | None:
+        """Run :meth:`step` iff ``interval_s`` elapsed since the last one."""
+        if self._last_step is not None and self._clock() - self._last_step < self.interval_s:
+            return None
+        return self.step()
+
+    # ------------------------------------------------------------------ #
+    def _cooled(self, now: float, cooldown_s: float) -> bool:
+        return self._last_action_at is None or now - self._last_action_at >= cooldown_s
+
+    def _apply(self, now: float, n: int, target: int, direction: str,
+               observed: float) -> tuple[int, str, list[MonitorEvent]]:
+        """Execute one scale action; returns (fleet width, direction,
+        events) — a failed action holds the width and reports itself."""
+        try:
+            result = int(self.cluster.scale_to(target))
+        except Exception as exc:
+            self.scale_failures += 1
+            return n, "hold", [self._event(
+                now, "scale-failed", float(target),
+                f"scale_to({target}) raised {type(exc).__name__}: {exc} "
+                f"(p99 {observed:.2f}ms vs SLO {self.target_p99_ms:.2f}ms)",
+                ErrorCode.AUTOSCALE_FAILED,
+            )]
+        self._last_action_at = now
+        self._breach_streak = 0
+        self._calm_streak = 0
+        if direction == "up":
+            self.scale_ups += 1
+            event = self._event(
+                now, "scale-up", float(result),
+                f"SLO breach: p99 {observed:.2f}ms > {self.target_p99_ms:.2f}ms "
+                f"— scaled {n} -> {result} shards",
+                ErrorCode.SLO_BREACH,
+            )
+        else:
+            self.scale_downs += 1
+            event = self._event(
+                now, "scale-down", float(result),
+                f"sustained calm: p99 {observed:.2f}ms < "
+                f"{self.low_watermark * self.target_p99_ms:.2f}ms "
+                f"— scaled {n} -> {result} shards",
+                None,
+            )
+        return result, direction, [event]
+
+    def _event(self, now: float, action: str, value: float,
+               detail: str, code: ErrorCode | None) -> MonitorEvent:
+        return MonitorEvent(
+            at=now, name="cluster", rule=self.RULE,
+            action=action, value=value, detail=detail, code=code,
+        )
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spawn the daemon control loop (production mode; tests call
+        :meth:`step` directly)."""
+        if self._thread is not None:
+            raise RuntimeError("autoscaler already started")
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.wait(self.interval_s):
+                try:
+                    self.step()
+                except Exception:
+                    # the cluster may be closing under us; the controller
+                    # must never die of a racing shutdown
+                    if self._stop.is_set():
+                        return
+
+        self._thread = threading.Thread(target=run, name="slo-autoscaler", daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "SLOAutoscaler":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

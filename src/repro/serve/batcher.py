@@ -27,7 +27,7 @@ from __future__ import annotations
 import copy
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Any, Callable
 
 import numpy as np
@@ -181,6 +181,10 @@ class MicroBatcher:
         self.manual_flushes = 0
         self.abandoned = 0  # tickets tombstoned by a result() timeout
         self.total_latency_s = 0.0
+        # bounded ring of recent per-request latencies (seconds): the
+        # tail-percentile sample mean-only counters can't provide, sized
+        # so a process-lifetime batcher never grows it past the cap
+        self._latency_ring: deque[float] = deque(maxlen=2048)
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "MicroBatcher":
@@ -339,6 +343,13 @@ class MicroBatcher:
                 "total_latency_s": self.total_latency_s,
             }
 
+    def latency_snapshot(self) -> tuple[float, ...]:
+        """The bounded ring of recent per-request latencies (seconds),
+        newest last — the sample :class:`~repro.serve.stats.ServerStats`
+        computes p50/p99/p999 from."""
+        with self._lock:
+            return tuple(self._latency_ring)
+
     # ------------------------------------------------------------------ #
     def _abandon(self, ticket: Ticket) -> None:
         """Tombstone a ticket whose ``result(timeout=)`` expired.
@@ -450,6 +461,7 @@ class MicroBatcher:
             self.batches += 1
             self.completed += len(batch)
             self.total_latency_s += sum(now - t.enqueued_at for t in batch)
+            self._latency_ring.extend(now - t.enqueued_at for t in batch)
             self._in_flight -= 1
             self._cond.notify_all()  # close() may be waiting for in-flight == 0
 

@@ -40,17 +40,20 @@ __all__ = [
 ]
 
 
-def record_trajectory_entry(entry: dict, results_dir: Path) -> Path:
-    """Append one timestamped entry to the serve trajectory
-    (``BENCH_serve.json`` — one entry per run, never overwritten).
+def record_trajectory_entry(
+    entry: dict, results_dir: Path, filename: str = "BENCH_serve.json"
+) -> Path:
+    """Append one timestamped entry to a bench trajectory
+    (``BENCH_serve.json`` by default; the chaos suite records into
+    ``BENCH_chaos.json`` — one entry per run, never overwritten).
 
-    The single writer for the trajectory format: the CLI and
-    ``benchmarks/bench_serve.py`` both go through here, so the
+    The single writer for the trajectory format: the CLI and the
+    ``benchmarks/bench_*.py`` drivers all go through here, so the
     load-append-write scheme cannot drift between them.
     """
     results_dir = Path(results_dir)
     results_dir.mkdir(parents=True, exist_ok=True)
-    trajectory_path = results_dir / "BENCH_serve.json"
+    trajectory_path = results_dir / filename
     trajectory = []
     if trajectory_path.exists():
         trajectory = json.loads(trajectory_path.read_text())

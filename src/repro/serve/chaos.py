@@ -1,0 +1,421 @@
+"""Chaos + scale soak harness: the serve stack under hostile conditions.
+
+The paper's thesis is that deployed models fail for reasons invisible at
+training time — drift, contention, hostile weather — and the serve
+stack's standing claim is that none of those conditions may cost a
+client a wrong answer.  Single-kill tests exercise the recovery
+*mechanisms*; this module is the storm-scale *evidence*: one soak
+registers hundreds-to-thousands of model versions across shards, replays
+Zipf-skewed multi-tenant traffic in bursts, and continuously injects
+every fault class at once —
+
+* **kill/respawn storms**: live workers hard-killed mid-flight while the
+  :class:`~repro.serve.resilience.ShardSupervisor` respawns them and the
+  :class:`~repro.serve.resilience.RetryController` absorbs the crashes;
+* **live mutation churn**: promote/rollback broadcasts racing the kill
+  storm (the ack-gated path the shared-fan-out-deadline fix keeps from
+  stalling);
+* **poisoned request floods**: malformed rows that must fail fast with a
+  client-coded error, zero retries, and zero damage to co-batched
+  neighbours;
+* **multi-name drift**: request streams for several tenants shift to a
+  simulator-generated hostile regime (noisier platform, degraded I/O
+  weather, novel applications) while a
+  :class:`~repro.serve.monitor.plane.MonitoringPlane` watches PSI windows
+  at the cluster front door;
+* **SLO-driven scaling**: an :class:`~repro.serve.autoscale.SLOAutoscaler`
+  steps against the windowed tail latency, growing and shrinking the
+  fleet under fire.
+
+The witness is the same as everywhere else in the serve layer, just
+bigger: every surviving request's value must be **bit-identical**
+(exact ``==``) to a direct predict of one of its name's registered
+versions (any version — promote/rollback may legally move the production
+alias between submit and score), no client may ever see a transient
+coded error, and p50/p99/p999 tail latencies are recorded into the
+``BENCH_chaos.json`` trajectory so storm damage shows up as a number,
+not an anecdote.
+
+Models are deliberately tiny (:class:`ChaosLinearModel` — a per-row
+affine map whose result is independent of batch shape), so a soak can
+register 500+ versions in seconds and the harness measures the *serving
+machinery* under stress, not tree traversal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.serve.autoscale import SLOAutoscaler
+from repro.serve.errors import classify_exception
+from repro.serve.monitor import MonitoringPlane, PsiThresholdRule
+from repro.serve.registry import ModelRegistry
+from repro.serve.resilience import RetryController, ShardSupervisor
+from repro.serve.shard import ShardedServingCluster
+
+__all__ = ["ChaosConfig", "ChaosLinearModel", "run_chaos_bench", "run_chaos_soak"]
+
+
+class ChaosLinearModel:
+    """Tiny frozen affine model: ``predict(X)[i] == float(X[i] @ w) + b``.
+
+    Scored **row-wise on purpose**: a whole-block matmul may take a
+    different BLAS path per batch shape, and the chaos witness demands
+    exact equality between a micro-batched cluster result and a direct
+    single-row predict.  Per-row ``row @ w`` is the same reduction at
+    every batch size, so bit-identity is independent of how the storm
+    happened to coalesce the batches.  Module-level and array-only, so
+    500+ versions pickle to shard workers in milliseconds.
+    """
+
+    def __init__(self, w: np.ndarray, b: float):
+        self.w = np.asarray(w, dtype=float)
+        self.b = float(b)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.w.shape[0]:
+            raise ValueError(
+                f"expected {self.w.shape[0]} features, got {X.shape[1]}"
+            )
+        return np.array([float(row @ self.w) + self.b for row in X])
+
+
+def chaos_model(seed: int, name_idx: int, version: int, d: int) -> ChaosLinearModel:
+    """The deterministic model for one (name, version) pair — any process
+    can rebuild it to compute the soak's direct-predict witness."""
+    rng = np.random.default_rng((seed, name_idx, version))
+    return ChaosLinearModel(rng.normal(0.0, 1.0, d), float(rng.normal(0.0, 1.0)))
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Rank-``i`` probability ∝ ``1 / i**s`` — the skew of multi-tenant
+    traffic (a few hot names, a long cold tail)."""
+    ranks = np.arange(1, n + 1, dtype=float)
+    w = ranks ** -float(s)
+    return w / w.sum()
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One soak's knobs; the defaults are the fast-test shape, and
+    :func:`run_chaos_bench` overrides them to storm scale."""
+
+    n_names: int = 8                # tenants
+    versions_per_name: int = 4      # registered versions per tenant
+    n_features: int = 12
+    n_shards: int = 2               # initial fleet width
+    route: str = "hash"
+    n_requests: int = 320           # total good requests
+    burst: int = 32                 # requests submitted per burst
+    zipf_s: float = 1.1             # tenant popularity skew
+    n_kills: int = 5                # hard worker kills across the soak
+    churn_every: int = 3            # bursts between promote/rollback flips
+    poison_every: int = 4           # bursts between malformed floods
+    poison_rows: int = 2            # malformed requests per flood
+    drift_names: int = 2            # tenants whose stream drifts mid-soak
+    source: str = "synthetic"       # "synthetic" | "sim" (simulator pools)
+    sim_jobs: int = 600             # simulator jobs per pool (source="sim")
+    autoscale: bool = True
+    slo_target_ms: float = 50.0
+    min_shards: int = 1
+    max_shards: int = 4
+    max_batch: int = 64
+    max_delay: float = 0.002
+    deadline_s: float = 30.0        # per-request retry budget
+    request_timeout: float = 10.0   # cluster fan-out budget
+    psi_threshold: float = 0.5
+    monitor_window: int = 64
+    seed: int = 0
+
+
+def _request_pools(cfg: ChaosConfig) -> tuple[np.ndarray, np.ndarray]:
+    """(healthy, drifted) request-row pools with identical widths.
+
+    ``source="sim"`` draws both from the simulator — the drifted pool
+    turns the paper's §VIII knobs hostile (noisier platform, degraded
+    I/O weather, a 30% novel-application mix) so the PSI windows see a
+    real regime change, not a synthetic scale factor.  ``"synthetic"``
+    keeps the fast-test shape with the monitor bench's shifted-rows
+    idiom.
+    """
+    if cfg.source == "sim":
+        from dataclasses import replace
+
+        from repro.config import preset
+        from repro.data import build_dataset, feature_matrix
+
+        base_cfg = preset("theta", n_jobs=cfg.sim_jobs, seed=cfg.seed)
+        healthy, _ = feature_matrix(build_dataset(base_cfg), "posix")
+        drift_cfg = replace(
+            base_cfg,
+            seed=cfg.seed + 77,
+            platform=replace(base_cfg.platform, noise_sigma=0.08),
+            weather=replace(base_cfg.weather, ou_sigma=0.20,
+                            degradations_per_year=40.0),
+            workload=replace(base_cfg.workload, ood_fraction=0.30,
+                             deployment_cutoff=0.0),
+        )
+        drifted, _ = feature_matrix(build_dataset(drift_cfg), "posix")
+        return healthy, drifted
+    rng = np.random.default_rng(cfg.seed + 1)
+    healthy = rng.normal(0.0, 1.0, (max(cfg.n_requests, 256), cfg.n_features))
+    return healthy, healthy * 1.8 + 1.2
+
+
+def run_chaos_soak(cfg: ChaosConfig = ChaosConfig()) -> dict:
+    """One full soak; returns a flat JSON-safe result dict.
+
+    The dict carries the acceptance evidence: ``client_errors`` (must be
+    0 — no transient failure may reach a client through the retry front
+    door), ``mismatches`` (must be 0 — every survivor bit-identical to a
+    direct predict of a registered version), the wall-clock
+    ``p50_ms``/``p99_ms``/``p999_ms`` tail, and the fleet's own
+    ring-sampled percentiles from the new
+    :attr:`~repro.serve.stats.ServerStats.latency_samples` accounting.
+    """
+    rng = np.random.default_rng(cfg.seed)
+    healthy_pool, drifted_pool = _request_pools(cfg)
+    d = healthy_pool.shape[1]
+    names = [f"tenant-{i:03d}" for i in range(cfg.n_names)]
+    weights = zipf_weights(cfg.n_names, cfg.zipf_s)
+
+    registry = ModelRegistry()
+    cluster = ShardedServingCluster(
+        registry,
+        n_shards=cfg.n_shards,
+        route=cfg.route,
+        max_batch=cfg.max_batch,
+        max_delay=cfg.max_delay,
+        request_timeout=cfg.request_timeout,
+    )
+    plane = supervisor = autoscaler = None
+    t_start = time.perf_counter()
+    try:
+        # ---- phase 1: registration storm ----------------------------- #
+        t0 = time.perf_counter()
+        models: dict[tuple[int, int], ChaosLinearModel] = {}
+        for i, name in enumerate(names):
+            for v in range(1, cfg.versions_per_name + 1):
+                models[(i, v)] = chaos_model(cfg.seed, i, v, d)
+                cluster.register(name, models[(i, v)])
+            # production starts mid-stack so both promote and rollback
+            # churn directions stay legal all soak long
+            mid = max(1, cfg.versions_per_name // 2)
+            registry.promote(name, 1)
+            if mid != 1:
+                registry.promote(name, mid)
+        register_s = time.perf_counter() - t0
+        n_versions = cfg.n_names * cfg.versions_per_name
+
+        # ---- monitoring plane: multi-name drift watch ---------------- #
+        drift_names = names[: cfg.drift_names]
+        plane = MonitoringPlane(
+            registry, window=cfg.monitor_window,
+            min_window=cfg.monitor_window, eval_every=cfg.monitor_window // 2,
+            cooldown_s=0.5,
+        )
+        for name in drift_names:
+            plane.watch(name, reference=healthy_pool)
+        if drift_names:
+            plane.add_rule(
+                PsiThresholdRule(threshold=cfg.psi_threshold, action="alert"),
+                names=drift_names,
+            )
+        plane.attach(cluster)
+
+        # ---- resilience + scaling plane ------------------------------ #
+        controller = RetryController(
+            cluster, deadline_s=cfg.deadline_s, seed=cfg.seed,
+            breaker_reset_s=0.05,
+        )
+        supervisor = ShardSupervisor(cluster, check_interval_s=0.02)
+        supervisor.start()
+        autoscaler = None
+        if cfg.autoscale:
+            autoscaler = SLOAutoscaler(
+                cluster,
+                target_p99_ms=cfg.slo_target_ms,
+                min_shards=cfg.min_shards,
+                max_shards=cfg.max_shards,
+                calm_windows=3,
+                up_cooldown_s=0.05,
+                down_cooldown_s=0.5,
+            )
+            autoscaler.step()  # baseline window
+
+        # ---- phase 2: the storm -------------------------------------- #
+        n_bursts = -(-cfg.n_requests // cfg.burst)
+        kill_bursts = set(
+            np.linspace(1, max(1, n_bursts - 1), num=cfg.n_kills, dtype=int).tolist()
+        ) if cfg.n_kills else set()
+        latencies: list[float] = []
+        client_errors: list[str] = []
+        fleet_total = None  # last fleet roll-up with a non-empty latency ring
+        mismatches = 0
+        kills = churns = 0
+        poison_sent = poison_failed_fast = 0
+        poison_slow_codes: list[str] = []
+        submitted = 0
+
+        for b in range(n_bursts):
+            take = min(cfg.burst, cfg.n_requests - submitted)
+            if take <= 0:
+                break
+            drifting = b >= n_bursts // 2  # second half: the regime moves
+            picks = rng.choice(cfg.n_names, size=take, p=weights)
+            batch = []
+            for name_idx in picks:
+                name = names[name_idx]
+                pool = (drifted_pool if drifting and name in drift_names
+                        else healthy_pool)
+                row = pool[int(rng.integers(len(pool)))]
+                batch.append((name_idx, row, time.perf_counter(),
+                              controller.submit(name, row)))
+            submitted += take
+
+            if b in kill_bursts:  # kill with this burst still in flight
+                live = cluster.live_shards()
+                if live:
+                    cluster.kill_shard(int(rng.choice(live)))
+                    kills += 1
+            if cfg.churn_every and b % cfg.churn_every == 0:
+                name = names[int(rng.integers(cfg.n_names))]
+                if rng.random() < 0.5:
+                    try:
+                        registry.rollback(name)
+                    except LookupError:
+                        pass  # no history yet: the promote arm feeds it
+                else:
+                    version = int(rng.integers(1, cfg.versions_per_name + 1))
+                    registry.promote(name, version)
+                churns += 1
+            if cfg.poison_every and b % cfg.poison_every == 0:
+                for _ in range(cfg.poison_rows):
+                    bad = rng.normal(0.0, 1.0, d + 3)  # wrong width
+                    poison_sent += 1
+                    try:
+                        controller.submit(names[0], bad).result(timeout=cfg.deadline_s)
+                    except Exception as exc:
+                        code = classify_exception(exc)
+                        if code.category == "client":
+                            poison_failed_fast += 1
+                        else:
+                            poison_slow_codes.append(code.name)
+
+            for name_idx, row, t_submit, ticket in batch:
+                try:
+                    value = ticket.result(timeout=cfg.deadline_s)
+                except Exception as exc:
+                    client_errors.append(classify_exception(exc).name)
+                    continue
+                latencies.append(time.perf_counter() - t_submit)
+                # bit-identity witness: exactly one registered version of
+                # this tenant must reproduce the value — promote/rollback
+                # may have moved production between submit and score, so
+                # any version is a legal linearization point
+                if not any(
+                    value == float(row @ models[(int(name_idx), v)].w)
+                    + models[(int(name_idx), v)].b
+                    for v in range(1, cfg.versions_per_name + 1)
+                ):
+                    mismatches += 1
+            if autoscaler is not None:
+                autoscaler.step()
+            snap = cluster.stats().total
+            if snap.latency_samples:
+                fleet_total = snap
+
+        # ---- phase 3: verdicts --------------------------------------- #
+        lat_ms = np.array(latencies) * 1e3
+        total = cluster.stats().total
+        if not total.latency_samples and fleet_total is not None:
+            # a kill/scale-down at the storm's tail can leave only
+            # freshly-respawned workers with empty rings; report the last
+            # burst's fleet tails instead of a vacuous zero
+            total = fleet_total
+        drift_alerts = sum(1 for e in plane.events if e.action == "alert")
+        sup = supervisor.stats()
+        res = controller.stats()
+        result = {
+            "config": "chaos-soak",
+            "source": cfg.source,
+            "route": cfg.route,
+            "n_names": cfg.n_names,
+            "n_versions": n_versions,
+            "n_features": d,
+            "n_shards_initial": cfg.n_shards,
+            "n_shards_final": cluster.n_shards,
+            "n_requests": submitted,
+            "completed": len(latencies),
+            "register_s": round(register_s, 4),
+            "soak_s": round(time.perf_counter() - t_start, 4),
+            "kills": kills,
+            "respawns": sup.respawns,
+            "churns": churns,
+            "retries": res.retries,
+            "recovered": res.recovered,
+            "breaker_opens": res.breaker_opens,
+            "poison_sent": poison_sent,
+            "poison_failed_fast": poison_failed_fast,
+            "poison_slow_codes": poison_slow_codes,
+            "drift_alerts": drift_alerts,
+            "client_errors": len(client_errors),
+            "client_error_codes": sorted(set(client_errors)),
+            "mismatches": mismatches,
+            "p50_ms": round(float(np.percentile(lat_ms, 50)), 4) if len(lat_ms) else 0.0,
+            "p99_ms": round(float(np.percentile(lat_ms, 99)), 4) if len(lat_ms) else 0.0,
+            "p999_ms": round(float(np.percentile(lat_ms, 99.9)), 4) if len(lat_ms) else 0.0,
+            "fleet_p50_ms": round(total.p50_ms, 4),
+            "fleet_p99_ms": round(total.p99_ms, 4),
+            "fleet_p999_ms": round(total.p999_ms, 4),
+            "scale_ups": autoscaler.scale_ups if autoscaler else 0,
+            "scale_downs": autoscaler.scale_downs if autoscaler else 0,
+            "scale_failures": autoscaler.scale_failures if autoscaler else 0,
+        }
+        return result
+    finally:
+        if supervisor is not None:
+            supervisor.stop()
+        if plane is not None:
+            plane.detach()
+        cluster.close()
+
+
+def run_chaos_bench(
+    n_names: int = 25,
+    versions_per_name: int = 20,
+    n_shards: int = 2,
+    n_requests: int = 2000,
+    n_kills: int = 6,
+    max_shards: int = 4,
+    slo_target_ms: float = 50.0,
+    source: str = "sim",
+    seed: int = 0,
+) -> dict:
+    """Storm-scale soak with the committed-trajectory defaults:
+    ≥500 registered versions, ≥5 kills under churn, simulator-driven
+    drift, autoscaler live."""
+    return run_chaos_soak(ChaosConfig(
+        n_names=n_names,
+        versions_per_name=versions_per_name,
+        n_shards=n_shards,
+        n_requests=n_requests,
+        burst=64,
+        n_kills=n_kills,
+        churn_every=3,
+        poison_every=5,
+        poison_rows=3,
+        drift_names=3,
+        source=source,
+        autoscale=True,
+        slo_target_ms=slo_target_ms,
+        max_shards=max_shards,
+        seed=seed,
+    ))

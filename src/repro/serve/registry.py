@@ -147,6 +147,18 @@ class ModelRegistry:
         self._lock = threading.RLock()
         self._entries: dict[str, _Entry] = {}
         self._listeners: list[Callable[[str, int, str], None]] = []
+        # monotone counter of state changes; snapshot caches key on it
+        self._mutations = 0
+
+    @property
+    def mutations(self) -> int:
+        """Monotone count of registry state changes (register, promote,
+        rollback, unregister, set_reference).  Two reads returning the
+        same value bracket an unchanged registry, so a consumer may cache
+        derived state — e.g. the sharded cluster's pickled snapshot bytes
+        — keyed on this counter instead of re-deriving per use."""
+        with self._lock:
+            return self._mutations
 
     # ------------------------------------------------------------------ #
     def register(
@@ -181,6 +193,7 @@ class ModelRegistry:
                             ErrorCode.INVALID_MUTATION)
             entry.next_version = max(entry.next_version, version + 1)
             entry.versions[version] = ModelVersion(name, version, model, n_frozen)
+            self._mutations += 1
         if promote:
             self.promote(name, version)
         return version
@@ -197,6 +210,7 @@ class ModelRegistry:
             if entry.production is not None:
                 entry.history.append(entry.production)
             entry.production = version
+            self._mutations += 1
         self._notify(name, version, "promote")
 
     def rollback(self, name: str) -> int:
@@ -210,6 +224,7 @@ class ModelRegistry:
                 )
             version = entry.history.pop()
             entry.production = version
+            self._mutations += 1
         self._notify(name, version, "rollback")
         return version
 
@@ -235,6 +250,7 @@ class ModelRegistry:
                 )
             del entry.versions[version]
             entry.history = [v for v in entry.history if v != version]
+            self._mutations += 1
         self._notify(name, version, "unregister")
 
     # ------------------------------------------------------------------ #
@@ -268,6 +284,7 @@ class ModelRegistry:
         )
         with self._lock:
             self._get_entry(name).reference = ref
+            self._mutations += 1
         self._notify(name, 0, "set_reference")
         return ref
 

@@ -371,9 +371,18 @@ class RetryController:
 
     def _record(self, ticket: Any, ok: bool, transient: bool) -> None:
         for sid in self._shard_ids_of(ticket):
-            if ok:
+            if ok or not transient:
+                # a non-transient coded reply (malformed row, unknown
+                # model, scoring failure) is a completed round-trip from a
+                # live worker — availability-wise a success.  It MUST
+                # report to the breaker: a half-open probe that recorded
+                # neither success nor failure would leak the probe slot
+                # and wedge the breaker half-open, starving the shard of
+                # traffic until an unrelated request happened to report
+                # (the chaos harness catches this as poison floods turning
+                # into full-deadline CIRCUIT_OPEN stalls)
                 self.breaker(sid).record_success()
-            elif transient:
+            else:
                 self.breaker(sid).record_failure()
 
     def _gate(self, shard_id: int, deadline: float) -> None:

@@ -179,4 +179,5 @@ class InferenceService:
             cache_invalidations=self.cache.invalidations,
             cache_entries=len(self.cache),
             total_latency_s=float(c["total_latency_s"]),
+            latency_samples=self.batcher.latency_snapshot(),
         )

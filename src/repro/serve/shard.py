@@ -452,9 +452,13 @@ class ShardedServingCluster:
         # submitters racing a bare += here would lose increments
         self._tap_err_lock = threading.Lock()
         self._tap_errors = 0
-        # one snapshot serialization for the whole initial fleet — the
-        # models dominate the bytes and are identical for every worker
-        snapshot_bytes = pickle.dumps(registry.snapshot())
+        # one snapshot serialization per registry state — the models
+        # dominate the bytes and are identical for every worker, so the
+        # initial fleet, a K-shard respawn wave, and a scale-up burst all
+        # reuse one pickle keyed on the registry's mutation counter
+        # (mutated only under self._lock / __init__)
+        self._snapshot_cache: tuple[int, bytes] | None = None
+        snapshot_bytes = self._snapshot_bytes()
         self._shards: list[_ShardHandle] = [
             self._spawn(i, snapshot_bytes) for i in range(n_shards)
         ]
@@ -463,9 +467,28 @@ class ShardedServingCluster:
     # ------------------------------------------------------------------ #
     # worker lifecycle
     # ------------------------------------------------------------------ #
+    def _snapshot_bytes(self) -> bytes:
+        """Pickled registry snapshot, cached per registry state.
+
+        The mutation counter is read *before* the snapshot: a mutation
+        landing between the two leaves a newer snapshot filed under an
+        older counter, which the next call simply re-serializes — the
+        cache can waste one pickle but can never serve stale bytes as
+        current.  A registry without the counter (a duck-typed stand-in)
+        just serializes every time."""
+        marker = getattr(self.registry, "mutations", None)
+        if marker is None:
+            return pickle.dumps(self.registry.snapshot())
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == marker:
+            return cached[1]
+        data = pickle.dumps(self.registry.snapshot())
+        self._snapshot_cache = (marker, data)
+        return data
+
     def _spawn(self, shard_id: int, snapshot_bytes: bytes | None = None) -> _ShardHandle:
         if snapshot_bytes is None:  # respawn path: the state may have moved
-            snapshot_bytes = pickle.dumps(self.registry.snapshot())
+            snapshot_bytes = self._snapshot_bytes()
         if self.transport == "socket":
             # bind before forking so the worker's connect can never race a
             # missing listener; the token hello authenticates the peer
@@ -547,7 +570,9 @@ class ShardedServingCluster:
             if self._closed:
                 raise coded(RuntimeError("ShardedServingCluster is closed"),
                             ErrorCode.CLOSED)
-            for i, handle in enumerate(self._shards):
+            # copy-on-write: lock-free readers index a consistent list
+            shards = list(self._shards)
+            for i, handle in enumerate(shards):
                 if wanted is not None and handle.shard_id not in wanted:
                     continue
                 with handle.lock:
@@ -555,9 +580,62 @@ class ShardedServingCluster:
                 if dead:
                     handle.transport.close()
                     handle.process.join(timeout=1.0)
-                    self._shards[i] = self._spawn(handle.shard_id)
+                    shards[i] = self._spawn(handle.shard_id)
                     respawned += 1
+            self._shards = shards
         return respawned
+
+    def scale_to(self, n_shards: int) -> int:
+        """Grow or shrink the live fleet to ``n_shards`` workers; returns
+        the resulting shard count.
+
+        Scaling is **tail-only**, preserving the ``index == shard_id``
+        invariant the router and :meth:`kill_shard` rely on: growth spawns
+        shards ``len..n_shards-1`` from one cached snapshot serialization,
+        shrink retires the highest-numbered shards.  A retired worker gets
+        the same drain-then-exit shutdown as :meth:`close` (its gateway
+        completes in-flight tickets first); a request racing the
+        retirement surfaces the usual coded :class:`ShardCrashedError`,
+        which the resilience plane retries onto a surviving shard.  The
+        supervisor and the hash router follow the new width automatically
+        (both re-read ``n_shards`` every pass)."""
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        retired: list[_ShardHandle] = []
+        with self._lock:
+            if self._closed:
+                raise coded(RuntimeError("ShardedServingCluster is closed"),
+                            ErrorCode.CLOSED)
+            shards = list(self._shards)
+            if n_shards > len(shards):
+                snapshot_bytes = self._snapshot_bytes()
+                while len(shards) < n_shards:
+                    shards.append(self._spawn(len(shards), snapshot_bytes))
+            else:
+                while len(shards) > n_shards:
+                    retired.append(shards.pop())
+            self._shards = shards
+        # drain retired workers outside the broadcast lock: submissions
+        # already read the new (shorter) list, so nothing new routes here
+        for handle in retired:
+            self._retire(handle)
+        return len(shards)
+
+    def _retire(self, handle: _ShardHandle, timeout: float = 10.0) -> None:
+        """Drain-then-stop one worker removed from the routing table."""
+        with handle.lock:
+            if handle.alive:
+                try:
+                    handle.transport.send(("shutdown",))
+                except TransportError:
+                    pass  # already dying; the kill below still reaps it
+        handle.process.join(timeout=timeout)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=1.0)
+        handle.transport.close()
+        if handle.reader is not None:
+            handle.reader.join(timeout=timeout)
 
     def kill_shard(self, shard_id: int) -> None:
         """Hard-kill one worker (chaos hook for crash-path tests).  The
@@ -600,7 +678,8 @@ class ShardedServingCluster:
 
     def _route(self, name: str) -> _ShardHandle | None:
         if self.route == "hash":
-            return self._shards[self.shard_of(name)]
+            shards = self._shards  # one snapshot: see submit()
+            return shards[shard_for_name(name, len(shards))]
         return self._pick_shard()
 
     @property
@@ -747,7 +826,11 @@ class ShardedServingCluster:
         any remaining live shard)."""
         arr = np.asarray(row, dtype=float)
         if self.route == "hash":
-            owner = self._shards[self.shard_of(name)]
+            # pin one routing-table snapshot: a concurrent scale_to swaps
+            # self._shards copy-on-write, so index and length must come
+            # from the same list
+            shards = self._shards
+            owner = shards[shard_for_name(name, len(shards))]
             handle = owner
             if self.steal and arr.ndim == 1:
                 idle = self._steal_target(owner)
@@ -861,13 +944,26 @@ class ShardedServingCluster:
         self._gather(tickets)
 
     def _gather(self, tickets: list[ClusterTicket]) -> list[Any]:
-        """Results of a fan-out, tolerating shards that died mid-call."""
+        """Results of a fan-out, tolerating shards that died or wedged
+        mid-call.
+
+        One ``request_timeout`` budget is shared across the *whole*
+        fan-out — each ticket waits only the remaining budget, so a kill
+        storm that wedges every shard costs one timeout, not
+        ``n_shards ×`` of them.  A ticket that times out is skipped like
+        a crashed one (its shard is wedged; the supervisor's liveness
+        pass decides its fate) rather than stalling or failing the
+        surviving shards' results."""
+        deadline = time.monotonic() + self.request_timeout
         values = []
         for ticket in tickets:
+            remaining = max(deadline - time.monotonic(), 1e-9)
             try:
-                values.append(ticket.result(timeout=self.request_timeout))
+                values.append(ticket.result(timeout=remaining))
             except ShardCrashedError:
                 continue  # the reader marked it dead; respawn() recovers
+            except TimeoutError:
+                continue  # wedged shard: don't dam the rest of the fan-out
         return values
 
     # ------------------------------------------------------------------ #
@@ -878,11 +974,15 @@ class ShardedServingCluster:
             (h.shard_id, self._send_request(h, "stats"))
             for h in self._shards if h.alive
         ]
+        # one shared deadline across the fan-out, same contract as _gather:
+        # a fleet of wedged shards costs one request_timeout, not n of them
+        deadline = time.monotonic() + self.request_timeout
         per_shard = {}
         for shard_id, ticket in pairs:
+            remaining = max(deadline - time.monotonic(), 1e-9)
             try:
-                per_shard[shard_id] = ticket.result(timeout=self.request_timeout)
-            except ShardCrashedError:
+                per_shard[shard_id] = ticket.result(timeout=remaining)
+            except (ShardCrashedError, TimeoutError):
                 continue
         return ClusterStats(per_shard=per_shard)
 

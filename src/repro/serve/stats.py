@@ -15,7 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Iterable
 
+import numpy as np
+
 __all__ = ["ClusterStats", "GatewayStats", "ResilienceStats", "ServerStats", "sum_stats"]
+
+# cap on a rolled-up latency sample (sum_stats concatenates per-source
+# bounded rings; a wide fleet roll-up is decimated back under this, so
+# the bounded-memory invariant survives aggregation at any fan-in)
+_MERGED_SAMPLE_CAP = 16384
 
 
 @dataclass(frozen=True)
@@ -36,6 +43,9 @@ class ServerStats:
     cache_invalidations: int
     cache_entries: int
     total_latency_s: float  # summed enqueue→completion time of completed requests
+    # bounded ring of recent per-request latencies (seconds) — the sample
+    # behind the tail percentiles; () on snapshots that predate the ring
+    latency_samples: tuple[float, ...] = ()
 
     @property
     def hit_rate(self) -> float:
@@ -53,6 +63,25 @@ class ServerStats:
         # requests would understate latency whenever tickets are pending
         return 1e3 * self.total_latency_s / self.completed if self.completed > 0 else 0.0
 
+    def percentile_ms(self, q: float) -> float:
+        """The ``q``-th latency percentile in ms over the bounded sample
+        (0.0 with no samples — dashboards poll before traffic arrives)."""
+        if not self.latency_samples:
+            return 0.0
+        return 1e3 * float(np.percentile(np.asarray(self.latency_samples), q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50.0)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99.0)
+
+    @property
+    def p999_ms(self) -> float:
+        return self.percentile_ms(99.9)
+
     def summary(self) -> str:
         return (
             f"requests={self.requests} batches={self.batches} "
@@ -61,6 +90,8 @@ class ServerStats:
             f"abandoned={self.abandoned} "
             f"cache hit-rate={self.hit_rate:.1%} "
             f"mean latency={self.mean_latency_ms:.2f}ms"
+            + (f" p50={self.p50_ms:.2f} p99={self.p99_ms:.2f} "
+               f"p999={self.p999_ms:.2f}ms" if self.latency_samples else "")
         )
 
 
@@ -78,8 +109,20 @@ def sum_stats(snapshots: Iterable[ServerStats]) -> ServerStats:
     sums = {
         f.name: sum(getattr(s, f.name) for s in snapshots)
         for f in fields(ServerStats)
+        if f.name != "latency_samples"
     }
     sums["total_latency_s"] = float(sums["total_latency_s"])
+    # latency samples concatenate (each source ring is bounded, so the
+    # union is the honest cross-source percentile sample), then decimate
+    # by even striding when a wide fan-in would outgrow the cap — an
+    # unbiased thinning that keeps the roll-up's memory bounded too
+    merged: list[float] = []
+    for s in snapshots:
+        merged.extend(s.latency_samples)
+    if len(merged) > _MERGED_SAMPLE_CAP:
+        stride = -(-len(merged) // _MERGED_SAMPLE_CAP)  # ceil division
+        merged = merged[::stride]
+    sums["latency_samples"] = tuple(merged)
     return ServerStats(**sums)
 
 

@@ -40,8 +40,13 @@ excluded while still running in the default tier-1 sweep:
   pipe-vs-socket cluster bit-identity, and the work-stealing
   dispatcher's FIFO/bit-identity guarantees.  Tests that fork worker
   processes also carry ``shard``.
+* ``chaos`` — the storm-scale soak harness (:mod:`repro.serve.chaos`)
+  and the SLO autoscaler (:mod:`repro.serve.autoscale`): fast-mode
+  kill-storm soak under live mutation churn (bit-identity witness, zero
+  client-visible transient errors), poisoned-flood fail-fast, and
+  hypothesis determinism properties for the autoscaler trajectory.
   The smoke target is
-  ``-m "serve or gateway or shard or monitor or faults or net or transport"``.
+  ``-m "serve or gateway or shard or monitor or faults or net or transport or chaos"``.
 """
 
 
@@ -73,4 +78,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "transport: pluggable shard transport tests (codec/handshake/stealing); tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "chaos: storm-scale soak harness + SLO autoscaler tests; tier-1",
     )

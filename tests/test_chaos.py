@@ -1,0 +1,455 @@
+"""Chaos/scale harness + SLO autoscaler tests.
+
+Three layers, mirroring the module split:
+
+* :class:`TestSLOAutoscaler` — the AIMD controller against a scripted
+  stub cluster and a hand-cranked clock: breach→grow, sustained
+  calm→shrink, cooldowns, bounds, failure events, policy wiring.
+* hypothesis properties — the autoscaler trajectory is a pure function
+  of the (stats, clock) schedule: identical replays, bounds never
+  violated.
+* :class:`TestChaosSoakFast` / :class:`TestClusterScaling` — the real
+  thing in fast mode: a kill storm under live promote/rollback churn
+  with ≥5 kills, bit-identity witnessed against direct predicts, zero
+  client-visible transient errors, poison floods failing fast, drift
+  alerts firing, and `scale_to` growing/shrinking a live fleet without
+  losing a request.
+"""
+
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.serve import ErrorCode, ModelRegistry, ShardedServingCluster
+from repro.serve.autoscale import ScalingDecision, SLOAutoscaler
+from repro.serve.chaos import (
+    ChaosConfig,
+    ChaosLinearModel,
+    chaos_model,
+    run_chaos_soak,
+    zipf_weights,
+)
+from repro.serve.stats import ServerStats
+
+pytestmark = [pytest.mark.serve, pytest.mark.chaos]
+
+
+# ---------------------------------------------------------------------- #
+# scripted scaffolding
+# ---------------------------------------------------------------------- #
+class FakeClock:
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _total(completed: int, samples: tuple,
+           total_latency_s: float | None = None) -> SimpleNamespace:
+    if total_latency_s is None:
+        total_latency_s = float(sum(samples))
+    return SimpleNamespace(total=ServerStats(
+        requests=completed, rows=completed, batches=1, completed=completed,
+        size_flushes=0, deadline_flushes=0, manual_flushes=0, abandoned=0,
+        cache_hits=0, cache_misses=0, cache_evictions=0,
+        cache_invalidations=0, cache_entries=0,
+        total_latency_s=total_latency_s, latency_samples=tuple(samples),
+    ))
+
+
+class ScriptedCluster:
+    """Stub the autoscaler steers: scripted stats, recorded scale calls."""
+
+    def __init__(self, n_shards: int = 2, fail_scale: bool = False):
+        self._n = n_shards
+        self.fail_scale = fail_scale
+        self.calls: list[int] = []
+        self._completed = 0
+        self._samples: tuple = ()
+
+    @property
+    def n_shards(self) -> int:
+        return self._n
+
+    def set_window(self, completed_total: int, latency_s: float, n: int = 8) -> None:
+        self._completed = completed_total
+        self._samples = (latency_s,) * n
+
+    def stats(self) -> SimpleNamespace:
+        return _total(self._completed, self._samples)
+
+    def scale_to(self, n: int) -> int:
+        if self.fail_scale:
+            raise RuntimeError("spawn refused")
+        self.calls.append(n)
+        self._n = n
+        return n
+
+
+def _autoscaler(stub, clock, **kw) -> SLOAutoscaler:
+    kw.setdefault("target_p99_ms", 50.0)
+    kw.setdefault("min_shards", 1)
+    kw.setdefault("max_shards", 6)
+    kw.setdefault("calm_windows", 3)
+    kw.setdefault("up_cooldown_s", 0.0)
+    kw.setdefault("down_cooldown_s", 0.0)
+    kw.setdefault("clock", clock)
+    return SLOAutoscaler(stub, **kw)
+
+
+# ---------------------------------------------------------------------- #
+class TestSLOAutoscaler:
+    def test_first_step_only_baselines(self):
+        stub = ScriptedCluster()
+        a = _autoscaler(stub, FakeClock())
+        stub.set_window(10, 0.2)
+        assert a.step() is None
+        assert stub.calls == []
+
+    def test_breach_scales_up_with_coded_event(self):
+        stub = ScriptedCluster(n_shards=2)
+        clock = FakeClock()
+        a = _autoscaler(stub, clock)
+        stub.set_window(10, 0.2)  # p99 = 200ms > 50ms SLO
+        a.step()
+        clock.advance(1.0)
+        stub.set_window(20, 0.2)
+        decision = a.step()
+        assert decision.direction == "up"
+        assert decision.n_shards == 3
+        assert stub.calls == [3]
+        assert a.scale_ups == 1
+        event = a.events[-1]
+        assert event.action == "scale-up"
+        assert event.code is ErrorCode.SLO_BREACH
+        assert event.value == 3.0
+        assert event.rule == "slo-autoscaler"
+
+    def test_calm_needs_a_streak_then_shrinks_multiplicatively(self):
+        stub = ScriptedCluster(n_shards=4)
+        clock = FakeClock()
+        a = _autoscaler(stub, clock)
+        stub.set_window(10, 0.001)  # p99 = 1ms << 15ms low watermark
+        a.step()
+        directions = []
+        for i in range(3):
+            clock.advance(1.0)
+            stub.set_window(20 + 10 * i, 0.001)
+            directions.append(a.step().direction)
+        assert directions == ["hold", "hold", "down"]
+        assert stub.calls == [2]  # round(4 * 0.5)
+        assert a.scale_downs == 1
+        assert a.events[-1].action == "scale-down"
+        assert a.events[-1].code is None
+
+    def test_mid_band_resets_both_streaks(self):
+        stub = ScriptedCluster(n_shards=4)
+        clock = FakeClock()
+        a = _autoscaler(stub, clock)
+        stub.set_window(10, 0.001)
+        a.step()
+        for i, lat in enumerate((0.001, 0.001, 0.03, 0.001, 0.001)):
+            clock.advance(1.0)
+            stub.set_window(20 + 10 * i, lat)  # 30ms = mid-band: resets
+            a.step()
+        assert stub.calls == []  # the calm streak never reaches 3
+
+    def test_zero_completion_window_holds_without_evidence(self):
+        stub = ScriptedCluster(n_shards=2)
+        clock = FakeClock()
+        a = _autoscaler(stub, clock)
+        stub.set_window(10, 0.001)
+        a.step()
+        clock.advance(1.0)
+        decision = a.step()  # counters unchanged: idle window
+        assert decision.direction == "hold"
+        assert decision.window_completed == 0
+        assert decision.observed_ms == 0.0
+        assert stub.calls == []
+
+    def test_up_cooldown_blocks_consecutive_growth(self):
+        stub = ScriptedCluster(n_shards=2)
+        clock = FakeClock()
+        a = _autoscaler(stub, clock, up_cooldown_s=5.0)
+        stub.set_window(10, 0.2)
+        a.step()
+        clock.advance(1.0)
+        stub.set_window(20, 0.2)
+        assert a.step().direction == "up"
+        clock.advance(1.0)  # inside the 5s cooldown
+        stub.set_window(30, 0.2)
+        assert a.step().direction == "hold"
+        clock.advance(10.0)  # cooldown lapsed
+        stub.set_window(40, 0.2)
+        assert a.step().direction == "up"
+        assert stub.calls == [3, 4]
+
+    def test_bounds_clamp_both_directions(self):
+        stub = ScriptedCluster(n_shards=6)
+        clock = FakeClock()
+        a = _autoscaler(stub, clock)
+        stub.set_window(10, 0.2)
+        a.step()
+        clock.advance(1.0)
+        stub.set_window(20, 0.2)
+        assert a.step().direction == "hold"  # already at max_shards
+        assert stub.calls == []
+        stub2 = ScriptedCluster(n_shards=1)
+        a2 = _autoscaler(stub2, clock, calm_windows=1)
+        stub2.set_window(10, 0.001)
+        a2.step()
+        clock.advance(1.0)
+        stub2.set_window(20, 0.001)
+        assert a2.step().direction == "hold"  # already at min_shards
+        assert stub2.calls == []
+
+    def test_scale_failure_emits_autoscale_failed_and_holds(self):
+        stub = ScriptedCluster(n_shards=2, fail_scale=True)
+        clock = FakeClock()
+        recorded = []
+        policy = SimpleNamespace(record=recorded.append)
+        a = _autoscaler(stub, clock, policy=policy)
+        stub.set_window(10, 0.2)
+        a.step()
+        clock.advance(1.0)
+        stub.set_window(20, 0.2)
+        decision = a.step()
+        assert decision.direction == "hold"
+        assert decision.n_shards == 2
+        assert a.scale_failures == 1
+        event = a.events[-1]
+        assert event.action == "scale-failed"
+        assert event.code is ErrorCode.AUTOSCALE_FAILED
+        assert recorded == [event]  # policy audit trail got the same event
+        wire = event.to_wire()
+        assert wire["error"]["code"] == 515
+
+    def test_mean_latency_fallback_without_samples(self):
+        """A fleet whose snapshots predate the ring still autoscales —
+        the windowed mean stands in for p99."""
+        stub = ScriptedCluster(n_shards=2)
+        clock = FakeClock()
+        a = _autoscaler(stub, clock)
+        stub._completed = 10
+        stub.stats = lambda: _total(
+            stub._completed, (), total_latency_s=stub._completed * 0.2)
+        a.step()
+        clock.advance(1.0)
+        stub._completed = 20
+        decision = a.step()  # window mean = 200ms > SLO
+        assert decision.direction == "up"
+        assert decision.observed_ms == pytest.approx(200.0)
+
+    def test_validation(self):
+        stub = ScriptedCluster()
+        with pytest.raises(ValueError):
+            SLOAutoscaler(stub, target_p99_ms=0.0)
+        with pytest.raises(ValueError):
+            SLOAutoscaler(stub, min_shards=4, max_shards=2)
+        with pytest.raises(ValueError):
+            SLOAutoscaler(stub, shrink_factor=1.0)
+        with pytest.raises(ValueError):
+            SLOAutoscaler(stub, low_watermark=0.0)
+        with pytest.raises(ValueError):
+            SLOAutoscaler(stub, grow_step=0)
+
+
+# ---------------------------------------------------------------------- #
+class TestAutoscalerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        script=st.lists(
+            st.tuples(st.integers(0, 40), st.floats(0.0005, 0.5)),
+            min_size=2, max_size=25,
+        ),
+        start=st.integers(1, 6),
+    )
+    def test_trajectory_is_a_pure_function_of_the_schedule(self, script, start):
+        """Same stats schedule + same clock → identical decision history,
+        identical events, identical scale calls."""
+
+        def run():
+            stub = ScriptedCluster(n_shards=start)
+            clock = FakeClock()
+            a = _autoscaler(stub, clock, calm_windows=2)
+            cum = 0
+            for delta, lat in script:
+                cum += delta
+                stub.set_window(cum, lat)
+                a.step()
+                clock.advance(1.0)
+            return (
+                [(d.at, d.n_shards, d.window_completed, d.observed_ms, d.direction)
+                 for d in a.history],
+                [(e.at, e.action, e.value) for e in a.events],
+                stub.calls,
+            )
+
+        assert run() == run()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        script=st.lists(
+            st.tuples(st.integers(0, 40), st.floats(0.0005, 0.5)),
+            min_size=2, max_size=25,
+        ),
+        start=st.integers(1, 6),
+    )
+    def test_fleet_width_never_leaves_bounds(self, script, start):
+        stub = ScriptedCluster(n_shards=start)
+        clock = FakeClock()
+        a = _autoscaler(stub, clock, calm_windows=1, min_shards=1, max_shards=6)
+        cum = 0
+        for delta, lat in script:
+            cum += delta
+            stub.set_window(cum, lat)
+            decision = a.step()
+            clock.advance(1.0)
+            if decision is not None:
+                assert 1 <= decision.n_shards <= 6
+            assert 1 <= stub.n_shards <= 6
+        for n in stub.calls:
+            assert 1 <= n <= 6
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 200), st.floats(0.5, 2.0))
+    def test_zipf_weights_are_a_distribution(self, n, s):
+        w = zipf_weights(n, s)
+        assert w.shape == (n,)
+        assert np.all(w > 0)
+        assert np.all(np.diff(w) <= 0)  # rank-ordered skew
+        assert float(w.sum()) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------- #
+class TestChaosModel:
+    def test_batch_shape_independence_is_exact(self):
+        """The witness contract: one row scored alone, inside a small
+        batch, and inside a big batch produces the identical float."""
+        model = chaos_model(0, 3, 2, 12)
+        rng = np.random.default_rng(5)
+        rows = rng.normal(0, 1, (64, 12))
+        alone = np.array([model.predict(r[None, :])[0] for r in rows])
+        batched = model.predict(rows)
+        halves = np.concatenate([model.predict(rows[:13]), model.predict(rows[13:])])
+        assert np.array_equal(alone, batched)
+        assert np.array_equal(alone, halves)
+
+    def test_wrong_width_raises_value_error(self):
+        model = ChaosLinearModel(np.ones(4), 0.0)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 7)))
+
+
+# ---------------------------------------------------------------------- #
+@pytest.mark.shard
+@pytest.mark.faults
+class TestChaosSoakFast:
+    def test_kill_storm_soak_survives_clean(self):
+        """The acceptance gate, fast mode: ≥5 consecutive kills under
+        live promote/rollback churn and poison floods — zero
+        client-visible errors, every survivor bit-identical to a direct
+        predict, tails recorded from both the harness clock and the
+        fleet's bounded latency rings."""
+        result = run_chaos_soak(ChaosConfig())
+        assert result["completed"] == result["n_requests"] == 320
+        assert result["client_errors"] == 0, result["client_error_codes"]
+        assert result["mismatches"] == 0
+        assert result["kills"] >= 5
+        assert result["respawns"] >= 1
+        assert result["poison_sent"] > 0
+        assert result["poison_failed_fast"] == result["poison_sent"]
+        assert result["churns"] > 0
+        assert result["drift_alerts"] >= 1
+        assert result["p99_ms"] >= result["p50_ms"] > 0.0
+        assert result["p999_ms"] >= result["p99_ms"]
+        assert result["fleet_p99_ms"] >= result["fleet_p50_ms"] > 0.0
+        assert 1 <= result["n_shards_final"] <= 4
+        assert result["scale_failures"] == 0
+
+    def test_replicated_route_soak_also_clean(self):
+        result = run_chaos_soak(ChaosConfig(
+            route="replicated", n_requests=160, n_kills=3, drift_names=0,
+            autoscale=False, seed=3,
+        ))
+        assert result["client_errors"] == 0
+        assert result["mismatches"] == 0
+        assert result["kills"] == 3
+        assert result["completed"] == 160
+
+
+# ---------------------------------------------------------------------- #
+@pytest.mark.shard
+class TestClusterScaling:
+    def test_scale_to_grows_and_shrinks_live_fleet_bit_identically(self):
+        reg = ModelRegistry()
+        model = chaos_model(0, 0, 1, 8)
+        rng = np.random.default_rng(11)
+        rows = rng.normal(0, 1, (30, 8))
+        with ShardedServingCluster(
+            reg, n_shards=1, max_batch=8, max_delay=0.005
+        ) as cluster:
+            cluster.register("m", model, promote=True)
+
+            def check(n: int) -> None:
+                got = [cluster.predict("m", r, timeout=20.0) for r in rows]
+                want = [float(r @ model.w) + model.b for r in rows]
+                assert got == want
+                assert cluster.n_shards == n
+                assert sorted(cluster.live_shards()) == list(range(n))
+
+            check(1)
+            assert cluster.scale_to(3) == 3
+            check(3)
+            assert cluster.scale_to(1) == 1
+            check(1)
+            with pytest.raises(ValueError):
+                cluster.scale_to(0)
+
+    def test_scale_up_reuses_cached_snapshot_bytes(self):
+        reg = ModelRegistry()
+        with ShardedServingCluster(reg, n_shards=1) as cluster:
+            cluster.register("m", chaos_model(0, 0, 1, 4), promote=True)
+            calls = {"n": 0}
+            orig = reg.snapshot
+
+            def counting():
+                calls["n"] += 1
+                return orig()
+
+            reg.snapshot = counting
+            try:
+                cluster.scale_to(4)  # one wave: 3 new workers
+            finally:
+                del reg.snapshot
+            assert calls["n"] == 1
+            assert sorted(cluster.live_shards()) == [0, 1, 2, 3]
+
+
+# ---------------------------------------------------------------------- #
+class TestCLI:
+    def test_chaos_bench_records_trajectory_entry(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main([
+            "chaos-bench", "--names", "6", "--versions-per-name", "3",
+            "--requests", "96", "--kills", "2", "--source", "synthetic",
+        ])
+        assert rc == 0
+        trajectory = json.loads(
+            (tmp_path / "benchmarks" / "results" / "BENCH_chaos.json").read_text()
+        )
+        assert len(trajectory) == 1
+        entry = trajectory[0]["chaos"]
+        assert entry["n_versions"] == 18
+        assert entry["client_errors"] == 0
+        assert entry["mismatches"] == 0
+        assert "p999_ms" in entry

@@ -63,6 +63,8 @@ class TestVocabulary:
         "RESPAWN_FAILED": (509, "critical", True),
         "TRANSPORT_ERROR": (510, "critical", True),
         "OVERLOADED": (513, "warning", True),
+        "SLO_BREACH": (514, "warning", False),
+        "AUTOSCALE_FAILED": (515, "critical", True),
         "MODEL_RESOLUTION_FAILED": (600, "error", False),
         "SCORING_FAILED": (601, "error", False),
         "REPLICA_DIVERGENCE": (602, "critical", False),

@@ -235,9 +235,14 @@ class TestServingGateway:
         import dataclasses
 
         for f in dataclasses.fields(ServerStats):
+            if f.name == "latency_samples":  # concatenates, not sums
+                continue
             assert getattr(total, f.name) == pytest.approx(
                 sum(getattr(s, f.name) for s in stats.per_name.values())
             )
+        assert len(total.latency_samples) == sum(
+            len(s.latency_samples) for s in stats.per_name.values()
+        )
         assert total.requests == 31
         assert stats.per_name["gbm"].cache_hits == 1
         assert "TOTAL (2 models)" in stats.summary()

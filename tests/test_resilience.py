@@ -263,6 +263,35 @@ class TestRetryController:
         assert clock.sleeps == []        # zero backoff waits
         assert rc.stats().failed_fast == 1
 
+    def test_poisoned_probe_releases_the_half_open_breaker(self):
+        # PR 9 chaos-harness regression: the half-open probe slot is
+        # consumed by try_acquire but was only released by record_success
+        # (ok) or record_failure (transient).  A probe that failed with a
+        # NON-transient coded reply — a poisoned row's MALFORMED_REQUEST —
+        # recorded neither, leaking the slot: the breaker wedged
+        # half-open and every later hash-routed request spun in the gate
+        # for its whole deadline before raising CIRCUIT_OPEN.  A coded
+        # client reply comes from a live, scoring worker, so
+        # availability-wise it must count as breaker success.
+        clock = FakeClock()
+        cluster = ScriptedCluster(
+            [coded(ValueError("poison row"), ErrorCode.MALFORMED_REQUEST), 7.0]
+        )
+        rc = self._controller(cluster, clock, breaker_threshold=3,
+                              breaker_reset_s=0.2)
+        br = rc.breaker(0)
+        for _ in range(3):
+            br.record_failure()        # the kill storm opened the circuit
+        assert br.state == "open"
+        clock.advance(0.25)            # reset lapsed: next acquire probes
+        with pytest.raises(ValueError) as info:
+            rc.predict("m", np.zeros(3))   # the probe is the poisoned row
+        assert code_of(info.value) is ErrorCode.MALFORMED_REQUEST
+        assert br.state == "closed"    # pre-fix: stuck "half_open"
+        assert rc.predict("m", np.zeros(3)) == 7.0
+        assert rc.stats().breaker_probes == 1
+        assert clock.sleeps == []      # and nobody spun in the gate
+
     def test_unclassified_internal_errors_are_not_blind_retried(self):
         clock = FakeClock()
         cluster = ScriptedCluster([RuntimeError("??")])

@@ -346,3 +346,92 @@ class TestCLI:
         assert entry["n_shards"] == 2
         assert entry["n_requests"] == 120
         assert "speedup_cluster" in entry and "speedup_block" in entry
+
+
+# ---------------------------------------------------------------------- #
+class TestStormBugRegressions:
+    """The two storm-scale bugs the chaos harness flushed out."""
+
+    @staticmethod
+    def _stub_cluster(n_shards: int, request_timeout: float) -> ShardedServingCluster:
+        """A parent-side cluster shell with fake live shards and a
+        _send_request that hands back tickets nobody will ever complete —
+        the wedged-fleet worst case a kill storm produces, without
+        spawning a single process."""
+        from types import SimpleNamespace
+
+        from repro.serve.shard import ClusterTicket
+
+        cluster = object.__new__(ShardedServingCluster)
+        cluster.request_timeout = request_timeout
+        cluster._closed = False
+        cluster._shards = [
+            SimpleNamespace(shard_id=i, alive=True) for i in range(n_shards)
+        ]
+        cluster._send_request = lambda handle, op, *args: ClusterTicket(handle.shard_id)
+        return cluster
+
+    def test_gather_shares_one_deadline_across_fanout(self):
+        """A fan-out over n wedged shards must cost ~one request_timeout,
+        not n of them, and must degrade (skip the wedged shards) instead
+        of raising the first ticket's timeout at the caller."""
+        from repro.serve.shard import ClusterTicket
+
+        cluster = self._stub_cluster(n_shards=4, request_timeout=0.3)
+        tickets = [ClusterTicket(i) for i in range(4)]
+        start = time.monotonic()
+        values = cluster._gather(tickets)
+        elapsed = time.monotonic() - start
+        assert values == []
+        assert elapsed < 2 * 0.3, (
+            f"fan-out gather took {elapsed:.2f}s — per-ticket timeouts "
+            f"instead of one shared deadline"
+        )
+
+    def test_stats_shares_one_deadline_across_shards(self):
+        """stats() over wedged shards: same shared-deadline contract, and
+        the wedged shards are simply absent from the roll-up."""
+        cluster = self._stub_cluster(n_shards=4, request_timeout=0.3)
+        start = time.monotonic()
+        stats = cluster.stats()
+        elapsed = time.monotonic() - start
+        assert isinstance(stats, ClusterStats)
+        assert stats.per_shard == {}
+        assert elapsed < 2 * 0.3, (
+            f"stats() took {elapsed:.2f}s — per-ticket timeouts "
+            f"instead of one shared deadline"
+        )
+
+    def test_respawn_wave_serializes_snapshot_once(self, forest, gbm):
+        """A K-shard respawn wave must pickle the registry snapshot once,
+        not once per dead worker — O(models) work, not O(models × deaths)."""
+        reg = _registry(forest, gbm)
+        with _cluster(reg, n_shards=3) as cluster:
+            # move the registry past the __init__-time snapshot so the wave
+            # genuinely needs one fresh serialization (workers are all dead
+            # below, so the respawned fleet stays consistent)
+            reg.register("extra", gbm)
+            for sid in range(3):
+                cluster.kill_shard(sid)
+            deadline = time.monotonic() + 10.0
+            while cluster.live_shards() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert cluster.live_shards() == []
+
+            calls = {"n": 0}
+            orig = reg.snapshot
+
+            def counting_snapshot():
+                calls["n"] += 1
+                return orig()
+
+            reg.snapshot = counting_snapshot
+            try:
+                assert cluster.respawn() == 3
+            finally:
+                del reg.snapshot
+            assert calls["n"] == 1, (
+                f"respawn wave serialized the snapshot {calls['n']} times "
+                f"for 3 dead shards"
+            )
+            assert sorted(cluster.live_shards()) == [0, 1, 2]

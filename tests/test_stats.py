@@ -248,3 +248,98 @@ class TestServeStatsRollup:
         assert cluster.per_name["a"].abandoned == 5
         assert cluster.per_name["b"].abandoned == 2
         assert "abandoned=7" in cluster.total.summary()
+
+
+# ---------------------------------------------------------------------- #
+@pytest.mark.serve
+class TestLatencyPercentiles:
+    """The tail-accounting contract (PR 9): per-request latencies land in
+    a bounded ring, surface as p50/p99/p999 on ServerStats, and survive
+    the gateway/cluster roll-ups by concatenation + decimation — never by
+    field-wise summing (a summed percentile is meaningless)."""
+
+    def _snap(self, samples=(), **overrides):
+        from repro.serve import ServerStats
+
+        base = dict(
+            requests=len(samples), rows=len(samples), batches=1,
+            completed=len(samples), size_flushes=0, deadline_flushes=0,
+            manual_flushes=0, abandoned=0, cache_hits=0, cache_misses=0,
+            cache_evictions=0, cache_invalidations=0, cache_entries=0,
+            total_latency_s=float(sum(samples)),
+            latency_samples=tuple(samples),
+        )
+        base.update(overrides)
+        return ServerStats(**base)
+
+    def test_percentiles_match_numpy_and_order(self):
+        samples = tuple(np.random.default_rng(0).uniform(0.001, 0.1, 500))
+        snap = self._snap(samples)
+        for q, attr in ((50, "p50_ms"), (99, "p99_ms"), (99.9, "p999_ms")):
+            want = 1e3 * float(np.percentile(np.asarray(samples), q))
+            assert getattr(snap, attr) == pytest.approx(want)
+            assert snap.percentile_ms(q) == pytest.approx(want)
+        assert snap.p50_ms <= snap.p99_ms <= snap.p999_ms
+
+    def test_empty_samples_are_zero_and_silent_in_summary(self):
+        snap = self._snap((), requests=5, completed=5, total_latency_s=0.1)
+        assert snap.p50_ms == snap.p99_ms == snap.p999_ms == 0.0
+        assert "p99" not in snap.summary()
+        loud = self._snap((0.01, 0.02))
+        assert "p50=" in loud.summary() and "p999=" in loud.summary()
+
+    def test_sum_concatenates_samples_not_sums_them(self):
+        from repro.serve.stats import sum_stats
+
+        a = self._snap((0.001,) * 50)
+        b = self._snap((0.1,) * 50)
+        total = sum_stats([a, b])
+        assert len(total.latency_samples) == 100
+        assert sorted(total.latency_samples) == sorted(a.latency_samples
+                                                       + b.latency_samples)
+        # the merged p50 sits between the two pools — a field-wise sum
+        # would have produced a nonsense 101ms "percentile"
+        assert a.p50_ms < total.p50_ms < b.p50_ms
+
+    def test_merged_samples_are_capped_by_decimation(self):
+        from repro.serve.stats import _MERGED_SAMPLE_CAP, sum_stats
+
+        shards = [self._snap(tuple(np.full(6000, 0.01 * (i + 1))))
+                  for i in range(4)]
+        total = sum_stats(shards)
+        assert 0 < len(total.latency_samples) <= _MERGED_SAMPLE_CAP
+        # decimation is a stride over the concatenation: every survivor
+        # is a real observation and every shard stays represented
+        assert set(total.latency_samples) <= {0.01, 0.02, 0.03, 0.04}
+        assert len(set(total.latency_samples)) == 4
+
+    def test_batcher_ring_is_bounded_and_feeds_service_stats(self):
+        from repro.serve import MicroBatcher
+
+        class _Echo:
+            def predict(self, X):
+                return np.asarray(X)[:, 0]
+
+        batcher = MicroBatcher(_Echo(), max_batch=4, max_delay=0.001)
+        try:
+            tickets = [batcher.submit(np.array([float(i), 0.0]))
+                       for i in range(64)]
+            batcher.flush()
+            for t in tickets:
+                t.result(timeout=5.0)
+            ring = batcher.latency_snapshot()
+            assert 0 < len(ring) <= 2048
+            assert all(s >= 0.0 for s in ring)
+            assert batcher._latency_ring.maxlen == 2048
+        finally:
+            batcher.close()
+
+    def test_cluster_rollup_carries_samples(self):
+        from repro.serve import ClusterStats, GatewayStats
+
+        gw0 = GatewayStats(per_name={"a": self._snap((0.01,) * 10)})
+        gw1 = GatewayStats(per_name={"a": self._snap((0.03,) * 10)})
+        cluster = ClusterStats(per_shard={0: gw0, 1: gw1})
+        assert len(cluster.total.latency_samples) == 20
+        assert cluster.total.p999_ms == pytest.approx(30.0)
+        assert len(cluster.per_name["a"].latency_samples) == 20
