@@ -25,7 +25,12 @@ p50/p99 and the admission-control shed rate of an overload burst.  A
 ninth compares the cluster's pluggable shard transports — the same
 Zipf-skewed stream over ``transport="pipe"`` vs ``transport="socket"``
 (req/s, p50/p99) plus work-stealing on vs off under maximal hash skew
-(tail latency, steal count).
+(tail latency, steal count).  A tenth measures the observability plane
+(:mod:`repro.serve.obs`): traced vs untraced stream throughput at the
+sampled production config (the tracing ≤ 5 % overhead contract) plus a
+cross-process trace-completeness gate (≥ 6 distinct stages reassembled
+by trace id over a socket cluster) and an exact metrics-agreement check
+(Prometheus/JSON exports vs ``ClusterStats`` counters).
 Bit-identity across every path — including across the wire and across
 both transports — is asserted inside the bench core before any number is
 written.
@@ -47,6 +52,7 @@ from repro.serve.bench import (
     run_gateway_bench,
     run_monitor_bench,
     run_net_bench,
+    run_obs_bench,
     run_serve_bench,
     run_shard_bench,
     run_transport_bench,
@@ -133,6 +139,15 @@ def run() -> dict:
     )
     entry["transport"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
 
+    t0 = time.perf_counter()
+    entry["obs"] = run_obs_bench(
+        kind="forest",
+        n_trees=N_TREES,
+        n_requests=N_REQUESTS,
+        max_batch=MAX_BATCH,
+    )
+    entry["obs"]["bench_wall_s"] = round(time.perf_counter() - t0, 2)
+
     record_trajectory_entry(entry, RESULTS_DIR)
 
     lines = ["SERVE (micro-batched vs direct, 1-row request streams)"]
@@ -190,6 +205,15 @@ def run() -> dict:
         f"{t['steal']['off']['p99_ms']:.1f} -> {t['steal']['on']['p99_ms']:.1f} ms, "
         f"{t['steal']['on']['steals']} steals"
     )
+    o = entry["obs"]
+    lines.append(
+        f"obs: {o['plain_rps']:.0f} -> {o['traced_rps']:.0f} req/s traced "
+        f"1-in-{o['trace_sample']} ({o['overhead_pct']:+.2f}% overhead, budget "
+        f"{o['max_overhead_pct']:.0f}%); cross-process trace reassembled "
+        f"{o['distinct_stages']} stages over {o['n_shards']} socket shards, "
+        f"{o['spans_recorded']} spans recorded / {o['spans_dropped']} dropped, "
+        f"exports agree with ClusterStats on {len(o['metrics_agree'])} families"
+    )
     table = "\n".join(lines)
     print("\n" + table)
     (RESULTS_DIR / "serve.txt").write_text(table + "\n")
@@ -223,6 +247,12 @@ def test_serve_bench():
     assert entry["transport"]["steal"]["off"]["steals"] == 0
     assert entry["transport"]["pipe"]["rps"] > 0
     assert entry["transport"]["socket"]["rps"] > 0
+    # the obs bench gates tracing overhead, cross-process trace
+    # completeness, and exact export/stats agreement inside run_obs_bench;
+    # pin the contract numbers here
+    assert entry["obs"]["overhead_pct"] <= entry["obs"]["max_overhead_pct"]
+    assert entry["obs"]["distinct_stages"] >= 6
+    assert entry["obs"]["spans_recorded"] > 0
 
 
 if __name__ == "__main__":

@@ -50,6 +50,18 @@ versions, Zipf multi-tenant bursty traffic, kill/respawn storms under
 live promote/rollback churn, poison floods, simulator-driven drift —
 with a bit-identity witness on every survivor and p50/p99/p999 tails
 recorded into the ``BENCH_chaos.json`` trajectory.
+
+:mod:`repro.serve.obs` makes the whole stack legible: a request-scoped
+:class:`TraceContext` (born at the network edge or ``gateway.submit``,
+sampled 1-in-N, carried on the frame protocol and across shard
+transports) records per-stage :class:`Span`\\ s into bounded
+:class:`SpanRing`\\ s with drop accounting and p99+ exemplars; a
+:class:`MetricsRegistry` freezes the metric-name catalogue and exports
+one consistent snapshot of every stats surface as Prometheus text or
+JSON (served over the wire and via ``repro obs``); and
+:class:`StructuredLogger` emits trace-correlated, coded-error-aware
+JSON log lines.  All of it observational: bit-identical serving with
+the plane on or off, ≤ 5 % overhead gated by ``run_obs_bench``.
 """
 
 from repro.serve.adaptive import AdaptiveBatchTuner, TuningDecision
@@ -60,6 +72,7 @@ from repro.serve.bench import (
     run_fault_bench,
     run_gateway_bench,
     run_net_bench,
+    run_obs_bench,
     run_serve_bench,
     run_shard_bench,
     run_transport_bench,
@@ -93,6 +106,20 @@ from repro.serve.monitor import (
     UncertaintyTap,
 )
 from repro.serve.net import AsyncServeServer, ServeClient
+from repro.serve.obs import (
+    COMPONENTS,
+    METRIC_NAMES,
+    METRICS,
+    MetricsRegistry,
+    STAGES,
+    Span,
+    SpanRing,
+    StructuredLogger,
+    TraceContext,
+    Tracer,
+    to_json,
+    to_prometheus,
+)
 from repro.serve.registry import (
     ModelRegistry,
     ModelVersion,
@@ -120,6 +147,7 @@ from repro.serve.transport import (
 __all__ = [
     "AdaptiveBatchTuner",
     "AsyncServeServer",
+    "COMPONENTS",
     "ChaosConfig",
     "ChaosLinearModel",
     "CircuitBreaker",
@@ -131,6 +159,9 @@ __all__ = [
     "EuQuantileRule",
     "GatewayStats",
     "InferenceService",
+    "METRICS",
+    "METRIC_NAMES",
+    "MetricsRegistry",
     "MicroBatcher",
     "ModelRegistry",
     "ModelVersion",
@@ -145,6 +176,7 @@ __all__ = [
     "RetryController",
     "RetryTicket",
     "SLOAutoscaler",
+    "STAGES",
     "ScalingDecision",
     "ServeClient",
     "ServerStats",
@@ -156,8 +188,13 @@ __all__ = [
     "ShardedServingCluster",
     "SocketListener",
     "SocketTransport",
+    "Span",
+    "SpanRing",
     "StreamProfile",
+    "StructuredLogger",
     "Ticket",
+    "TraceContext",
+    "Tracer",
     "Transport",
     "TransportError",
     "TuningDecision",
@@ -175,8 +212,11 @@ __all__ = [
     "run_fault_bench",
     "run_gateway_bench",
     "run_net_bench",
+    "run_obs_bench",
     "run_serve_bench",
     "run_shard_bench",
     "run_transport_bench",
+    "to_json",
+    "to_prometheus",
     "to_wire",
 ]

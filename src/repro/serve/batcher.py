@@ -64,8 +64,8 @@ class Ticket:
 
     __slots__ = (
         "kind", "block", "single_row", "token", "seq", "deadline",
-        "enqueued_at", "batch_seq", "batch_pos", "_event", "_value", "_error",
-        "_owner",
+        "enqueued_at", "batch_seq", "batch_pos", "trace", "trace_t0",
+        "trace_drained", "_event", "_value", "_error", "_owner",
     )
 
     def __init__(self, kind: str, block: np.ndarray, single_row: bool, token: Any):
@@ -78,6 +78,9 @@ class Ticket:
         self.enqueued_at = 0.0
         self.batch_seq = -1     # which flush scored this ticket
         self.batch_pos = -1     # position inside that flush (FIFO witness)
+        self.trace = None       # TraceContext when the request is traced
+        self.trace_t0 = 0.0     # trace-clock submit time
+        self.trace_drained = 0.0  # trace-clock drain time (ends queue_wait)
         self._event = threading.Event()
         self._value: Any = None
         self._error: BaseException | None = None
@@ -180,6 +183,7 @@ class MicroBatcher:
         self.deadline_flushes = 0
         self.manual_flushes = 0
         self.abandoned = 0  # tickets tombstoned by a result() timeout
+        self.latency_dropped = 0  # ring samples evicted by overwrite
         self.total_latency_s = 0.0
         # bounded ring of recent per-request latencies (seconds): the
         # tail-percentile sample mean-only counters can't provide, sized
@@ -194,7 +198,12 @@ class MicroBatcher:
         self.close()
 
     def submit(
-        self, row: np.ndarray, kind: str = "predict", token: Any = None, copy: bool = True
+        self,
+        row: np.ndarray,
+        kind: str = "predict",
+        token: Any = None,
+        copy: bool = True,
+        trace: Any = None,
     ) -> Ticket:
         """Enqueue one request — a feature vector or a small (m, d) block.
 
@@ -203,6 +212,12 @@ class MicroBatcher:
         flush must score the submit-time bytes.  Pass ``copy=False`` only
         when handing over an array nothing else will touch (the service
         does, having already copied for its digest).
+
+        ``trace`` optionally carries a
+        :class:`~repro.serve.obs.trace.TraceContext`; the batcher then
+        records ``queue_wait``/``score`` spans per request and one
+        batch-level ``flush`` span — observational only, the scoring path
+        is identical with or without it.
         """
         if kind not in ("predict", "predict_dist"):
             raise coded(ValueError("kind must be 'predict' or 'predict_dist'"),
@@ -216,6 +231,9 @@ class MicroBatcher:
                         ErrorCode.MALFORMED_REQUEST)
         ticket = Ticket(kind, arr, single, token)
         ticket._owner = self
+        if trace is not None:
+            ticket.trace = trace
+            ticket.trace_t0 = trace.now()
 
         batch: list[Ticket] | None = None
         with self._lock:
@@ -340,6 +358,7 @@ class MicroBatcher:
                 "deadline_flushes": self.deadline_flushes,
                 "manual_flushes": self.manual_flushes,
                 "abandoned": self.abandoned,
+                "latency_dropped": self.latency_dropped,
                 "total_latency_s": self.total_latency_s,
             }
 
@@ -384,9 +403,14 @@ class MicroBatcher:
             seq = self._next_batch
             self._next_batch += 1
             self._in_flight += 1  # paired with the decrement in _process
+            drained_at: float | None = None  # one trace-clock read per batch
             for pos, t in enumerate(batch):  # arrival order == flush order
                 t.batch_seq = seq
                 t.batch_pos = pos
+                if t.trace is not None:
+                    if drained_at is None:
+                        drained_at = t.trace.now()
+                    t.trace_drained = drained_at
         return batch
 
     def _timer_loop(self) -> None:
@@ -461,9 +485,26 @@ class MicroBatcher:
             self.batches += 1
             self.completed += len(batch)
             self.total_latency_s += sum(now - t.enqueued_at for t in batch)
+            cap = self._latency_ring.maxlen
+            if cap is not None:
+                overflow = len(self._latency_ring) + len(batch) - cap
+                if overflow > 0:  # evictions are counted, never silent
+                    self.latency_dropped += overflow
             self._latency_ring.extend(now - t.enqueued_at for t in batch)
             self._in_flight -= 1
             self._cond.notify_all()  # close() may be waiting for in-flight == 0
+        flush_recorded = False
+        for t in batch:
+            ctx = t.trace
+            if ctx is None:
+                continue
+            end = ctx.now()
+            ctx.record("batcher", "queue_wait", t.trace_t0, t.trace_drained)
+            ctx.record("batcher", "score", t.trace_drained, end)
+            if not flush_recorded:  # one batch-level span, on the first trace
+                ctx.record("batcher", "flush", t.trace_drained, end,
+                           meta={"batch_seq": t.batch_seq, "size": len(batch)})
+                flush_recorded = True
 
     @classmethod
     def _score_group_isolated(

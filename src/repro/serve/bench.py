@@ -33,6 +33,7 @@ __all__ = [
     "run_gateway_bench",
     "run_monitor_bench",
     "run_net_bench",
+    "run_obs_bench",
     "run_serve_bench",
     "run_shard_bench",
     "run_transport_bench",
@@ -1090,4 +1091,177 @@ def run_transport_bench(
             "off": steal_results["off"],
             "on": steal_results["on"],
         },
+    }
+
+
+def run_obs_bench(
+    kind: str = "forest",
+    n_train: int = 3000,
+    n_features: int = 12,
+    n_trees: int = 150,
+    n_requests: int = 2000,
+    n_shards: int = 2,
+    max_batch: int = 256,
+    max_delay: float = 0.05,
+    seed: int = 0,
+    repeats: int = 7,
+    max_overhead_pct: float = 5.0,
+    trace_sample: int = 8,
+) -> dict:
+    """Observability-plane overhead + trace-completeness benchmark.
+
+    Two measurements, both bit-identity gated:
+
+    * **overhead** — the same single-row stream replayed through an
+      untraced and a traced gateway at the high-rate production
+      configuration: auto-born traces sampled 1-in-``trace_sample``
+      (the stride is the dial that keeps span cost flat as request
+      rates grow — exactly the monitor plane's profile ``sample``;
+      explicitly carried trace ids are never sampled, so on-demand
+      request forensics stay exact).  The monitor bench's measurement
+      discipline applies verbatim: ``repeats`` *adjacent* plain/traced
+      pairs, overhead = the median pair's ratio, GC pinned off during
+      each replay, ``max_delay`` large enough that every flush is a
+      size flush (so microseconds of span cost cannot change the batch
+      shapes under comparison).  The tracing contract is
+      ≤ ``max_overhead_pct`` slower — enforced here, so a regression
+      fails the bench instead of shipping.
+    * **completeness** — one traced request through a hash-routed
+      ``n_shards`` socket-transport cluster must reassemble, by trace
+      id and across process boundaries, into at least six distinct
+      ``(component, stage)`` spans covering gateway → batcher → cluster
+      → worker; and the :class:`~repro.serve.obs.metrics.MetricsRegistry`
+      snapshot of that cluster must agree *exactly* with
+      ``cluster.stats()`` counters in both JSON and Prometheus forms.
+    """
+    from repro.serve.obs import MetricsRegistry, Tracer, to_prometheus
+    from repro.serve.router import ServingGateway
+    from repro.serve.shard import ShardedServingCluster
+
+    model = make_serve_model(kind, n_train, n_features, n_trees, seed)
+    rows, _ = _synth(n_requests, n_features, seed + 1)
+    ref = np.array([model.predict(row[None, :])[0] for row in rows])
+
+    registry = ModelRegistry()
+    registry.register(kind, model, promote=True)
+
+    def stream(gateway) -> tuple[float, np.ndarray]:
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            tickets = [gateway.submit(kind, row) for row in rows]
+            gateway.flush()
+            out = np.array([t.result(timeout=30.0) for t in tickets])
+            return time.perf_counter() - t0, out
+        finally:
+            gc.enable()
+
+    # --- overhead: untraced vs traced gateway, adjacent pairs --------- #
+    overhead_pct = t_plain = t_traced = None
+    spans_recorded = spans_dropped = 0
+    rounds = 0
+    for attempt in range(3):  # noisy-neighbour retries, never a laxer gate
+        rounds += 1
+        pairs = []  # (overhead_pct, t_plain, t_traced) per adjacent pair
+        for _ in range(repeats):
+            with ServingGateway(
+                registry, max_batch=max_batch, max_delay=max_delay, cache_entries=1,
+            ) as gw:
+                tp, out = stream(gw)
+                if not np.array_equal(out, ref):  # hard gate: survives python -O
+                    raise RuntimeError("untraced results are not bit-identical")
+            tracer = Tracer()
+            with ServingGateway(
+                registry, max_batch=max_batch, max_delay=max_delay,
+                cache_entries=1, tracer=tracer, trace_sample=trace_sample,
+            ) as gw:
+                tt, out = stream(gw)
+                if not np.array_equal(out, ref):
+                    raise RuntimeError("traced results are not bit-identical")
+            recorded = tracer.recorded()
+            if sum(recorded.values()) == 0:
+                raise RuntimeError("traced replay recorded no spans")
+            pairs.append((100.0 * (tt - tp) / tp, tt, tp, recorded,
+                          tracer.dropped()))
+        pairs.sort(key=lambda p: p[0])
+        overhead_pct, t_traced, t_plain, recorded, dropped = pairs[len(pairs) // 2]
+        spans_recorded = sum(recorded.values())
+        spans_dropped = sum(dropped.values())
+        if overhead_pct <= max_overhead_pct:
+            break
+    if overhead_pct > max_overhead_pct:
+        raise RuntimeError(
+            f"tracing overhead {overhead_pct:.2f}% exceeds the "
+            f"{max_overhead_pct:.1f}% budget ({rounds} rounds)"
+        )
+
+    # --- completeness: one traced request across a socket cluster ----- #
+    with ShardedServingCluster(
+        registry, n_shards=n_shards, route="hash", transport="socket",
+        max_batch=max_batch, max_delay=0.002, cache_entries=1,
+        tracer=Tracer(),
+    ) as cluster:
+        ctx = cluster._tracer.start_trace()
+        probe = rows[0]
+        got = cluster.submit(kind, probe, trace=ctx).result(timeout=30.0)
+        if got != ref[0]:
+            raise RuntimeError("traced cluster result is not bit-identical")
+        dump = cluster.trace_spans(ctx.trace_id)
+        stages = sorted({(s["component"], s["stage"]) for s in dump["spans"]})
+        if len(stages) < 6:
+            raise RuntimeError(
+                f"trace reassembled only {len(stages)} distinct stages "
+                f"({stages}); need >= 6 across gateway/batcher/cluster/worker"
+            )
+
+        # export agreement: both formats from one snapshot, values read
+        # straight off cluster.stats() — any drift is a hard failure
+        reg = MetricsRegistry().add_backend(cluster)
+        snapshot = reg.collect()
+        st = cluster.stats()
+        total = st.total
+        fam = snapshot["families"]
+
+        def sample_value(name: str) -> float:
+            return fam[name]["samples"][0][2]
+
+        agree = {
+            "repro_serve_requests_total": float(total.requests),
+            "repro_cluster_steals_total": float(st.steals),
+            "repro_gateway_tap_errors_total": float(st.tap_errors_total),
+            "repro_cluster_shards_live": float(len(st.per_shard)),
+        }
+        for name, want in agree.items():
+            if sample_value(name) != want:
+                raise RuntimeError(
+                    f"metrics snapshot {name}={sample_value(name)} "
+                    f"disagrees with cluster.stats()={want}"
+                )
+        prom = to_prometheus(snapshot)
+        if reg.prometheus() != prom:
+            raise RuntimeError("registry prometheus() drifted from its snapshot")
+        for name in agree:
+            if name not in prom:
+                raise RuntimeError(f"{name} missing from Prometheus text")
+
+    return {
+        "model": kind,
+        "n_trees": n_trees,
+        "n_requests": n_requests,
+        "n_shards": n_shards,
+        "repeats": repeats,
+        "rounds": rounds,
+        "trace_sample": trace_sample,  # overhead config: 1-in-N auto traces
+        "plain_s": round(t_plain, 4),
+        "traced_s": round(t_traced, 4),
+        "plain_rps": round(n_requests / t_plain, 1),
+        "traced_rps": round(n_requests / t_traced, 1),
+        "overhead_pct": round(overhead_pct, 2),
+        "max_overhead_pct": max_overhead_pct,
+        "spans_recorded": spans_recorded,
+        "spans_dropped": spans_dropped,
+        "trace_stages": ["/".join(s) for s in stages],
+        "distinct_stages": len(stages),
+        "metrics_agree": sorted(agree),
     }

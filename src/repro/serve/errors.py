@@ -193,14 +193,22 @@ def to_wire(exc: BaseException | ErrorCode, detail: str | None = None) -> dict[s
     ``"ErrorCode"`` for a bare code), ``detail`` (human prose).  JSON-safe
     by construction, so the same payload serves pipes, monitor events,
     and the future network edge.
+
+    An exception carrying a string ``trace_id`` (stamped by a traced
+    network edge — see :mod:`repro.serve.obs`) additionally ships it
+    under ``"trace"``, the join key between an error payload and the
+    request's span dump.  The key is **only** present on traced errors,
+    so the untraced payload shape above stays frozen byte-for-byte.
     """
     if isinstance(exc, ErrorCode):
         code, exc_type = exc, "ErrorCode"
         detail = detail if detail is not None else ""
+        trace_id = None
     else:
         code, exc_type = classify_exception(exc), type(exc).__name__
         detail = detail if detail is not None else str(exc)
-    return {
+        trace_id = getattr(exc, "trace_id", None)
+    wire = {
         "code": int(code),
         "name": code.name,
         "category": code.category,
@@ -209,6 +217,9 @@ def to_wire(exc: BaseException | ErrorCode, detail: str | None = None) -> dict[s
         "type": exc_type,
         "detail": detail,
     }
+    if isinstance(trace_id, str):
+        wire["trace"] = trace_id
+    return wire
 
 
 def from_wire(payload: dict[str, Any]) -> CodedError:

@@ -29,11 +29,16 @@ from repro.serve.errors import CodedError, ErrorCode, coded, from_wire
 from repro.serve.net.protocol import (
     MAX_FRAME_BYTES,
     decode_value,
+    encode_frame,
     recv_frame,
     request_frame,
 )
 
 __all__ = ["ServeClient"]
+
+# sentinel kind for op frames in the FIFO pipeline: the response value is
+# handed back raw (metrics snapshots, span dumps — not a prediction)
+_OP_KIND = "_op"
 
 
 class ServeClient:
@@ -54,18 +59,35 @@ class ServeClient:
         self._closed = False
 
     # ------------------------------------------------------------------ #
-    def send(self, name: str, row: np.ndarray, kind: str = "predict") -> int:
+    def send(
+        self, name: str, row: np.ndarray, kind: str = "predict",
+        trace_id: str | None = None,
+    ) -> int:
         """Queue one request (1-D row or 2-D block); returns its id.
 
         Does not wait — pair with :meth:`recv`, which yields results in
-        exactly this send order."""
+        exactly this send order.  ``trace_id`` rides the frame's optional
+        ``"trace"`` field; a traced server adopts it, so :meth:`trace`
+        can later fetch the request's span dump under the same id."""
         if self._closed:
             raise coded(RuntimeError("ServeClient is closed"), ErrorCode.CLOSED)
         arr = np.asarray(row, dtype=float)
         req_id = self._next_id
         self._next_id += 1
-        self._sock.sendall(request_frame(req_id, name, arr, kind))
+        self._sock.sendall(request_frame(req_id, name, arr, kind, trace_id=trace_id))
         self._sent.append((req_id, kind, arr.ndim == 1))
+        return req_id
+
+    def send_op(self, op: str, **params: Any) -> int:
+        """Queue one observability op frame (``metrics``/``trace``/
+        ``slowest``); rides the same FIFO pipeline as requests, and
+        :meth:`recv` hands its value back raw (no kind decoding)."""
+        if self._closed:
+            raise coded(RuntimeError("ServeClient is closed"), ErrorCode.CLOSED)
+        req_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(encode_frame({"id": req_id, "op": op, **params}))
+        self._sent.append((req_id, _OP_KIND, False))
         return req_id
 
     def recv(self, timeout: float | None = None) -> Any:
@@ -109,6 +131,8 @@ class ServeClient:
             )
         if not msg.get("ok"):
             raise from_wire(msg.get("error") or {})
+        if kind == _OP_KIND:
+            return msg["value"]  # op answers are already their final shape
         return decode_value(kind, single, msg["value"])
 
     def drain(self) -> list[Any]:
@@ -133,6 +157,30 @@ class ServeClient:
 
     def predict_dist(self, name: str, row: np.ndarray) -> Any:
         return self.call(name, row, kind="predict_dist")
+
+    # ------------------------------------------------------------------ #
+    # observability ops (one round-trip each; empty pipeline required)
+    # ------------------------------------------------------------------ #
+    def _call_op(self, op: str, **params: Any) -> Any:
+        if self._sent:
+            raise RuntimeError(f"{op}() with responses outstanding; use send/recv")
+        self.send_op(op, **params)
+        return self.recv()
+
+    def metrics(self, fmt: str = "json") -> Any:
+        """The server's unified metrics snapshot — ``"json"`` for the
+        structured families dict, ``"prom"`` for Prometheus text."""
+        return self._call_op("metrics", fmt=fmt)
+
+    def trace(self, trace_id: str | None = None) -> dict[str, Any]:
+        """Span dump for one trace id (or everything recorded), merged
+        across the edge, the backend, and — on a cluster — every worker."""
+        params = {} if trace_id is None else {"trace": trace_id}
+        return self._call_op("trace", **params)
+
+    def slowest(self, k: int = 10) -> list[dict[str, Any]]:
+        """The top-``k`` recorded spans by duration (tail forensics)."""
+        return self._call_op("slowest", k=k)
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

@@ -6,6 +6,10 @@ bytes of UTF-8 JSON.  Requests and responses both travel as frames::
     request  = {"id": int, "name": str, "kind": "predict"|"predict_dist",
                 "row":  [f, ...]}          # single row, or
                {..., "rows": [[f, ...]]}   # an (m, d) block
+               # optional: "trace": str — a trace id the obs plane adopts
+    op       = {"id": int, "op": "metrics"|"trace"|"slowest", ...params}
+               # observability frames answered from server state, never
+               # routed to the backend (see net.server._exec_op)
     response = {"id": int, "ok": true,  "value": <kind-shaped JSON>}
              | {"id": int|null, "ok": false, "error": <to_wire() payload>}
 
@@ -278,10 +282,22 @@ def recv_any_frame(
 # ---------------------------------------------------------------------- #
 # request / response shapes
 # ---------------------------------------------------------------------- #
-def request_frame(req_id: int, name: str, row: np.ndarray, kind: str) -> bytes:
-    """Encode one request (1-D ``row`` or 2-D block) as a wire frame."""
+def request_frame(
+    req_id: int, name: str, row: np.ndarray, kind: str,
+    trace_id: str | None = None,
+) -> bytes:
+    """Encode one request (1-D ``row`` or 2-D block) as a wire frame.
+
+    ``trace_id`` rides as the optional ``"trace"`` envelope field — a
+    client-chosen trace id the traced server adopts (and echoes inside
+    error payloads), so client-side logs and server-side span dumps join
+    on one key.  Absent by default; servers without a tracer ignore it,
+    keeping the field backward- and forward-compatible.
+    """
     arr = np.asarray(row, dtype=float)
     body: dict[str, Any] = {"id": int(req_id), "name": name, "kind": kind}
+    if trace_id is not None:
+        body["trace"] = str(trace_id)
     if arr.ndim == 1:
         body["row"] = arr.tolist()
     else:

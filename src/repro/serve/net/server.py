@@ -42,6 +42,7 @@ against the same gateway).
 from __future__ import annotations
 
 import asyncio
+import itertools
 import queue
 import threading
 from typing import Any
@@ -56,8 +57,11 @@ from repro.serve.net.protocol import (
     parse_request,
     read_frame,
 )
+from repro.serve.obs.metrics import MetricsRegistry
 
 __all__ = ["AsyncServeServer"]
+
+_OPS = ("metrics", "trace", "slowest")
 
 
 class _Conn:
@@ -100,6 +104,24 @@ class AsyncServeServer:
     request_timeout:
         Collector-side cap on one ticket; a wedged flush answers with a
         coded ``DEADLINE_EXCEEDED`` instead of damming the connection.
+    tracer:
+        Optional :class:`~repro.serve.obs.trace.Tracer` — the obs plane's
+        edge attachment.  A request then gets a trace context (born here
+        for every ``trace_sample``-th request, or adopted — always — from
+        the frame's ``"trace"`` field) recording
+        ``parse``/``admission``/``respond`` edge spans, errors carry the
+        trace id inside their wire payload, and the ``trace``/``slowest``
+        op frames export spans.  Share one tracer between the server and
+        a traced backend so edge and backend spans land in one place.
+    trace_sample:
+        Auto-born traces sample 1-in-``trace_sample`` requests
+        (deterministic stride, the monitor plane's ``sample`` dial); a
+        frame carrying an explicit ``"trace"`` id is always traced.
+
+    Whatever the tracer, :attr:`metrics` is a
+    :class:`~repro.serve.obs.metrics.MetricsRegistry` over the backend,
+    this server's edge counters, and any attached tracers — the source
+    the ``metrics`` op frame answers from (Prometheus text or JSON).
     """
 
     def __init__(
@@ -112,11 +134,15 @@ class AsyncServeServer:
         max_pending_per_conn: int = 512,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         request_timeout: float = 60.0,
+        tracer: Any = None,
+        trace_sample: int = 1,
     ):
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
         if max_pending_per_conn < 1:
             raise ValueError("max_pending_per_conn must be >= 1")
+        if trace_sample < 1:
+            raise ValueError("trace_sample must be >= 1")
         self.backend = backend
         self.host = host
         self.port = int(port)
@@ -124,6 +150,17 @@ class AsyncServeServer:
         self.max_pending_per_conn = int(max_pending_per_conn)
         self.max_frame_bytes = int(max_frame_bytes)
         self.request_timeout = float(request_timeout)
+        self.tracer = tracer
+        self.trace_sample = int(trace_sample)
+        self._trace_tick = itertools.count()  # loop-thread only
+        # one unified metrics surface: backend stats + edge counters +
+        # span-ring accounting, all read at op time (never cached)
+        self.metrics = MetricsRegistry().add_backend(backend).add_server(self)
+        if tracer is not None:
+            self.metrics.add_tracer(tracer)
+        backend_tracer = getattr(backend, "_tracer", None)
+        if backend_tracer is not None:
+            self.metrics.add_tracer(backend_tracer)  # dedups shared tracers
 
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -266,6 +303,27 @@ class AsyncServeServer:
                     break
                 if msg is None:
                     break  # clean disconnect (EOF or mid-frame cut)
+                op = msg.get("op")
+                if isinstance(op, str):
+                    # observability op frame: answered from server state in
+                    # FIFO position, never routed to the backend and never
+                    # charged against the admission budget (ops are cheap
+                    # reads — shedding them would blind the operator at
+                    # exactly the moment the budget is exhausted)
+                    self.requests += 1
+                    rid = msg.get("id")
+                    rid = rid if isinstance(rid, int) and not isinstance(rid, bool) else None
+                    conn.submit_q.put(("op", rid, op, msg))
+                    continue
+                ctx = None
+                if self.tracer is not None:
+                    tid = msg.get("trace")
+                    if isinstance(tid, str):
+                        ctx = self.tracer.context(tid)  # explicit: never sampled
+                    elif next(self._trace_tick) % self.trace_sample == 0:
+                        ctx = self.tracer.context(None)
+                    if ctx is not None:
+                        t_parse = self.tracer.now()
                 try:
                     req_id, name, kind, arr, single = parse_request(msg)
                 except Exception as exc:
@@ -274,9 +332,14 @@ class AsyncServeServer:
                     self.requests += 1
                     rid = msg.get("id")
                     rid = rid if isinstance(rid, int) and not isinstance(rid, bool) else None
+                    if ctx is not None:
+                        _tag_trace(exc, ctx)
                     conn.submit_q.put(("err", rid, ensure_code(exc), False))
                     continue
                 self.requests += 1
+                if ctx is not None:
+                    t_admit = ctx.now()
+                    ctx.record("edge", "parse", t_parse, t_admit)
                 if (
                     self._in_flight >= self.max_in_flight
                     or conn.pending >= self.max_pending_per_conn
@@ -287,16 +350,17 @@ class AsyncServeServer:
                         if self._in_flight >= self.max_in_flight
                         else "connection pending cap"
                     )
-                    conn.submit_q.put((
-                        "err", req_id,
-                        overload_error(f"request shed: {scope} exhausted"),
-                        False,
-                    ))
+                    shed_exc = overload_error(f"request shed: {scope} exhausted")
+                    if ctx is not None:
+                        _tag_trace(shed_exc, ctx)
+                    conn.submit_q.put(("err", req_id, shed_exc, False))
                     continue
                 self._in_flight += 1
                 conn.pending += 1
                 self.submitted += 1
-                conn.submit_q.put(("req", req_id, name, kind, arr, single))
+                if ctx is not None:
+                    ctx.record("edge", "admission", t_admit, ctx.now())
+                conn.submit_q.put(("req", req_id, name, kind, arr, single, ctx))
         finally:
             conn.submit_q.put(None)  # chained through to the collector
 
@@ -344,13 +408,29 @@ class AsyncServeServer:
             if item[0] == "err":
                 conn.done_q.put(item)
                 continue
-            _, req_id, name, kind, arr, single = item
+            if item[0] == "op":
+                _, rid, opname, msg = item
+                try:
+                    value = self._exec_op(opname, msg)
+                except BaseException as exc:
+                    conn.done_q.put(("err", rid, ensure_code(exc), False))
+                else:
+                    conn.done_q.put(("meta", rid, value))
+                continue
+            _, req_id, name, kind, arr, single, ctx = item
             try:
-                ticket = self.backend.submit(name, arr, kind=kind)
+                # the trace kwarg only exists when a context does — an
+                # untraced server drives duck-typed backends unchanged
+                if ctx is not None:
+                    ticket = self.backend.submit(name, arr, kind=kind, trace=ctx)
+                else:
+                    ticket = self.backend.submit(name, arr, kind=kind)
             except BaseException as exc:
+                if ctx is not None:
+                    _tag_trace(exc, ctx)
                 conn.done_q.put(("err", req_id, ensure_code(exc), True))
             else:
-                conn.done_q.put(("ticket", req_id, kind, single, ticket))
+                conn.done_q.put(("ticket", req_id, kind, single, ticket, ctx))
 
     def _collector(self, conn: _Conn) -> None:
         """Complete tickets strictly FIFO and marshal responses loop-side."""
@@ -362,22 +442,35 @@ class AsyncServeServer:
             if item[0] == "err":
                 _, req_id, exc, counted = item
                 data = error_response(req_id, exc)
+            elif item[0] == "meta":
+                # op-frame answer: raw value, never admission-counted
+                _, req_id, value = item
+                counted = False
+                data = ok_response(req_id, value)
             else:
-                _, req_id, kind, single, ticket = item
+                _, req_id, kind, single, ticket, ctx = item
                 counted = True
+                t0 = ctx.now() if ctx is not None else 0.0
                 try:
                     value = ticket.result(timeout=self.request_timeout)
                 except BaseException as exc:
+                    if ctx is not None:
+                        _tag_trace(exc, ctx)
                     data = error_response(req_id, ensure_code(exc))
                 else:
                     try:
                         data = ok_response(req_id, encode_value(kind, single, value))
                     except BaseException as exc:
+                        if ctx is not None:
+                            _tag_trace(exc, ctx)
                         data = error_response(
                             req_id,
                             coded(RuntimeError(f"result not serializable: {exc}"),
                                   ErrorCode.INTERNAL),
                         )
+                if ctx is not None:
+                    # result wait + response encode, ended loop-handoff side
+                    ctx.record("edge", "respond", t0, ctx.now())
             self._call_loop(self._respond, conn, data, counted)
 
     def _call_loop(self, fn: Any, *args: Any) -> None:
@@ -388,3 +481,73 @@ class AsyncServeServer:
             loop.call_soon_threadsafe(fn, *args)
         except RuntimeError:
             pass  # loop closed mid-shutdown; counters no longer matter
+
+    # ------------------------------------------------------------------ #
+    # observability op frames
+    # ------------------------------------------------------------------ #
+    def _exec_op(self, op: str, msg: dict[str, Any]) -> Any:
+        """Answer one observability op frame (submitter thread).
+
+        ``metrics`` → the unified snapshot (``fmt``: ``"json"`` default,
+        ``"prom"`` for Prometheus text); ``trace`` → the merged span dump
+        for ``msg["trace"]`` (or everything recorded); ``slowest`` → the
+        top-``k`` spans by duration across every attached tracer.
+        """
+        if op == "metrics":
+            fmt = msg.get("fmt", "json")
+            if fmt == "prom":
+                return self.metrics.prometheus()
+            if fmt == "json":
+                return self.metrics.collect()
+            raise coded(ValueError(f"metrics fmt must be 'json' or 'prom', got {fmt!r}"),
+                        ErrorCode.MALFORMED_REQUEST)
+        if op == "trace":
+            tid = msg.get("trace")
+            return self.collect_spans(tid if isinstance(tid, str) else None)
+        if op == "slowest":
+            k = msg.get("k", 10)
+            if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+                raise coded(ValueError("'k' must be a positive integer"),
+                            ErrorCode.MALFORMED_REQUEST)
+            spans = self.collect_spans(None)["spans"]
+            spans.sort(key=lambda s: s["end"] - s["start"], reverse=True)
+            return spans[:k]
+        raise coded(ValueError(f"unknown op {op!r}; valid: {_OPS}"),
+                    ErrorCode.MALFORMED_REQUEST)
+
+    def collect_spans(self, trace_id: str | None = None) -> dict[str, Any]:
+        """Merged span export: the edge tracer plus the backend's
+        ``trace_spans`` (which, on a cluster, already fans out to the
+        workers).  A tracer shared between edge and backend is exported
+        once — identity-checked, never double-counted."""
+        backend_fn = getattr(self.backend, "trace_spans", None)
+        if callable(backend_fn):
+            out = backend_fn(trace_id)
+            if self.tracer is not None and self.tracer is not getattr(
+                self.backend, "_tracer", None
+            ):
+                _merge_export(out, self.tracer.export(trace_id))
+            return out
+        if self.tracer is not None:
+            return self.tracer.export(trace_id)
+        return {"spans": [], "dropped": {}, "recorded": {}}
+
+
+def _merge_export(dst: dict[str, Any], src: dict[str, Any]) -> dict[str, Any]:
+    """Fold one tracer export into another: spans concatenate, the
+    per-component drop/recorded counters sum."""
+    dst["spans"].extend(src["spans"])
+    for key in ("dropped", "recorded"):
+        for comp, n in src[key].items():
+            dst[key][comp] = dst[key].get(comp, 0) + n
+    return dst
+
+
+def _tag_trace(exc: BaseException, ctx: Any) -> None:
+    """Stamp the trace id onto an outbound error so its ``to_wire``
+    payload carries the join key (best-effort: slotted exceptions that
+    refuse attributes still ship their coded payload untagged)."""
+    try:
+        exc.trace_id = ctx.trace_id
+    except AttributeError:
+        pass

@@ -20,7 +20,13 @@ request scores, never *what* it returns):
   (:mod:`repro.serve.transport`).  Exponential backoff stays a pure
   function of the injected clock and the seeded jitter stream: replaying
   the same submit order against the same failure schedule reproduces the
-  same sleeps, the same attempt counts, the same outcome.
+  same sleeps, the same attempt counts, the same outcome.  When the
+  wrapped cluster carries a :class:`~repro.serve.obs.trace.Tracer`, every
+  logical request gets one trace context spanning *all* its attempts:
+  the controller records a ``("resilience", "retry")`` span per
+  re-attempt (covering the backoff sleep, tagged with the attempt number
+  and the coded failure that triggered it), so a recovered request's
+  span dump shows exactly where its latency went.
 * :class:`CircuitBreaker` — per-shard failure memory.  ``K`` consecutive
   transient failures open the circuit; after ``reset_timeout_s`` one
   half-open probe is let through, and its outcome closes or re-opens.
@@ -173,11 +179,12 @@ class RetryTicket:
     """
 
     __slots__ = ("_controller", "_name", "_payload", "_kind", "_block",
-                 "_index", "_current", "_settled", "_value", "_error")
+                 "_index", "_current", "_settled", "_value", "_error",
+                 "_trace")
 
     def __init__(self, controller: "RetryController", name: str,
                  payload: np.ndarray, kind: str, block: bool, index: int,
-                 current: Any = None):
+                 current: Any = None, trace: Any = None):
         self._controller = controller
         self._name = name
         self._payload = payload
@@ -185,6 +192,7 @@ class RetryTicket:
         self._block = block
         self._index = index
         self._current = current  # the eagerly-submitted first attempt
+        self._trace = trace      # one context for the whole retry trajectory
         self._settled = False
         self._value: Any = None
         self._error: BaseException | None = None
@@ -198,7 +206,7 @@ class RetryTicket:
             try:
                 self._value = self._controller._run(
                     self._name, self._payload, self._kind, self._block,
-                    self._index, timeout, current,
+                    self._index, timeout, current, self._trace,
                 )
             except BaseException as exc:
                 self._error = exc
@@ -235,6 +243,12 @@ class RetryController:
     clock, sleep:
         Injected time sources (fakes make every trajectory a pure
         function of the failure schedule).
+    tracer:
+        A :class:`~repro.serve.obs.trace.Tracer` for retry-attempt spans;
+        defaults to the wrapped cluster's own tracer when it has one, so
+        a traced cluster's front door is traced for free.  Tracing is
+        observational only — span recording cannot change a retry
+        trajectory.
 
     Only codes with ``retryable=True`` are ever retried; a 4xx-class
     failure surfaces immediately with zero resubmissions.  Hash-routed
@@ -257,6 +271,7 @@ class RetryController:
         breaker_reset_s: float = 0.1,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        tracer: Any = None,
     ):
         if deadline_s <= 0:
             raise ValueError("deadline_s must be > 0")
@@ -277,6 +292,7 @@ class RetryController:
         self._breaker_reset_s = float(breaker_reset_s)
         self._clock = clock
         self._sleep = sleep
+        self._tracer = tracer if tracer is not None else getattr(cluster, "_tracer", None)
         self._lock = threading.Lock()  # guards counters, breakers, index
         self._breakers: dict[int, CircuitBreaker] = {}
         self._next_index = 0
@@ -353,15 +369,29 @@ class RetryController:
             index = self._next_index
             self._next_index += 1
             self.submits += 1
+        # one trace context per logical request: every attempt shares the
+        # trace id, so a recovered request's span dump reads end-to-end
+        trace = self._tracer.start_trace() if self._tracer is not None else None
         # eager first attempt: wrapped traffic coalesces into the same
         # micro-batches as bare traffic (a hash-routed name behind an
         # un-acquirable breaker defers to result(), which can wait)
         current = None
         if (getattr(self.cluster, "route", "hash") != "hash"
                 or self.breaker(self.cluster.shard_of(name)).try_acquire()[0]):
-            current = (self.cluster.submit_block(name, payload, kind) if block
-                       else self.cluster.submit(name, payload, kind))
-        return RetryTicket(self, name, payload, kind, block, index, current)
+            current = self._attempt(name, payload, kind, block, trace)
+        return RetryTicket(self, name, payload, kind, block, index, current, trace)
+
+    def _attempt(self, name: str, payload: np.ndarray, kind: str,
+                 block: bool, trace: Any) -> Any:
+        """One cluster submission; passes ``trace=`` only when a context
+        exists so duck-typed stub clusters keep their bare signature.
+        Block submits fan out per part and carry no trace (the cluster's
+        own tracer still covers their routing)."""
+        if block:
+            return self.cluster.submit_block(name, payload, kind)
+        if trace is not None:
+            return self.cluster.submit(name, payload, kind, trace=trace)
+        return self.cluster.submit(name, payload, kind)
 
     def _shard_ids_of(self, ticket: Any) -> list[int]:
         sid = getattr(ticket, "shard_id", None)
@@ -403,7 +433,8 @@ class RetryController:
             self._sleep(min(wait, remaining))
 
     def _run(self, name: str, payload: np.ndarray, kind: str, block: bool,
-             index: int, timeout: float | None, current: Any = None) -> Any:
+             index: int, timeout: float | None, current: Any = None,
+             trace: Any = None) -> Any:
         budget = self.deadline_s if timeout is None else float(timeout)
         deadline = self._clock() + budget
         # per-ticket jitter stream, built lazily: Generator construction
@@ -420,10 +451,7 @@ class RetryController:
             else:
                 if hash_routed:
                     self._gate(self.cluster.shard_of(name), deadline)
-                if block:
-                    ticket = self.cluster.submit_block(name, payload, kind)
-                else:
-                    ticket = self.cluster.submit(name, payload, kind)
+                ticket = self._attempt(name, payload, kind, block, trace)
             remaining = deadline - self._clock()
             try:
                 value = ticket.result(max(remaining, 1e-9))
@@ -443,10 +471,18 @@ class RetryController:
                 if rng is None:
                     rng = np.random.default_rng((self.seed, index))
                 delay = self.backoff_delay(attempt, rng)
+                t_retry = trace.now() if trace is not None else 0.0
                 self._sleep(min(delay, remaining))
                 attempt += 1
                 with self._lock:
                     self.retries += 1
+                if trace is not None:
+                    # the backoff sleep is the retry's latency cost; the
+                    # resubmission itself shows up as the next cluster span
+                    trace.record(
+                        "resilience", "retry", t_retry, trace.now(),
+                        meta={"attempt": attempt, "code": int(code)},
+                    )
                 continue
             self._record(ticket, ok=True, transient=False)
             if attempt > 0:

@@ -30,6 +30,7 @@ bit-identical to unmonitored serving.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Any
 
@@ -61,6 +62,21 @@ class ServingGateway:
     max_batch, max_delay, cache_entries, n_jobs:
         Defaults for every lazily-created per-name service; override
         per name with :meth:`configure`.
+    tracer:
+        Optional :class:`~repro.serve.obs.trace.Tracer`.  When set, every
+        ``trace_sample``-th ``submit`` without an inbound trace context
+        starts one (the in-process birth point the net edge otherwise
+        provides), records a gateway ``route`` span, and threads the
+        context down to the batcher.  ``None`` (the default) keeps the
+        request path free of any tracing branch beyond one ``is None``
+        check.
+    trace_sample:
+        Auto-born traces sample 1-in-``trace_sample`` submissions
+        (deterministic stride over the submit counter, same dial as the
+        monitor plane's profile ``sample``) — the knob that keeps span
+        cost flat as request rates grow.  An *inbound* ``trace=`` context
+        (a client-chosen wire trace id) is always honoured, never
+        sampled: explicit trace retrieval stays exact.
     """
 
     def __init__(
@@ -70,8 +86,15 @@ class ServingGateway:
         max_delay: float = 0.005,
         cache_entries: int = 4096,
         n_jobs: int | None = 1,
+        tracer: Any = None,
+        trace_sample: int = 1,
     ):
+        if trace_sample < 1:
+            raise ValueError("trace_sample must be >= 1")
         self.registry = registry
+        self._tracer = tracer
+        self._trace_sample = int(trace_sample)
+        self._trace_tick = itertools.count()  # atomic under the GIL
         self._defaults: dict[str, Any] = {
             "max_batch": int(max_batch),
             "max_delay": float(max_delay),
@@ -211,10 +234,26 @@ class ServingGateway:
 
     # ------------------------------------------------------------------ #
     def submit(
-        self, name: str, row: np.ndarray, kind: str = "predict"
+        self, name: str, row: np.ndarray, kind: str = "predict", trace: Any = None
     ) -> Ticket | CompletedTicket:
-        """Enqueue one request for ``name``; returns its ticket."""
-        ticket = self.service(name).submit(row, kind=kind)
+        """Enqueue one request for ``name``; returns its ticket.
+
+        ``trace`` adopts an inbound
+        :class:`~repro.serve.obs.trace.TraceContext` (the net edge's);
+        with none given and a ``tracer`` configured, a fresh context is
+        born here — the in-process entry point of the stack — for every
+        ``trace_sample``-th submission.
+        """
+        if trace is None and self._tracer is not None and (
+            next(self._trace_tick) % self._trace_sample == 0
+        ):
+            trace = self._tracer.start_trace()
+        if trace is not None:
+            t0 = trace.now()
+            ticket = self.service(name).submit(row, kind=kind, trace=trace)
+            trace.record("gateway", "route", t0, trace.now(), meta={"name": name})
+        else:
+            ticket = self.service(name).submit(row, kind=kind)
         if self._request_taps:
             # hand taps the ticket's private block (nothing mutates it after
             # submission, so observers may retain it without copying); a
@@ -262,7 +301,17 @@ class ServingGateway:
         :class:`~repro.serve.stats.GatewayStats`)."""
         with self._lock:
             services = dict(self._services)
-        return GatewayStats(per_name={n: s.stats() for n, s in services.items()})
+        return GatewayStats(
+            per_name={n: s.stats() for n, s in services.items()},
+            tap_errors=self._tap_errors,
+        )
+
+    def trace_spans(self, trace_id: str | None = None) -> dict[str, Any]:
+        """This gateway's recorded spans (the tracer's JSON-safe export);
+        empty when no tracer is configured."""
+        if self._tracer is None:
+            return {"spans": [], "dropped": {}, "recorded": {}}
+        return self._tracer.export(trace_id)
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:

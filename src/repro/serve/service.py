@@ -108,13 +108,17 @@ class InferenceService:
             self.cache.put(ticket.token, value)
 
     # ------------------------------------------------------------------ #
-    def submit(self, row: np.ndarray, kind: str = "predict") -> Ticket | CompletedTicket:
+    def submit(
+        self, row: np.ndarray, kind: str = "predict", trace: Any = None
+    ) -> Ticket | CompletedTicket:
         """Enqueue one request; returns a ticket whose ``result()`` blocks.
 
         The cache key binds the request bytes to the *current* production
         version; a promote between submit and flush therefore yields a
         result from the new model under a key that can never collide with
-        the old version's entries.
+        the old version's entries.  ``trace`` optionally carries a
+        :class:`~repro.serve.obs.trace.TraceContext` down to the batcher
+        (a cache hit records nothing — there is no queue to wait in).
         """
         # private copy before digesting: the cache key must describe the
         # exact bytes that get scored even if the caller reuses the buffer
@@ -126,7 +130,8 @@ class InferenceService:
             return CompletedTicket(value)
         # copy=False: `arr` is already our private copy — nothing else
         # holds it, so the batcher can take it without copying again
-        return self.batcher.submit(arr, kind=kind, token=key, copy=False)
+        return self.batcher.submit(arr, kind=kind, token=key, copy=False,
+                                   trace=trace)
 
     def predict(self, row: np.ndarray, timeout: float | None = None) -> Any:
         return self.submit(row).result(timeout)
@@ -173,6 +178,7 @@ class InferenceService:
             deadline_flushes=int(c["deadline_flushes"]),
             manual_flushes=int(c["manual_flushes"]),
             abandoned=int(c["abandoned"]),
+            latency_dropped=int(c["latency_dropped"]),
             cache_hits=self.cache.hits,
             cache_misses=self.cache.misses,
             cache_evictions=self.cache.evictions,

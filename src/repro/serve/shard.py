@@ -186,6 +186,7 @@ def _worker_main(
     snapshot_bytes: bytes,
     gateway_kwargs: dict[str, Any],
     result_timeout: float,
+    trace_rings: int = 0,
 ) -> None:
     """One shard: a gateway replica driven by its request transport.
 
@@ -198,11 +199,25 @@ def _worker_main(
     exactly as they would in-process.  The responder thread completes
     tickets strictly in arrival order, which is what gives the parent
     FIFO response semantics per shard.
+
+    ``trace_rings > 0`` stands up a process-local
+    :class:`~repro.serve.obs.trace.Tracer` (a tracer object itself does
+    not cross the spawn pickle — only its ring size does): a submit tuple
+    carrying a trace id gets a worker-side context under that id, so the
+    batcher/worker spans it records merge with the parent's by trace id
+    when the ``obs`` op exports them.  Untraced submissions stay
+    span-free — the gateway only adopts contexts, it never starts one
+    here.
     """
     try:
         transport = make_worker_transport(transport_spec)
     except TransportError:
         return  # parent vanished before the handshake; nothing to serve
+    tracer = None
+    if trace_rings > 0:
+        from repro.serve.obs.trace import Tracer
+
+        tracer = Tracer(ring_size=trace_rings)
     registry = ModelRegistry()
     registry.restore(pickle.loads(snapshot_bytes))
     gateway = ServingGateway(registry, **gateway_kwargs)
@@ -221,9 +236,15 @@ def _worker_main(
             item = done_q.get()
             if item is None:
                 return
-            req_id, ticket = item
+            req_id, ticket, ctx = item
             try:
-                send(("ok", req_id, ticket.result(timeout=result_timeout)))
+                if ctx is not None:
+                    t0 = ctx.now()
+                    value = ticket.result(timeout=result_timeout)
+                    ctx.record("worker", "respond", t0, ctx.now())
+                    send(("ok", req_id, value))
+                else:
+                    send(("ok", req_id, ticket.result(timeout=result_timeout)))
             except BaseException as exc:
                 send(("err", req_id, _picklable_exception(exc)))
 
@@ -241,13 +262,22 @@ def _worker_main(
             if op == "shutdown":
                 break
             if op == "submit":
-                _, req_id, name, row, kind = msg
+                # 5-tuple from an untraced parent, 6-tuple carries the
+                # trace id — *rest keeps the wire forms interchangeable
+                _, req_id, name, row, kind, *rest = msg
+                tid = rest[0] if rest else None
+                ctx = None
+                if tracer is not None and tid is not None:
+                    ctx = tracer.context(tid)
                 try:
-                    ticket = gateway.submit(name, row, kind=kind)
+                    if ctx is not None:
+                        ticket = gateway.submit(name, row, kind=kind, trace=ctx)
+                    else:
+                        ticket = gateway.submit(name, row, kind=kind)
                 except BaseException as exc:
                     send(("err", req_id, _picklable_exception(exc)))
                 else:
-                    done_q.put((req_id, ticket))
+                    done_q.put((req_id, ticket, ctx))
             elif op == "flush":
                 _, req_id, name = msg
                 try:
@@ -263,6 +293,19 @@ def _worker_main(
                 _, req_id, action, name, payload = msg
                 try:
                     send(("ok", req_id, _apply_control(registry, action, name, payload)))
+                except BaseException as exc:
+                    send(("err", req_id, _picklable_exception(exc)))
+            elif op == "obs":
+                # export this worker's recorded spans (optionally one
+                # trace's) so the parent can reassemble cross-process
+                # traces by id; JSON-safe, so it rides any transport
+                _, req_id, tid = msg
+                try:
+                    payload = (
+                        tracer.export(tid) if tracer is not None
+                        else {"spans": [], "dropped": {}, "recorded": {}}
+                    )
+                    send(("ok", req_id, payload))
                 except BaseException as exc:
                     send(("err", req_id, _picklable_exception(exc)))
             else:
@@ -283,10 +326,12 @@ def _worker_main(
 class ClusterTicket:
     """Handle for one request routed to a shard; blocks in :meth:`result`."""
 
-    __slots__ = ("shard_id", "_event", "_value", "_error")
+    __slots__ = ("shard_id", "trace", "trace_t0", "_event", "_value", "_error")
 
     def __init__(self, shard_id: int):
         self.shard_id = shard_id
+        self.trace = None       # TraceContext when the request is traced
+        self.trace_t0 = 0.0     # trace-clock send time (starts transport)
         self._event = threading.Event()
         self._value: Any = None
         self._error: BaseException | None = None
@@ -398,6 +443,17 @@ class ShardedServingCluster:
         Worker-side cap on how long a responder waits for one ticket
         before answering with an error — a wedged flush must not dam the
         FIFO response stream forever.
+    tracer:
+        Optional parent-side :class:`~repro.serve.obs.trace.Tracer`.
+        When set, traced submissions record ``route``/``steal`` and
+        ``transport`` spans here, the trace id rides the submit tuple to
+        the shard, and every worker stands up its own tracer (same ring
+        size) whose spans :meth:`trace_spans` fetches back by the ``obs``
+        op.  ``None`` (the default) keeps all paths tracing-free.
+    trace_sample:
+        Auto-born traces sample 1-in-``trace_sample`` submissions
+        (deterministic stride, the monitor plane's ``sample`` dial);
+        inbound ``trace=`` contexts are always honoured, never sampled.
     """
 
     def __init__(
@@ -414,9 +470,13 @@ class ShardedServingCluster:
         cache_entries: int = 4096,
         n_jobs: int | None = 1,
         request_timeout: float = 60.0,
+        tracer: Any = None,
+        trace_sample: int = 1,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if trace_sample < 1:
+            raise ValueError("trace_sample must be >= 1")
         if route not in _ROUTES:
             raise ValueError(f"route must be one of {_ROUTES}, got {route!r}")
         if transport not in _TRANSPORTS:
@@ -432,6 +492,12 @@ class ShardedServingCluster:
         self._steal_lock = threading.Lock()
         self._steals = 0
         self.request_timeout = float(request_timeout)
+        self._tracer = tracer
+        self._trace_sample = int(trace_sample)
+        self._trace_tick = itertools.count()  # atomic under the GIL
+        # workers rebuild their own tracer from the ring size alone (a
+        # Tracer holds locks and a clock — it must not cross the pickle)
+        self._trace_rings = int(getattr(tracer, "ring_size", 0)) if tracer else 0
         self._gateway_kwargs = {
             "max_batch": int(max_batch),
             "max_delay": float(max_delay),
@@ -502,7 +568,7 @@ class ShardedServingCluster:
         process = self._ctx.Process(
             target=_worker_main,
             args=(shard_id, spec, snapshot_bytes, self._gateway_kwargs,
-                  self.request_timeout),
+                  self.request_timeout, self._trace_rings),
             name=f"serve-shard-{shard_id}",
             daemon=True,
         )
@@ -540,6 +606,12 @@ class ShardedServingCluster:
                     ticket = handle.pending.pop(req_id, None)
                 if ticket is None:
                     continue  # late reply after a crash-fail; ticket already errored
+                ctx = ticket.trace
+                if ctx is not None:
+                    # transport = parent send → worker response landed,
+                    # both ends read on the parent's clock
+                    ctx.record("cluster", "transport", ticket.trace_t0,
+                               ctx.now(), meta={"shard": handle.shard_id})
                 if tag == "ok":
                     ticket._complete(payload, None)
                 else:
@@ -721,8 +793,10 @@ class ShardedServingCluster:
         ))
         return ticket
 
-    def _send_request(self, handle: _ShardHandle, op: str, *args: Any) -> ClusterTicket:
-        ticket = self._try_send(handle, op, *args)
+    def _send_request(
+        self, handle: _ShardHandle, op: str, *args: Any, trace: Any = None
+    ) -> ClusterTicket:
+        ticket = self._try_send(handle, op, *args, trace=trace)
         if ticket is not None:
             return ticket
         ticket = ClusterTicket(handle.shard_id)
@@ -731,12 +805,17 @@ class ShardedServingCluster:
         ), ErrorCode.SHARD_CRASHED))
         return ticket
 
-    def _try_send(self, handle: _ShardHandle, op: str, *args: Any) -> ClusterTicket | None:
+    def _try_send(
+        self, handle: _ShardHandle, op: str, *args: Any, trace: Any = None
+    ) -> ClusterTicket | None:
         """Enqueue one request on ``handle``; ``None`` means the shard is
         dead (or its transport broke mid-send, in which case it is marked
         dead so the next :meth:`_pick_shard` skips it) and the caller may
         try another shard instead of surfacing the failure."""
         ticket = ClusterTicket(handle.shard_id)
+        if trace is not None:
+            ticket.trace = trace
+            ticket.trace_t0 = trace.now()  # the reader ends this span
         with handle.lock:
             if self._closed:
                 ticket._complete(None, coded(
@@ -756,17 +835,22 @@ class ShardedServingCluster:
                 return None
         return ticket
 
-    def _submit_replicated(self, name: str, arr: np.ndarray, kind: str) -> ClusterTicket:
+    def _submit_replicated(
+        self, name: str, arr: np.ndarray, kind: str, trace: Any = None
+    ) -> ClusterTicket:
         """Replicated-route submission with dead-shard absorption: a shard
         found dead at send time (routing race, broken pipe) is excluded and
         the request re-routes to the next live worker.  Only when *every*
         shard is down does the ticket surface a coded crash error."""
         tried: set[int] = set()
+        args = (name, arr, kind) if trace is None else (
+            name, arr, kind, trace.trace_id
+        )
         while True:
             handle = self._pick_shard(tried)
             if handle is None:
                 return self._no_live_shard_ticket()
-            ticket = self._try_send(handle, "submit", name, arr, kind)
+            ticket = self._try_send(handle, "submit", *args, trace=trace)
             if ticket is not None:
                 return ticket
             tried.add(handle.shard_id)
@@ -818,13 +902,23 @@ class ShardedServingCluster:
                 with self._tap_err_lock:
                     self._tap_errors += 1
 
-    def submit(self, name: str, row: np.ndarray, kind: str = "predict") -> ClusterTicket:
+    def submit(
+        self, name: str, row: np.ndarray, kind: str = "predict", trace: Any = None
+    ) -> ClusterTicket:
         """Route one request; returns a ticket whose ``result()`` blocks.
 
         A dead route never hangs: the ticket completes immediately with
         :class:`ShardCrashedError` (replicated routing first re-routes to
-        any remaining live shard)."""
+        any remaining live shard).  ``trace`` adopts an inbound
+        :class:`~repro.serve.obs.trace.TraceContext`; with none given and
+        a ``tracer`` configured, the trace is born here for every
+        ``trace_sample``-th submission."""
         arr = np.asarray(row, dtype=float)
+        if trace is None and self._tracer is not None and (
+            next(self._trace_tick) % self._trace_sample == 0
+        ):
+            trace = self._tracer.start_trace()
+        t0 = trace.now() if trace is not None else 0.0
         if self.route == "hash":
             # pin one routing-table snapshot: a concurrent scale_to swaps
             # self._shards copy-on-write, so index and length must come
@@ -832,15 +926,28 @@ class ShardedServingCluster:
             shards = self._shards
             owner = shards[shard_for_name(name, len(shards))]
             handle = owner
+            stage = "route"
             if self.steal and arr.ndim == 1:
                 idle = self._steal_target(owner)
                 if idle is not None:
                     handle = idle
+                    stage = "steal"  # the reroute is part of the trace
                     with self._steal_lock:
                         self._steals += 1
-            ticket = self._send_request(handle, "submit", name, arr, kind)
+            if trace is not None:
+                ticket = self._send_request(
+                    handle, "submit", name, arr, kind, trace.trace_id,
+                    trace=trace,
+                )
+                trace.record("cluster", stage, t0, trace.now(),
+                             meta={"shard": handle.shard_id})
+            else:
+                ticket = self._send_request(handle, "submit", name, arr, kind)
         else:
-            ticket = self._submit_replicated(name, arr, kind)
+            ticket = self._submit_replicated(name, arr, kind, trace=trace)
+            if trace is not None:
+                trace.record("cluster", "route", t0, trace.now(),
+                             meta={"shard": ticket.shard_id})
         if self._request_taps:
             # a private copy for observers: the caller may reuse its buffer
             # once submit returns (the worker scores the pickled bytes, but
@@ -984,7 +1091,38 @@ class ShardedServingCluster:
                 per_shard[shard_id] = ticket.result(timeout=remaining)
             except (ShardCrashedError, TimeoutError):
                 continue
-        return ClusterStats(per_shard=per_shard)
+        return ClusterStats(per_shard=per_shard, tap_errors=self._tap_errors,
+                            steals=self._steals)
+
+    def trace_spans(self, trace_id: str | None = None) -> dict[str, Any]:
+        """Reassemble a cross-process trace (or dump everything recorded).
+
+        Merges the parent tracer's export with every live worker's
+        (fetched by the ``obs`` op under one shared ``request_timeout``
+        budget, the same fan-out contract as :meth:`stats`); spans from
+        different processes share the trace id, drop/recorded counters
+        sum per component.  Dead or wedged shards are simply absent —
+        their rings died with them."""
+        if self._tracer is not None:
+            out = self._tracer.export(trace_id)
+        else:
+            out = {"spans": [], "dropped": {}, "recorded": {}}
+        pairs = [
+            (h.shard_id, self._send_request(h, "obs", trace_id))
+            for h in self._shards if h.alive
+        ]
+        deadline = time.monotonic() + self.request_timeout
+        for shard_id, ticket in pairs:
+            remaining = max(deadline - time.monotonic(), 1e-9)
+            try:
+                worker = ticket.result(timeout=remaining)
+            except (ShardCrashedError, TimeoutError):
+                continue
+            out["spans"].extend(worker["spans"])
+            for key in ("dropped", "recorded"):
+                for comp, n in worker[key].items():
+                    out[key][comp] = out[key].get(comp, 0) + n
+        return out
 
     # ------------------------------------------------------------------ #
     def close(self, timeout: float = 10.0) -> None:

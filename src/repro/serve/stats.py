@@ -43,6 +43,9 @@ class ServerStats:
     cache_invalidations: int
     cache_entries: int
     total_latency_s: float  # summed enqueue→completion time of completed requests
+    # latency samples lost to ring overwrite or roll-up decimation — the
+    # silent-loss satellite: eviction is counted, never invisible
+    latency_dropped: int = 0
     # bounded ring of recent per-request latencies (seconds) — the sample
     # behind the tail percentiles; () on snapshots that predate the ring
     latency_samples: tuple[float, ...] = ()
@@ -121,7 +124,10 @@ def sum_stats(snapshots: Iterable[ServerStats]) -> ServerStats:
         merged.extend(s.latency_samples)
     if len(merged) > _MERGED_SAMPLE_CAP:
         stride = -(-len(merged) // _MERGED_SAMPLE_CAP)  # ceil division
-        merged = merged[::stride]
+        thinned = merged[::stride]
+        # decimated-away samples are dropped samples — account for them
+        sums["latency_dropped"] += len(merged) - len(thinned)
+        merged = thinned
     sums["latency_samples"] = tuple(merged)
     return ServerStats(**sums)
 
@@ -162,6 +168,9 @@ class GatewayStats:
     """Per-name service snapshots plus their field-wise aggregate."""
 
     per_name: dict[str, ServerStats]
+    # monitoring-tap exceptions swallowed by this gateway (observational
+    # failures must not fail requests, but they must not vanish either)
+    tap_errors: int = 0
 
     @property
     def total(self) -> ServerStats:
@@ -169,7 +178,10 @@ class GatewayStats:
 
     def summary(self) -> str:
         lines = [f"{name}: {s.summary()}" for name, s in sorted(self.per_name.items())]
-        lines.append(f"TOTAL ({len(self.per_name)} models): {self.total.summary()}")
+        lines.append(
+            f"TOTAL ({len(self.per_name)} models): {self.total.summary()} "
+            f"tap_errors={self.tap_errors}"
+        )
         return "\n".join(lines)
 
 
@@ -184,6 +196,11 @@ class ClusterStats:
     """
 
     per_shard: dict[int, GatewayStats]
+    # the parent cluster's own tap failures (shard-local ones live on the
+    # per-shard GatewayStats; tap_errors_total folds both levels)
+    tap_errors: int = 0
+    # hash-routed requests rerouted to an idle shard by work stealing
+    steals: int = 0
 
     @property
     def per_name(self) -> dict[str, ServerStats]:
@@ -197,13 +214,20 @@ class ClusterStats:
     def total(self) -> ServerStats:
         return sum_stats(gw.total for gw in self.per_shard.values())
 
+    @property
+    def tap_errors_total(self) -> int:
+        """Tap failures across every rollup level: the parent cluster's
+        own plus each shard gateway's."""
+        return self.tap_errors + sum(gw.tap_errors for gw in self.per_shard.values())
+
     def summary(self) -> str:
         lines = [
-            f"shard {sid}: {gw.total.summary()}"
+            f"shard {sid}: {gw.total.summary()} tap_errors={gw.tap_errors}"
             for sid, gw in sorted(self.per_shard.items())
         ]
         lines.append(
             f"CLUSTER ({len(self.per_shard)} shards, "
-            f"{len(self.per_name)} names): {self.total.summary()}"
+            f"{len(self.per_name)} names): {self.total.summary()} "
+            f"steals={self.steals} tap_errors={self.tap_errors_total}"
         )
         return "\n".join(lines)

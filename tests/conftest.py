@@ -45,8 +45,16 @@ excluded while still running in the default tier-1 sweep:
   kill-storm soak under live mutation churn (bit-identity witness, zero
   client-visible transient errors), poisoned-flood fail-fast, and
   hypothesis determinism properties for the autoscaler trajectory.
+* ``obs`` — the observability plane (:mod:`repro.serve.obs`): bounded
+  span rings with exemplar capture, the frozen span vocabulary, the
+  unified metrics registry (Prometheus/JSON exports agree with
+  ``ClusterStats`` exactly), structured trace-correlated logging, and
+  the end-to-end trace-completeness witness (≥ 6 distinct stages
+  reassembled by trace id across a socket cluster) plus the
+  traced == untraced bit-identity soak.  Tests that fork worker
+  processes also carry ``shard``/``net``.
   The smoke target is
-  ``-m "serve or gateway or shard or monitor or faults or net or transport or chaos"``.
+  ``-m "serve or gateway or shard or monitor or faults or net or transport or chaos or obs"``.
 """
 
 
@@ -82,4 +90,8 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "chaos: storm-scale soak harness + SLO autoscaler tests; tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "obs: observability plane tests (tracing/metrics/logging); tier-1",
     )

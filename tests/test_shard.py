@@ -365,6 +365,8 @@ class TestStormBugRegressions:
         cluster = object.__new__(ShardedServingCluster)
         cluster.request_timeout = request_timeout
         cluster._closed = False
+        cluster._tap_errors = 0
+        cluster._steals = 0
         cluster._shards = [
             SimpleNamespace(shard_id=i, alive=True) for i in range(n_shards)
         ]
